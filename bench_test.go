@@ -1,0 +1,132 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark runs the
+// corresponding experiment at a reduced instruction budget and reports the
+// headline quantity as a custom metric so `go test -bench . -benchmem`
+// doubles as the reproduction harness. Full-size reports come from
+// `go run ./cmd/tpcsim -exp <name>`.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"divlab/internal/dram"
+	"divlab/internal/exp"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+func benchOptions() exp.Options { return exp.QuickOptions() }
+
+// runExp drives one registered experiment per iteration.
+func runExp(b *testing.B, name string) {
+	b.Helper()
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(name, io.Discard, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExp(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2") }
+func BenchmarkFig1(b *testing.B)   { runExp(b, "fig1") }
+func BenchmarkFig9(b *testing.B)   { runExp(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExp(b, "fig10") }
+func BenchmarkFig12(b *testing.B)  { runExp(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExp(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExp(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExp(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExp(b, "fig16") }
+
+// BenchmarkFig8 additionally reports the headline geomean speedups.
+func BenchmarkFig8(b *testing.B) {
+	o := benchOptions()
+	pfs := sim.AllEvaluated()
+	var tpcG, bestMono float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(o.Insts)
+		cfg.Seed = o.Seed
+		per := make(map[string][]float64)
+		for _, w := range workloads.SPEC() {
+			base := sim.RunSingle(w, nil, cfg)
+			for _, p := range pfs {
+				r := sim.RunSingle(w, p.Factory, cfg)
+				if base.IPC() > 0 {
+					per[p.Name] = append(per[p.Name], r.IPC()/base.IPC())
+				}
+			}
+		}
+		tpcG, bestMono = 0, 0
+		for _, p := range pfs {
+			g := stats.Geomean(per[p.Name])
+			if p.Name == "tpc" {
+				tpcG = g
+			} else if g > bestMono {
+				bestMono = g
+			}
+		}
+	}
+	b.ReportMetric(tpcG, "tpc-geomean")
+	b.ReportMetric(bestMono, "best-monolithic-geomean")
+}
+
+// BenchmarkFig11 reports the all-suite speedup of TPC vs the field.
+func BenchmarkFig11(b *testing.B) { runExp(b, "fig11") }
+
+// BenchmarkDropPolicy reports the multicore gain from priority-aware
+// prefetch dropping (Sec. V-C1).
+func BenchmarkDropPolicy(b *testing.B) {
+	o := benchOptions()
+	tpcN := sim.TPCFull()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		mixes := workloads.Mixes(o.MixCount, o.Seed+77)
+		var rnd, pri []float64
+		for _, mix := range mixes {
+			cfg := sim.DefaultConfig(o.Insts)
+			cfg.Cores = 4
+			cfg.Seed = o.Seed
+			cfg.DropPolicy = dram.DropRandomPrefetch
+			base := sim.RunMulti(mix, nil, cfg)
+			r1 := sim.RunMulti(mix, tpcN.Factory, cfg)
+			cfg.DropPolicy = dram.DropLowPriorityPrefetch
+			r2 := sim.RunMulti(mix, tpcN.Factory, cfg)
+			ws := func(rs []*sim.Result) float64 {
+				s := 0.0
+				for k := range rs {
+					if bb := base[k].IPC(); bb > 0 {
+						s += rs[k].IPC() / bb
+					}
+				}
+				return s / float64(len(rs))
+			}
+			rnd = append(rnd, ws(r1))
+			pri = append(pri, ws(r2))
+		}
+		gr, gp := stats.Geomean(rnd), stats.Geomean(pri)
+		if gr > 0 {
+			gain = gp/gr - 1
+		}
+	}
+	b.ReportMetric(100*gain, "drop-policy-gain-%")
+}
+
+// BenchmarkSimulator measures raw simulation throughput (insts/sec) of the
+// core+hierarchy substrate, independent of any experiment.
+func BenchmarkSimulator(b *testing.B) {
+	w, _ := workloads.ByName("stream.pure")
+	tpc, _ := sim.ByName("tpc")
+	cfg := sim.DefaultConfig(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunSingle(w, tpc.Factory, cfg)
+	}
+	b.SetBytes(int64(cfg.Insts))
+}
+
+// BenchmarkAblation regenerates the design-choice ablations (mPC, adaptive
+// distance, C1 density) DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) { runExp(b, "ablation") }

@@ -1,0 +1,117 @@
+// Command sweep runs ablation parameter sweeps over the design choices
+// DESIGN.md calls out: T2's margin constant and maximum distance, P1's chain
+// depth cap, C1's density threshold analogue (via region workloads), and the
+// prefetch destination level.
+//
+//	sweep -what t2margin
+//	sweep -what destination -insts 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/prefetchers"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+func main() {
+	var (
+		what  = flag.String("what", "degree", "sweep: degree | spp-threshold | bop | destination | mshr-apps")
+		insts = flag.Uint64("insts", 150_000, "instructions per run")
+	)
+	flag.Parse()
+
+	switch *what {
+	case "degree":
+		sweepDegree(*insts)
+	case "spp-threshold":
+		sweepSPP(*insts)
+	case "destination":
+		sweepDestination(*insts)
+	case "mshr-apps":
+		perAppMPKI(*insts)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}
+
+// geomeanSpeedup runs pf over the SPEC-like suite and returns the geomean
+// speedup over no-prefetch.
+func geomeanSpeedup(factory sim.Factory, insts uint64) float64 {
+	cfg := sim.DefaultConfig(insts)
+	var xs []float64
+	for _, w := range workloads.SPEC() {
+		base := sim.RunSingle(w, nil, cfg)
+		r := sim.RunSingle(w, factory, cfg)
+		if base.IPC() > 0 {
+			xs = append(xs, r.IPC()/base.IPC())
+		}
+	}
+	return stats.Geomean(xs)
+}
+
+func sweepDegree(insts uint64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tdegree\tgeomean speedup")
+	for _, deg := range []int{1, 2, 4, 8} {
+		d := deg
+		fmt.Fprintf(tw, "stride\t%d\t%.3f\n", d,
+			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewStride(mem.L1, 256, d) }, insts))
+	}
+	for _, deg := range []int{1, 2, 4, 8} {
+		d := deg
+		fmt.Fprintf(tw, "ampm\t%d\t%.3f\n", d,
+			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewAMPM(mem.L1, 16, d) }, insts))
+	}
+	tw.Flush()
+}
+
+func sweepSPP(insts uint64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "path-confidence threshold\tgeomean speedup")
+	for _, th := range []int{10, 25, 50, 75} {
+		t := th
+		fmt.Fprintf(tw, "%d%%\t%.3f\n", t,
+			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewSPP(mem.L1, t, 8) }, insts))
+	}
+	tw.Flush()
+}
+
+func sweepDestination(insts uint64) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tdest\tgeomean speedup")
+	for _, p := range []struct {
+		name string
+		mk   func(mem.Level) prefetch.Component
+	}{
+		{"bop", func(l mem.Level) prefetch.Component { return prefetchers.NewBOP(l) }},
+		{"sms", func(l mem.Level) prefetch.Component { return prefetchers.NewSMS(l) }},
+		{"ampm", func(l mem.Level) prefetch.Component { return prefetchers.NewAMPM(l, 16, 2) }},
+	} {
+		for _, lvl := range []mem.Level{mem.L1, mem.L2} {
+			mk, l := p.mk, lvl
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\n", p.name, l,
+				geomeanSpeedup(func(workloads.Instance) prefetch.Component { return mk(l) }, insts))
+		}
+	}
+	tw.Flush()
+}
+
+func perAppMPKI(insts uint64) {
+	cfg := sim.DefaultConfig(insts)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tsuite\tIPC\tL1 MPKI\tL2 misses\ttraffic lines")
+	for _, w := range workloads.All() {
+		r := sim.RunSingle(w, nil, cfg)
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%d\t%d\n", w.Name, w.Suite, r.IPC(), r.MPKI(), r.L2Misses, r.Traffic)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,81 @@
+// Command tpcsim reproduces the paper's evaluation. It can run a single
+// (workload, prefetcher) pair, or regenerate any table/figure experiment:
+//
+//	tpcsim -list
+//	tpcsim -exp fig8
+//	tpcsim -exp all -insts 500000
+//	tpcsim -workload chase.rand -prefetcher tpc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"divlab/internal/exp"
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiments and workloads")
+		workload = flag.String("workload", "", "single workload to run")
+		pf       = flag.String("prefetcher", "tpc", "prefetcher for -workload (none, tpc, t2, bop, sms, ...)")
+		insts    = flag.Uint64("insts", 300_000, "instructions per simulation")
+		seed     = flag.Uint64("seed", 1, "workload/controller seed")
+		mixes    = flag.Int("mixes", 8, "number of 4-core mixes for multicore experiments")
+		useBPred = flag.Bool("bpred", false, "use the TAGE + loop predictor instead of workload mispredict flags (single-workload mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("experiments:")
+		for _, n := range exp.Names() {
+			fmt.Printf("  %-12s %s\n", n, exp.Describe(n))
+		}
+		fmt.Println("workloads:")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-16s (%s)\n", w.Name, w.Suite)
+		}
+	case *expName != "":
+		o := exp.Options{Insts: *insts, Seed: *seed, MixCount: *mixes}
+		var err error
+		if *expName == "all" {
+			err = exp.RunAll(os.Stdout, o)
+		} else {
+			err = exp.Run(*expName, os.Stdout, o)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpcsim:", err)
+			os.Exit(1)
+		}
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tpcsim: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		cfg := sim.DefaultConfig(*insts)
+		cfg.Seed = *seed
+		cfg.UseBPred = *useBPred
+		base := sim.RunSingle(w, nil, cfg)
+		fmt.Printf("%s baseline: IPC=%.3f MPKI=%.1f misses=%d traffic=%d lines\n",
+			w.Name, base.IPC(), base.MPKI(), base.L1Misses, base.Traffic)
+		if *pf != "none" {
+			n, ok := sim.ByName(*pf)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tpcsim: unknown prefetcher %q\n", *pf)
+				os.Exit(1)
+			}
+			r := sim.RunSingle(w, n.Factory, cfg)
+			fmt.Printf("%s %s: IPC=%.3f speedup=%.3f misses=%d issued=%d traffic=%d lines\n",
+				w.Name, n.Name, r.IPC(), r.IPC()/base.IPC(), r.L1Misses, r.Issued, r.Traffic)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,35 @@
+// Graphsuite: runs the CRONO-like graph kernels (BFS, PageRank, SSSP,
+// connected components) under every evaluated prefetcher and prints the
+// Fig. 11-style per-suite comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+func main() {
+	pfs := sim.AllEvaluated()
+	cfg := sim.DefaultConfig(150_000)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "kernel")
+	for _, p := range pfs {
+		fmt.Fprintf(tw, "\t%s", p.Name)
+	}
+	fmt.Fprintln(tw)
+	for _, w := range workloads.CRONO() {
+		base := sim.RunSingle(w, nil, cfg)
+		fmt.Fprintf(tw, "%s", w.Name)
+		for _, p := range pfs {
+			r := sim.RunSingle(w, p.Factory, cfg)
+			fmt.Fprintf(tw, "\t%.2f", r.IPC()/base.IPC())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,3 @@
+module divlab
+
+go 1.22

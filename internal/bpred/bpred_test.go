@@ -1,0 +1,127 @@
+package bpred
+
+import "testing"
+
+func TestBiasedBranch(t *testing.T) {
+	p := New()
+	mis := 0
+	for i := 0; i < 1000; i++ {
+		if p.Update(0x400, true) {
+			mis++
+		}
+	}
+	if mis > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", mis)
+	}
+	mis = 0
+	for i := 0; i < 1000; i++ {
+		if p.Update(0x800, false) {
+			mis++
+		}
+	}
+	if mis > 4 {
+		t.Errorf("never-taken branch mispredicted %d times", mis)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	p := New()
+	const trips = 37
+	mis := 0
+	for loop := 0; loop < 50; loop++ {
+		for i := 0; i < trips; i++ {
+			taken := i < trips-1 // exit on the last iteration
+			if p.Update(0x400, taken) && loop >= 10 {
+				mis++
+			}
+		}
+	}
+	// After warmup the exit iteration must be predicted: near-zero
+	// mispredicts over 40 trained loops.
+	if mis > 4 {
+		t.Errorf("loop exits mispredicted %d times after warmup", mis)
+	}
+}
+
+func TestGlobalHistoryPattern(t *testing.T) {
+	p := New()
+	// Period-3 pattern T,T,N — bimodal alone cannot learn it; the tagged
+	// components must.
+	pattern := []bool{true, true, false}
+	mis := 0
+	for i := 0; i < 3000; i++ {
+		if p.Update(0x400, pattern[i%3]) && i >= 1500 {
+			mis++
+		}
+	}
+	rate := float64(mis) / 1500
+	if rate > 0.10 {
+		t.Errorf("period-3 pattern mispredict rate %.2f after training", rate)
+	}
+}
+
+func TestRandomBranchBounded(t *testing.T) {
+	p := New()
+	s := uint64(7)
+	mis := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		if p.Update(0x400, s>>40&1 == 1) {
+			mis++
+		}
+	}
+	rate := float64(mis) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random branch rate %.2f outside [0.3, 0.7]", rate)
+	}
+	if p.Rate() != rate {
+		t.Errorf("Rate() = %v, want %v", p.Rate(), rate)
+	}
+}
+
+func TestTwoLoopsIndependent(t *testing.T) {
+	p := New()
+	mis := 0
+	for loop := 0; loop < 40; loop++ {
+		for i := 0; i < 10; i++ {
+			if p.Update(0x400, i < 9) && loop >= 10 {
+				mis++
+			}
+		}
+		for i := 0; i < 23; i++ {
+			if p.Update(0x800, i < 22) && loop >= 10 {
+				mis++
+			}
+		}
+	}
+	if mis > 6 {
+		t.Errorf("two independent loops mispredicted %d times after warmup", mis)
+	}
+}
+
+func TestPredictDoesNotMutate(t *testing.T) {
+	p := New()
+	for i := 0; i < 100; i++ {
+		p.Update(0x400, true)
+	}
+	before := p.Lookups
+	for i := 0; i < 50; i++ {
+		p.Predict(0x400)
+	}
+	if p.Lookups != before {
+		t.Error("Predict must not count lookups")
+	}
+	if !p.Predict(0x400) {
+		t.Error("trained always-taken branch must predict taken")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Update(0x400, true)
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredicts != 0 {
+		t.Error("Reset must clear stats")
+	}
+}

@@ -1,0 +1,268 @@
+// Package cache implements the set-associative caches of the simulated
+// hierarchy: LRU replacement, MSHRs with secondary-miss merging, per-line
+// prefetch tags (owner identity and readiness timestamps for timeliness
+// modelling), and shadow "alternate reality" tag arrays used to account for
+// prefetch-induced pollution as described in Sec. V-C of the paper.
+package cache
+
+import "fmt"
+
+// LineBytes is the cache line size used throughout the hierarchy (Table I).
+const LineBytes = 64
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in stats output ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LatCycles is the hit latency in cycles.
+	LatCycles uint64
+	// MSHRs is the number of outstanding-miss registers.
+	MSHRs int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (LineBytes * c.Ways) }
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: size and ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, s)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive", c.Name)
+	}
+	return nil
+}
+
+// NoOwner marks a line not installed by any prefetcher.
+const NoOwner = -1
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // installed by a prefetch and not yet demanded
+	owner      int  // prefetcher component id that installed the line
+	readyAt    uint64
+	lastUse    uint64
+}
+
+// Stats accumulates event counts for one cache.
+type Stats struct {
+	Accesses                uint64
+	Hits                    uint64
+	Misses                  uint64 // primary misses only
+	SecondaryMisses         uint64 // miss with a pending fetch to the same line
+	PrefetchFills           uint64
+	DemandFills             uint64
+	PrefetchHits            uint64 // demand hits on lines still marked prefetched
+	PrefetchedEvictedUnused uint64
+}
+
+// Cache is one level of the hierarchy. It is purely functional with respect
+// to timing: callers pass the current cycle and receive readiness-based
+// extra waits; the cache never advances time itself.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	useTick uint64
+	mshr    *MSHR
+	// Stats is exported for the metrics layer to read and reset.
+	Stats Stats
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration, which
+// is a programming error in the experiment setup, not a runtime condition.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(cfg.Sets() - 1),
+		mshr:    NewMSHR(cfg.MSHRs),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// MSHR exposes the miss-status registers for the hierarchy to consult.
+func (c *Cache) MSHR() *MSHR { return c.mshr }
+
+func (c *Cache) setIndex(lineAddr uint64) uint64 { return (lineAddr / LineBytes) & c.setMask }
+
+// LookupResult describes the outcome of a demand lookup.
+type LookupResult struct {
+	Hit bool
+	// ExtraWait is the additional cycles a hit must wait for an in-flight
+	// (late) prefetch to arrive; zero for settled lines.
+	ExtraWait uint64
+	// WasPrefetched reports whether the hit consumed a prefetched line for
+	// the first time.
+	WasPrefetched bool
+	// Owner is the prefetcher that installed the line (NoOwner otherwise).
+	Owner int
+}
+
+// Lookup performs a demand access at cycle `at`. On a hit it updates LRU
+// state and clears the line's prefetched mark (the prefetch became useful).
+func (c *Cache) Lookup(lineAddr uint64, at uint64) LookupResult {
+	c.Stats.Accesses++
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == lineAddr {
+			c.useTick++
+			ln.lastUse = c.useTick
+			res := LookupResult{Hit: true, Owner: ln.owner}
+			if ln.readyAt > at {
+				res.ExtraWait = ln.readyAt - at
+			}
+			if ln.prefetched {
+				res.WasPrefetched = true
+				ln.prefetched = false
+				c.Stats.PrefetchHits++
+			}
+			c.Stats.Hits++
+			return res
+		}
+	}
+	c.Stats.Misses++
+	return LookupResult{}
+}
+
+// Contains reports whether lineAddr is resident, without touching LRU state
+// or statistics. The prefetch filter uses it to avoid redundant prefetches.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch refreshes LRU state for lineAddr if resident (used when an upper
+// level hits and the inclusive lower level should observe recency).
+func (c *Cache) Touch(lineAddr uint64) {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.useTick++
+			set[i].lastUse = c.useTick
+			return
+		}
+	}
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Valid      bool
+	LineAddr   uint64
+	Dirty      bool
+	Prefetched bool // evicted before any demand use
+	Owner      int
+}
+
+// Fill installs lineAddr at cycle `at`, ready at `readyAt`. prefetched marks
+// prefetch-installed lines; owner identifies the issuing component.
+// It returns the eviction, if any.
+func (c *Cache) Fill(lineAddr uint64, readyAt uint64, prefetched bool, owner int) Eviction {
+	set := c.sets[c.setIndex(lineAddr)]
+	victim := -1
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == lineAddr {
+			// Refill of a resident line (e.g. prefetch raced a demand fill):
+			// keep the earlier readiness, merge the prefetched mark.
+			if readyAt < ln.readyAt {
+				ln.readyAt = readyAt
+			}
+			return Eviction{}
+		}
+		if !ln.valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+	}
+	ln := &set[victim]
+	ev := Eviction{}
+	if ln.valid {
+		ev = Eviction{Valid: true, LineAddr: ln.tag, Dirty: ln.dirty, Prefetched: ln.prefetched, Owner: ln.owner}
+		if ln.prefetched {
+			c.Stats.PrefetchedEvictedUnused++
+		}
+	}
+	c.useTick++
+	*ln = line{tag: lineAddr, valid: true, prefetched: prefetched, owner: owner, readyAt: readyAt, lastUse: c.useTick}
+	if !prefetched {
+		ln.owner = NoOwner
+		c.Stats.DemandFills++
+	} else {
+		c.Stats.PrefetchFills++
+	}
+	return ev
+}
+
+// MarkDirty sets the dirty bit on a resident line (store hit).
+func (c *Cache) MarkDirty(lineAddr uint64) {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate removes lineAddr if resident and returns whether it was dirty.
+func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			dirty = set[i].dirty
+			set[i] = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Reset clears all lines, MSHRs and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.useTick = 0
+	c.mshr.Reset()
+	c.Stats = Stats{}
+}

@@ -1,0 +1,114 @@
+package cache
+
+// MSHR models the miss-status holding registers of one cache level. An entry
+// exists while a fetch for its line is outstanding; a second miss to the same
+// line merges with the entry (a secondary miss — excluded from footprint
+// accounting per the paper) instead of generating new downstream traffic.
+//
+// Entries expire lazily: the hierarchy passes the current cycle on every
+// operation and entries whose fill has landed are reclaimed on demand.
+type MSHR struct {
+	entries []mshrEntry
+	// FullStalls counts allocation attempts that found no free register.
+	FullStalls uint64
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	readyAt  uint64
+	valid    bool
+	prefetch bool
+}
+
+// NewMSHR returns an MSHR file with n registers.
+func NewMSHR(n int) *MSHR {
+	return &MSHR{entries: make([]mshrEntry, n)}
+}
+
+// Pending returns the completion time of an outstanding fetch for lineAddr,
+// if one exists at cycle `at`.
+func (m *MSHR) Pending(lineAddr uint64, at uint64) (readyAt uint64, ok bool) {
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.valid && e.readyAt <= at {
+			e.valid = false
+			continue
+		}
+		if e.valid && e.lineAddr == lineAddr {
+			return e.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// Allocate records an outstanding fetch for lineAddr completing at readyAt.
+// If every register is busy at cycle `at`, it reports the earliest time one
+// frees up; the caller charges that as a stall and retries logically at that
+// time. prefetch marks prefetch-initiated fetches (droppable under pressure).
+func (m *MSHR) Allocate(lineAddr, at, readyAt uint64, prefetch bool) (stallUntil uint64, ok bool) {
+	freeAt := ^uint64(0)
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.valid && e.readyAt <= at {
+			e.valid = false
+		}
+		if !e.valid {
+			*e = mshrEntry{lineAddr: lineAddr, readyAt: readyAt, valid: true, prefetch: prefetch}
+			return 0, true
+		}
+		if e.readyAt < freeAt {
+			freeAt = e.readyAt
+		}
+	}
+	m.FullStalls++
+	return freeAt, false
+}
+
+// NextFree returns the earliest cycle (>= at) at which a register is
+// available: `at` itself when one is free, otherwise the earliest
+// completion time among live entries.
+func (m *MSHR) NextFree(at uint64) uint64 {
+	earliest := ^uint64(0)
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.valid && e.readyAt <= at {
+			e.valid = false
+		}
+		if !e.valid {
+			return at
+		}
+		if e.readyAt < earliest {
+			earliest = e.readyAt
+		}
+	}
+	return earliest
+}
+
+// Full reports whether every register is busy at cycle `at`.
+func (m *MSHR) Full(at uint64) bool { return m.NextFree(at) > at }
+
+// Occupancy returns the number of live entries at cycle `at`.
+func (m *MSHR) Occupancy(at uint64) int {
+	n := 0
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.valid && e.readyAt <= at {
+			e.valid = false
+		}
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of registers.
+func (m *MSHR) Size() int { return len(m.entries) }
+
+// Reset clears all registers and counters.
+func (m *MSHR) Reset() {
+	for i := range m.entries {
+		m.entries[i] = mshrEntry{}
+	}
+	m.FullStalls = 0
+}

@@ -1,0 +1,70 @@
+package cache
+
+import "testing"
+
+func TestMSHRPendingAndExpiry(t *testing.T) {
+	m := NewMSHR(2)
+	if _, ok := m.Allocate(0x40, 10, 110, false); !ok {
+		t.Fatal("allocate into empty MSHR failed")
+	}
+	if ready, ok := m.Pending(0x40, 50); !ok || ready != 110 {
+		t.Errorf("Pending = %d,%v", ready, ok)
+	}
+	// After completion the entry lazily expires.
+	if _, ok := m.Pending(0x40, 111); ok {
+		t.Error("completed entry must not be pending")
+	}
+}
+
+func TestMSHRFullAndNextFree(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x40, 0, 100, false)
+	m.Allocate(0x80, 0, 200, false)
+	if !m.Full(50) {
+		t.Error("MSHR must be full")
+	}
+	if nf := m.NextFree(50); nf != 100 {
+		t.Errorf("NextFree = %d, want 100", nf)
+	}
+	if m.Full(150) {
+		t.Error("one entry expired; must not be full")
+	}
+	if nf := m.NextFree(150); nf != 150 {
+		t.Errorf("NextFree with free slot = %d", nf)
+	}
+}
+
+func TestMSHRAllocateWhenFull(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(0x40, 0, 100, false)
+	stallUntil, ok := m.Allocate(0x80, 10, 300, false)
+	if ok {
+		t.Fatal("allocation into full MSHR must fail")
+	}
+	if stallUntil != 100 {
+		t.Errorf("stallUntil = %d, want 100", stallUntil)
+	}
+	if m.FullStalls != 1 {
+		t.Errorf("FullStalls = %d", m.FullStalls)
+	}
+	// After the entry drains, allocation succeeds.
+	if _, ok := m.Allocate(0x80, 150, 400, false); !ok {
+		t.Error("allocation after drain must succeed")
+	}
+}
+
+func TestMSHROccupancy(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(1*64, 0, 100, false)
+	m.Allocate(2*64, 0, 150, true)
+	if oc := m.Occupancy(50); oc != 2 {
+		t.Errorf("Occupancy = %d", oc)
+	}
+	if oc := m.Occupancy(120); oc != 1 {
+		t.Errorf("Occupancy after one expiry = %d", oc)
+	}
+	m.Reset()
+	if m.Occupancy(0) != 0 || m.Size() != 4 {
+		t.Error("Reset/Size broken")
+	}
+}

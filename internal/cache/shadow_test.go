@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShadowBasics(t *testing.T) {
+	s := NewShadow(testConfig())
+	if s.Access(0x1000) {
+		t.Error("first access must miss")
+	}
+	if !s.Access(0x1000) {
+		t.Error("second access must hit")
+	}
+	if !s.Contains(0x1000) {
+		t.Error("Contains after install")
+	}
+	s.Reset()
+	if s.Contains(0x1000) {
+		t.Error("Reset must clear")
+	}
+}
+
+// Property: the shadow array behaves exactly like a real cache driven only
+// by demand accesses — the "alternate reality" contract of Sec. V-C.
+func TestShadowMatchesDemandOnlyCache(t *testing.T) {
+	cfg := Config{Name: "tiny", SizeBytes: 4 << 10, Ways: 4, LatCycles: 1, MSHRs: 2}
+	f := func(addrs []uint16) bool {
+		s := NewShadow(cfg)
+		c := New(cfg)
+		for _, a := range addrs {
+			line := uint64(a) * 64 // line-aligned by construction
+			sh := s.Access(line)
+			ch := c.Lookup(line, 0).Hit
+			if !ch {
+				c.Fill(line, 0, false, NoOwner)
+			}
+			if sh != ch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

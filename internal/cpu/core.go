@@ -1,0 +1,198 @@
+// Package cpu implements the out-of-order core timing model of Table I as an
+// analytical pipeline: 4-wide fetch/retire, a 192-entry ROB window,
+// dependency-driven issue, in-order retirement, and a fixed branch
+// misprediction penalty. Loads query an injected memory port whose latency
+// already reflects cache state, MSHR occupancy, DRAM bank timing and
+// in-flight prefetch readiness, so memory-level parallelism, pointer-chain
+// serialization and prefetch timeliness all fall out of the dataflow.
+package cpu
+
+import "divlab/internal/trace"
+
+// MemPort is the core's window onto the memory hierarchy. Access returns the
+// latency observed by a demand access issued at cycle `at`.
+type MemPort interface {
+	Access(pc, addr uint64, at uint64, store bool) uint64
+}
+
+// InstHook observes every instruction at dispatch (the point where the
+// paper's prefetcher components snoop decode/issue). cycle is the dispatch
+// cycle.
+type InstHook func(in *trace.Inst, cycle uint64)
+
+// BranchPredictor turns branch outcomes into mispredict events. Update
+// trains with the actual direction and reports whether the pre-update
+// prediction was wrong.
+type BranchPredictor interface {
+	Update(pc uint64, taken bool) bool
+}
+
+// Params configures the core (Table I defaults via DefaultParams).
+type Params struct {
+	Width          int    // fetch/retire width per cycle
+	ROB            int    // reorder-buffer entries
+	FrontendDepth  uint64 // fetch-to-issue pipeline depth
+	MispredPenalty uint64 // branch misprediction penalty in cycles
+	StorePorts     bool   // stores complete off the critical path
+	// Pred, when set, decides mispredictions by actually predicting each
+	// branch (Table I's L-Tag + loop predictor); when nil, the workload's
+	// Mispredict flags are taken as ground truth. Data-dependent branches
+	// flagged by the workload mispredict under either mode.
+	Pred BranchPredictor
+}
+
+// DefaultParams returns the Table I core: 4-wide, 192 ROB, 15-cycle branch
+// miss penalty.
+func DefaultParams() Params {
+	return Params{Width: 4, ROB: 192, FrontendDepth: 5, MispredPenalty: 15, StorePorts: true}
+}
+
+// Result summarizes one core run.
+type Result struct {
+	Insts       uint64
+	Cycles      uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Core is the analytical OoO model. The zero value is not usable; construct
+// with New.
+type Core struct {
+	p        Params
+	mem      MemPort
+	hook     InstHook
+	regReady [trace.NumRegs]uint64
+	fetch    []uint64 // ring: fetch time of inst i (mod ROB)
+	retire   []uint64 // ring: retire time of inst i (mod ROB)
+	n        uint64   // instructions processed
+	minFetch uint64   // earliest fetch for the next instruction (mispredict redirect)
+	lastRet  uint64   // latest retire time assigned (in-order monotonicity)
+	res      Result
+}
+
+// New builds a core over the given memory port. hook may be nil.
+func New(p Params, memPort MemPort, hook InstHook) *Core {
+	if p.Width <= 0 || p.ROB <= 0 {
+		panic("cpu: width and ROB must be positive")
+	}
+	c := &Core{p: p, mem: memPort, hook: hook}
+	c.fetch = make([]uint64, p.ROB)
+	c.retire = make([]uint64, p.ROB)
+	return c
+}
+
+// Step processes one dynamic instruction.
+func (c *Core) Step(in *trace.Inst) {
+	p := &c.p
+	i := c.n
+	slot := int(i) % p.ROB
+
+	// Fetch: bandwidth (Width per cycle), ROB occupancy, and any pending
+	// front-end redirect.
+	var ft uint64
+	if i >= uint64(p.Width) {
+		ft = c.fetch[int(i-uint64(p.Width))%p.ROB] + 1
+	}
+	if i >= uint64(p.ROB) {
+		if r := c.retire[slot]; r > ft { // retire time of inst i-ROB
+			ft = r
+		}
+	}
+	if c.minFetch > ft {
+		ft = c.minFetch
+	}
+
+	dispatch := ft + p.FrontendDepth
+	if c.hook != nil {
+		c.hook(in, dispatch)
+	}
+
+	ready := dispatch
+	if t := c.regReady[in.Src1]; t > ready {
+		ready = t
+	}
+	if t := c.regReady[in.Src2]; t > ready {
+		ready = t
+	}
+
+	var complete uint64
+	switch in.Kind {
+	case trace.Load:
+		c.res.Loads++
+		complete = ready + c.mem.Access(in.PC, in.Addr, ready, false)
+	case trace.Store:
+		c.res.Stores++
+		lat := c.mem.Access(in.PC, in.Addr, ready, true)
+		if p.StorePorts {
+			complete = ready + 1 // retire from the store queue off-path
+		} else {
+			complete = ready + lat
+		}
+	case trace.Branch:
+		c.res.Branches++
+		complete = ready + 1
+		mis := in.Mispredict
+		if p.Pred != nil {
+			mis = p.Pred.Update(in.PC, in.Taken) || in.Mispredict
+		}
+		if mis {
+			c.res.Mispredicts++
+			redirect := complete + p.MispredPenalty
+			if redirect > c.minFetch {
+				c.minFetch = redirect
+			}
+		}
+	default:
+		lat := uint64(in.Lat)
+		if lat == 0 {
+			lat = 1
+		}
+		complete = ready + lat
+	}
+
+	if in.Dst != 0 {
+		c.regReady[in.Dst] = complete
+	}
+
+	// In-order retirement, Width per cycle.
+	rt := complete
+	if rt < c.lastRet {
+		rt = c.lastRet
+	}
+	if i >= uint64(p.Width) {
+		if t := c.retire[int(i-uint64(p.Width))%p.ROB] + 1; t > rt {
+			rt = t
+		}
+	}
+	c.fetch[slot] = ft
+	c.retire[slot] = rt
+	c.lastRet = rt
+	c.n++
+	c.res.Insts = c.n
+	c.res.Cycles = rt
+}
+
+// Run drains src through the core and returns the result.
+func (c *Core) Run(src trace.Source) Result {
+	var in trace.Inst
+	for src.Next(&in) {
+		c.Step(&in)
+	}
+	return c.res
+}
+
+// Result returns the statistics accumulated so far.
+func (c *Core) Result() Result { return c.res }
+
+// Cycle returns the current retire-time high-water mark.
+func (c *Core) Cycle() uint64 { return c.lastRet }

@@ -1,0 +1,174 @@
+package cpu
+
+import (
+	"testing"
+
+	"divlab/internal/trace"
+)
+
+// fixedMem returns a constant latency for every access.
+type fixedMem struct {
+	lat    uint64
+	calls  int
+	lastAt uint64
+}
+
+func (m *fixedMem) Access(pc, addr uint64, at uint64, store bool) uint64 {
+	m.calls++
+	m.lastAt = at
+	return m.lat
+}
+
+func run(p Params, mem MemPort, insts []trace.Inst) Result {
+	c := New(p, mem, nil)
+	return c.Run(&trace.SliceSource{Insts: insts})
+}
+
+func aluChain(n int, dep bool) []trace.Inst {
+	out := make([]trace.Inst, n)
+	for i := range out {
+		out[i] = trace.Inst{PC: uint64(i * 4), Kind: trace.ALU}
+		if dep {
+			out[i].Dst, out[i].Src1 = 5, 5
+		}
+	}
+	return out
+}
+
+func TestWidthLimitedIPC(t *testing.T) {
+	p := DefaultParams()
+	res := run(p, &fixedMem{lat: 3}, aluChain(4000, false))
+	ipc := res.IPC()
+	if ipc < 3.5 || ipc > 4.01 {
+		t.Errorf("independent ALUs must run near width=4 IPC, got %.2f", ipc)
+	}
+}
+
+func TestDependentChainIPC(t *testing.T) {
+	p := DefaultParams()
+	res := run(p, &fixedMem{lat: 3}, aluChain(4000, true))
+	ipc := res.IPC()
+	if ipc < 0.9 || ipc > 1.1 {
+		t.Errorf("serial 1-cycle chain must run at IPC ~1, got %.2f", ipc)
+	}
+}
+
+func TestLoadLatencySerializes(t *testing.T) {
+	// Self-dependent loads: each waits for the previous one's value.
+	n := 500
+	insts := make([]trace.Inst, n)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 4, Kind: trace.Load, Addr: uint64(i * 64), Dst: 5, Src1: 5}
+	}
+	slow := run(DefaultParams(), &fixedMem{lat: 100}, insts)
+	fast := run(DefaultParams(), &fixedMem{lat: 3}, insts)
+	ratio := float64(slow.Cycles) / float64(fast.Cycles)
+	if ratio < 10 {
+		t.Errorf("dependent load latency must dominate: ratio %.1f", ratio)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// Independent loads: the window overlaps their latencies.
+	n := 2000
+	insts := make([]trace.Inst, n)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 4, Kind: trace.Load, Addr: uint64(i * 64), Dst: 0, Src1: 0}
+	}
+	res := run(DefaultParams(), &fixedMem{lat: 100}, insts)
+	// Perfect MLP would approach IPC 4; even partial overlap must beat the
+	// fully serial bound of 1/100.
+	if res.IPC() < 0.5 {
+		t.Errorf("independent loads must overlap, IPC=%.3f", res.IPC())
+	}
+}
+
+func TestBranchMispredictPenalty(t *testing.T) {
+	mk := func(mispredict bool) []trace.Inst {
+		var out []trace.Inst
+		for i := 0; i < 1000; i++ {
+			out = append(out,
+				trace.Inst{PC: 0, Kind: trace.ALU},
+				trace.Inst{PC: 4, Kind: trace.Branch, Taken: true, Target: 0, Mispredict: mispredict})
+		}
+		return out
+	}
+	good := run(DefaultParams(), &fixedMem{lat: 3}, mk(false))
+	bad := run(DefaultParams(), &fixedMem{lat: 3}, mk(true))
+	if bad.Cycles <= good.Cycles {
+		t.Errorf("mispredicts must cost cycles: %d vs %d", bad.Cycles, good.Cycles)
+	}
+	if bad.Mispredicts != 1000 {
+		t.Errorf("mispredict count %d", bad.Mispredicts)
+	}
+	// Each mispredict costs roughly the penalty.
+	perBranch := float64(bad.Cycles-good.Cycles) / 1000
+	if perBranch < 10 || perBranch > 25 {
+		t.Errorf("per-mispredict cost %.1f, want ~15", perBranch)
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	// With a tiny ROB, far-apart independent loads cannot overlap.
+	insts := make([]trace.Inst, 1000)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 4, Kind: trace.Load, Addr: uint64(i * 64)}
+	}
+	small := Params{Width: 4, ROB: 8, FrontendDepth: 5, MispredPenalty: 15, StorePorts: true}
+	big := Params{Width: 4, ROB: 512, FrontendDepth: 5, MispredPenalty: 15, StorePorts: true}
+	rs := run(small, &fixedMem{lat: 200}, insts)
+	rb := run(big, &fixedMem{lat: 200}, insts)
+	if rs.Cycles <= rb.Cycles {
+		t.Errorf("small ROB must be slower: %d vs %d", rs.Cycles, rb.Cycles)
+	}
+}
+
+func TestStoresOffCriticalPath(t *testing.T) {
+	insts := make([]trace.Inst, 1000)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 4, Kind: trace.Store, Addr: uint64(i * 64), Src1: 0}
+	}
+	res := run(DefaultParams(), &fixedMem{lat: 300}, insts)
+	if res.IPC() < 2 {
+		t.Errorf("stores must retire off-path, IPC=%.2f", res.IPC())
+	}
+	if res.Stores != 1000 {
+		t.Errorf("store count %d", res.Stores)
+	}
+}
+
+func TestHookSeesEveryInstruction(t *testing.T) {
+	var n int
+	hook := func(in *trace.Inst, cycle uint64) { n++ }
+	c := New(DefaultParams(), &fixedMem{lat: 3}, hook)
+	c.Run(&trace.SliceSource{Insts: aluChain(123, false)})
+	if n != 123 {
+		t.Errorf("hook saw %d of 123", n)
+	}
+}
+
+func TestDispatchTimesMonotonicPerInstruction(t *testing.T) {
+	// The hook's cycle must never decrease (fetch is in order).
+	var last uint64
+	ok := true
+	hook := func(in *trace.Inst, cycle uint64) {
+		if cycle < last {
+			ok = false
+		}
+		last = cycle
+	}
+	c := New(DefaultParams(), &fixedMem{lat: 50}, hook)
+	c.Run(&trace.SliceSource{Insts: aluChain(2000, true)})
+	if !ok {
+		t.Error("dispatch cycles went backwards")
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width must panic")
+		}
+	}()
+	New(Params{}, &fixedMem{}, nil)
+}

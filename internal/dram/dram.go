@@ -1,0 +1,274 @@
+// Package dram models a DDR3-style main memory: channels, ranks, banks,
+// row-buffer locality, core-clock-domain timing derived from Table I, a
+// finite per-channel request queue, and a pluggable policy for which request
+// to drop when that queue fills — the hook used by the Sec. V-C experiment
+// where the controller preferentially drops low-confidence (C1) prefetches.
+package dram
+
+// Config describes the memory system in CPU cycles (Table I at 3 GHz:
+// 1 ns = 3 cycles).
+type Config struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	RowBytes     int
+	// Timing, in CPU cycles.
+	TRCD uint64 // activate -> column access
+	TRP  uint64 // precharge
+	TCAS uint64 // column access -> first data
+	TRAS uint64 // activate -> precharge (minimum row-open time)
+	// BurstCycles is the data-bus occupancy per 64B line transfer.
+	BurstCycles uint64
+	// QueueDepth is the per-channel request queue capacity.
+	QueueDepth int
+	// FrontLatency is the constant interconnect latency added to every
+	// access (on-chip network + controller pipeline).
+	FrontLatency uint64
+}
+
+// DDR3Default returns the Table I configuration: DDR3-1600, 2 channels,
+// 2 ranks/channel, 8 banks/rank, tRCD = tRP = 13.75 ns, tRAS = 35 ns,
+// expressed at 3 GHz.
+func DDR3Default() Config {
+	return Config{
+		Channels:     2,
+		RanksPerChan: 2,
+		BanksPerRank: 8,
+		RowBytes:     8192,
+		TRCD:         41, // 13.75ns * 3
+		TRP:          41,
+		TCAS:         41,
+		TRAS:         105, // 35ns * 3
+		BurstCycles:  15,  // 64B at 12.8GB/s/channel = 5ns
+		QueueDepth:   32,
+		FrontLatency: 18, // ~6ns network + controller
+	}
+}
+
+// DropPolicy selects the victim when a channel queue overflows.
+type DropPolicy uint8
+
+const (
+	// DropNone never drops; demand and prefetch requests wait for space.
+	DropNone DropPolicy = iota
+	// DropRandomPrefetch evicts a pseudo-randomly chosen queued prefetch
+	// (the paper's default controller behaviour).
+	DropRandomPrefetch
+	// DropLowPriorityPrefetch evicts the queued prefetch with the lowest
+	// priority (C1's region prefetches in the composite design).
+	DropLowPriorityPrefetch
+)
+
+// Request is one memory transaction presented to the controller.
+type Request struct {
+	LineAddr uint64
+	Write    bool
+	Prefetch bool
+	// Owner is the prefetcher component id (cache.NoOwner for demand).
+	Owner int
+	// Priority orders prefetches for DropLowPriorityPrefetch; lower values
+	// are dropped first.
+	Priority int
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Reads             uint64
+	Writes            uint64
+	PrefetchReads     uint64
+	RowHits           uint64
+	RowMisses         uint64
+	RowConflicts      uint64
+	DroppedPrefetches uint64
+	QueueFullWaits    uint64
+}
+
+// Lines returns the total number of lines transferred on the memory bus,
+// the quantity normalized in Fig. 9.
+func (s Stats) Lines() uint64 { return s.Reads + s.Writes }
+
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	busyUntil uint64
+	openedAt  uint64
+}
+
+// channel keeps two data-bus horizons to model demand-priority scheduling:
+// demand transfers queue only behind other demands (busDemand), while
+// prefetch transfers queue behind everything (busAll). This keeps prefetch
+// traffic from delaying demand fetches at the bus while still charging
+// prefetches realistic queueing delays, and the backlog used for prefetch
+// shedding is judged against the full horizon.
+type channel struct {
+	banks     []bank
+	busDemand uint64
+	busAll    uint64
+}
+
+// Controller is the memory controller. It is not safe for concurrent use;
+// the simulator is single-goroutine per system.
+type Controller struct {
+	cfg    Config
+	chans  []channel
+	policy DropPolicy
+	rng    uint64
+	// now is a monotone controller clock (max request timestamp seen).
+	// Request timestamps from the analytical core skew by up to a ROB
+	// window; backlog is judged against this clock so old-stamped requests
+	// do not read phantom congestion.
+	now   uint64
+	Stats Stats
+}
+
+// NewController builds a controller with the given configuration and drop
+// policy. Seed makes the random-drop policy deterministic.
+func NewController(cfg Config, policy DropPolicy, seed uint64) *Controller {
+	if cfg.Channels <= 0 || cfg.BanksPerRank <= 0 || cfg.RanksPerChan <= 0 {
+		panic("dram: channels, ranks and banks must be positive")
+	}
+	chans := make([]channel, cfg.Channels)
+	for i := range chans {
+		chans[i].banks = make([]bank, cfg.RanksPerChan*cfg.BanksPerRank)
+	}
+	return &Controller{cfg: cfg, chans: chans, policy: policy, rng: seed | 1}
+}
+
+// SetPolicy changes the drop policy (used by the drop-policy experiment).
+func (c *Controller) SetPolicy(p DropPolicy) { c.policy = p }
+
+func (c *Controller) rand() uint64 {
+	// xorshift64 — deterministic, no global state.
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+func (c *Controller) route(lineAddr uint64) (ch *channel, b *bank, row uint64) {
+	lineIdx := lineAddr / 64
+	chIdx := int(lineIdx) & (c.cfg.Channels - 1)
+	if c.cfg.Channels&(c.cfg.Channels-1) != 0 {
+		chIdx = int(lineIdx % uint64(c.cfg.Channels))
+	}
+	ch = &c.chans[chIdx]
+	nb := uint64(len(ch.banks))
+	bIdx := (lineIdx / uint64(c.cfg.Channels)) % nb
+	linesPerRow := uint64(c.cfg.RowBytes / 64)
+	row = lineIdx / uint64(c.cfg.Channels) / nb / linesPerRow
+	return ch, &ch.banks[bIdx], row
+}
+
+// backlogLines estimates the channel's queued transfer depth at cycle `at`
+// from the data-bus reservation horizon.
+func (c *Controller) backlogLines(ch *channel, at uint64) int {
+	if ch.busAll <= at {
+		return 0
+	}
+	return int((ch.busAll - at) / c.cfg.BurstCycles)
+}
+
+// Access services a request arriving at cycle `at`. It returns the latency
+// to data return and dropped=true when a prefetch was shed by the queue
+// policy (in which case no state or traffic is generated for it).
+//
+// Demands are never shed: they serialize behind the bus and bank
+// reservations, which is where their queueing delay comes from. Prefetches
+// are shed when the backlog exceeds the queue depth; under the low-priority
+// policy, high-priority prefetches (T2/P1) tolerate a deeper backlog than
+// low-priority ones (C1 region prefetches) — the Sec. V-C1 experiment.
+func (c *Controller) Access(r Request, at uint64) (latency uint64, dropped bool) {
+	ch, bk, row := c.route(r.LineAddr)
+	if at > c.now {
+		c.now = at
+	}
+
+	if r.Prefetch && !r.Write {
+		backlog := c.backlogLines(ch, c.now)
+		limit := c.cfg.QueueDepth
+		switch c.policy {
+		case DropLowPriorityPrefetch:
+			// Shed low-confidence prefetches earlier; never admit more
+			// than the random policy would.
+			if r.Priority <= 1 {
+				limit = c.cfg.QueueDepth / 2
+			}
+		case DropRandomPrefetch, DropNone:
+			// Uniform shedding: jitter the threshold so which prefetch gets
+			// shed under sustained pressure is effectively random.
+			limit = c.cfg.QueueDepth - int(c.rand()%8)
+		}
+		if backlog >= limit {
+			c.Stats.DroppedPrefetches++
+			return 0, true
+		}
+	}
+
+	start := at
+	if bk.busyUntil > start {
+		start = bk.busyUntil
+	}
+
+	var access uint64
+	switch {
+	case bk.rowValid && bk.openRow == row:
+		c.Stats.RowHits++
+		access = c.cfg.TCAS
+	case bk.rowValid:
+		c.Stats.RowConflicts++
+		// Respect tRAS before precharging the open row.
+		if minClose := bk.openedAt + c.cfg.TRAS; minClose > start {
+			start = minClose
+		}
+		access = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		bk.openRow, bk.rowValid = row, true
+		bk.openedAt = start + c.cfg.TRP
+	default:
+		c.Stats.RowMisses++
+		access = c.cfg.TRCD + c.cfg.TCAS
+		bk.openRow, bk.rowValid = row, true
+		bk.openedAt = start
+	}
+
+	dataStart := start + access
+	if r.Prefetch {
+		if ch.busAll > dataStart {
+			dataStart = ch.busAll
+		}
+	} else if ch.busDemand > dataStart {
+		dataStart = ch.busDemand
+	}
+	dataEnd := dataStart + c.cfg.BurstCycles
+	if !r.Prefetch {
+		ch.busDemand = dataEnd
+	}
+	if dataEnd > ch.busAll {
+		ch.busAll = dataEnd
+	}
+	bk.busyUntil = dataStart
+
+	switch {
+	case r.Write:
+		c.Stats.Writes++
+	case r.Prefetch:
+		c.Stats.PrefetchReads++
+		c.Stats.Reads++
+	default:
+		c.Stats.Reads++
+	}
+
+	return c.cfg.FrontLatency + (dataEnd - at), false
+}
+
+// Reset clears all bank, bus and statistics state.
+func (c *Controller) Reset() {
+	for i := range c.chans {
+		for j := range c.chans[i].banks {
+			c.chans[i].banks[j] = bank{}
+		}
+		c.chans[i].busDemand = 0
+		c.chans[i].busAll = 0
+	}
+	c.now = 0
+	c.Stats = Stats{}
+}

@@ -1,0 +1,144 @@
+package dram
+
+import "testing"
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	c := NewController(DDR3Default(), DropNone, 1)
+	lat1, dropped := c.Access(Request{LineAddr: 0}, 0)
+	if dropped {
+		t.Fatal("demand must not be dropped")
+	}
+	// Same row, later in time: row hit.
+	lat2, _ := c.Access(Request{LineAddr: 0}, 10_000)
+	if lat2 >= lat1 {
+		t.Errorf("row hit (%d) must be faster than row miss (%d)", lat2, lat1)
+	}
+	if c.Stats.RowMisses != 1 || c.Stats.RowHits != 1 {
+		t.Errorf("row stats %+v", c.Stats)
+	}
+}
+
+func TestRowConflictSlower(t *testing.T) {
+	cfg := DDR3Default()
+	c := NewController(cfg, DropNone, 1)
+	// Two line addresses in the same bank but different rows: route keeps
+	// channel/bank from low line bits, row from high bits.
+	sameBankStride := uint64(cfg.Channels) * uint64(cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.RowBytes/64) * 64
+	c.Access(Request{LineAddr: 0}, 0)
+	lat, _ := c.Access(Request{LineAddr: sameBankStride}, 100_000)
+	hit, _ := c.Access(Request{LineAddr: sameBankStride + 64}, 200_000)
+	if lat <= hit {
+		t.Errorf("row conflict (%d) must be slower than row hit (%d)", lat, hit)
+	}
+	if c.Stats.RowConflicts != 1 {
+		t.Errorf("conflicts %+v", c.Stats)
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	c := NewController(DDR3Default(), DropNone, 1)
+	var last uint64
+	// A burst of simultaneous requests to one channel must serialize on the
+	// data bus: each later one observes a strictly larger latency.
+	for i := 0; i < 8; i++ {
+		lineAddr := uint64(i) * 128 // stride 2 lines keeps channel 0
+		lat, _ := c.Access(Request{LineAddr: lineAddr}, 0)
+		if lat < last {
+			t.Errorf("burst request %d latency %d < previous %d", i, lat, last)
+		}
+		last = lat
+	}
+}
+
+func TestPrefetchShedUnderBacklog(t *testing.T) {
+	cfg := DDR3Default()
+	c := NewController(cfg, DropNone, 1)
+	// Saturate one channel far beyond the queue depth.
+	for i := 0; i < cfg.QueueDepth*4; i++ {
+		c.Access(Request{LineAddr: uint64(i) * 128}, 0)
+	}
+	_, dropped := c.Access(Request{LineAddr: 999 * 128, Prefetch: true}, 0)
+	if !dropped {
+		t.Error("prefetch must be shed under deep backlog")
+	}
+	if c.Stats.DroppedPrefetches == 0 {
+		t.Error("drop not counted")
+	}
+	// Demands still get through.
+	if _, d := c.Access(Request{LineAddr: 1000 * 128}, 0); d {
+		t.Error("demand must never be dropped")
+	}
+}
+
+func TestLowPriorityShedFirst(t *testing.T) {
+	cfg := DDR3Default()
+	c := NewController(cfg, DropLowPriorityPrefetch, 1)
+	// Build a backlog just above half the queue depth.
+	for i := 0; i < cfg.QueueDepth/2+4; i++ {
+		c.Access(Request{LineAddr: uint64(i) * 128}, 0)
+	}
+	_, droppedLow := c.Access(Request{LineAddr: 500 * 128, Prefetch: true, Priority: 1}, 0)
+	_, droppedHigh := c.Access(Request{LineAddr: 501 * 128, Prefetch: true, Priority: 3}, 0)
+	if !droppedLow {
+		t.Error("low-priority prefetch must be shed at half depth")
+	}
+	if droppedHigh {
+		t.Error("high-priority prefetch must survive moderate backlog")
+	}
+}
+
+func TestTrafficCounting(t *testing.T) {
+	c := NewController(DDR3Default(), DropNone, 1)
+	c.Access(Request{LineAddr: 0}, 0)
+	c.Access(Request{LineAddr: 64, Write: true}, 0)
+	c.Access(Request{LineAddr: 128, Prefetch: true}, 0)
+	if c.Stats.Reads != 2 || c.Stats.Writes != 1 || c.Stats.PrefetchReads != 1 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+	if c.Stats.Lines() != 3 {
+		t.Errorf("Lines = %d", c.Stats.Lines())
+	}
+}
+
+func TestChannelRouting(t *testing.T) {
+	cfg := DDR3Default()
+	c := NewController(cfg, DropNone, 1)
+	// Consecutive lines alternate channels: saturating even lines must not
+	// shed a prefetch to an odd line.
+	for i := 0; i < cfg.QueueDepth*4; i++ {
+		c.Access(Request{LineAddr: uint64(i) * 128}, 0) // channel 0
+	}
+	_, dropped := c.Access(Request{LineAddr: 64, Prefetch: true}, 0) // channel 1
+	if dropped {
+		t.Error("other channel must be unaffected by backlog")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewController(DDR3Default(), DropNone, 1)
+	c.Access(Request{LineAddr: 0}, 0)
+	c.Reset()
+	if c.Stats.Lines() != 0 {
+		t.Error("Reset must clear stats")
+	}
+	lat, _ := c.Access(Request{LineAddr: 0}, 0)
+	lat2, _ := c.Access(Request{LineAddr: 0}, 0)
+	_ = lat
+	_ = lat2
+	if c.Stats.RowMisses != 1 {
+		t.Error("bank state must be cleared by Reset")
+	}
+}
+
+func TestDeterministicRandomDrop(t *testing.T) {
+	run := func() uint64 {
+		c := NewController(DDR3Default(), DropRandomPrefetch, 7)
+		for i := 0; i < 200; i++ {
+			c.Access(Request{LineAddr: uint64(i) * 128, Prefetch: i%2 == 0}, 0)
+		}
+		return c.Stats.DroppedPrefetches
+	}
+	if run() != run() {
+		t.Error("same seed must drop deterministically")
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"divlab/internal/prefetch"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/tpc"
+	"divlab/internal/workloads"
+)
+
+func init() {
+	register("ablation", "ablations of TPC's design choices: mPC disambiguation, adaptive distance, C1 density threshold", ablation)
+}
+
+// tpcVariant builds a TPC with overridden component configs (c1Dense 0
+// keeps the paper's threshold).
+func tpcVariant(t2cfg tpc.T2Config, c1Dense int) sim.Factory {
+	return func(inst workloads.Instance) prefetch.Component {
+		opts := tpc.DefaultOptions(inst.Memory())
+		opts.T2Config = t2cfg
+		opts.C1DenseLines = c1Dense
+		return tpc.New(opts)
+	}
+}
+
+func ablation(w io.Writer, o Options) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ablation\tworkloads\tgeomean speedup")
+
+	// 1) Call-site disambiguation (mPC): judged on T2 *alone* with the
+	// workload written for it — two streams through one accessor PC. (In
+	// the full composite, C1 masks the ablation by carpet-bombing the
+	// sequential regions T2 loses — division of labor at work — so the
+	// isolated component is the honest comparison.)
+	oo := []workloads.Workload{mustWorkload("calls.oo"), mustWorkload("stream.pure")}
+	t2Only := func(t2cfg tpc.T2Config) sim.Factory {
+		return func(inst workloads.Instance) prefetch.Component {
+			return tpc.New(tpc.Options{EnableT2: true, Memory: inst.Memory(), T2Config: t2cfg})
+		}
+	}
+	base := tpcVariant(tpc.T2Config{}, 0)
+	fmt.Fprintf(tw, "T2 with mPC (paper)\tcalls.oo,stream.pure\t%.3f\n", geoSpeedup(oo, t2Only(tpc.T2Config{}), o))
+	fmt.Fprintf(tw, "T2 without mPC\tcalls.oo,stream.pure\t%.3f\n", geoSpeedup(oo, t2Only(tpc.T2Config{DisableMPC: true}), o))
+
+	// 2) Adaptive vs fixed prefetch distance, judged on stream workloads.
+	streams := []workloads.Workload{mustWorkload("stream.pure"), mustWorkload("stream.multi"), mustWorkload("stencil.1d")}
+	fmt.Fprintf(tw, "T2 adaptive d=(AMAT+m)/Titer (paper)\tstreams\t%.3f\n", geoSpeedup(streams, base, o))
+	for _, d := range []int64{2, 8, 32} {
+		f := tpcVariant(tpc.T2Config{FixedDistance: d}, 0)
+		fmt.Fprintf(tw, "T2 fixed d=%d\tstreams\t%.3f\n", d, geoSpeedup(streams, f, o))
+	}
+
+	// 3) C1 density threshold, judged on region workloads: too low admits
+	// sparse regions (waste), too high rejects genuinely dense ones.
+	regions := []workloads.Workload{mustWorkload("region.hot"), mustWorkload("region.sparse")}
+	for _, dense := range []int{3, 6, 12} {
+		f := tpcVariant(tpc.T2Config{}, dense)
+		label := fmt.Sprintf("C1 dense > %d/16 lines", dense)
+		if dense == 6 {
+			label += " (paper)"
+		}
+		fmt.Fprintf(tw, "%s\tregions\t%.3f\n", label, geoSpeedup(regions, f, o))
+	}
+	return tw.Flush()
+}
+
+func mustWorkload(name string) workloads.Workload {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		panic("exp: unknown workload " + name)
+	}
+	return w
+}
+
+func geoSpeedup(apps []workloads.Workload, f sim.Factory, o Options) float64 {
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Seed = o.Seed
+	var xs []float64
+	for _, w := range apps {
+		base := sim.RunSingle(w, nil, cfg)
+		r := sim.RunSingle(w, f, cfg)
+		if base.IPC() > 0 {
+			xs = append(xs, r.IPC()/base.IPC())
+		}
+	}
+	return stats.Geomean(xs)
+}

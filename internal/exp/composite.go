@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"divlab/internal/mem"
+	"divlab/internal/metrics"
+	"divlab/internal/prefetch"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+func init() {
+	register("fig14", "existing prefetchers alone vs as a TPC component, in the region TPC does not cover (Fig. 14)", fig14)
+	register("fig15", "compositing vs shunting an existing prefetcher with TPC (Fig. 15)", fig15)
+	register("fig16", "prefetch destination: L2, L1, or stratified by category (Fig. 16)", fig16)
+}
+
+// fig14Extras are the existing prefetchers studied as components.
+var fig14Extras = []string{"vldp", "spp", "fdp", "sms"}
+
+func fig14(w io.Writer, o Options) error {
+	// For each app: footprint (baseline), TPC-alone attempts (defines the
+	// uncovered region), the extra alone, and the extra as a TPC component.
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tmode\tscope(uncovered region)\teff.accuracy(region)\tprefetches")
+
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Seed = o.Seed
+	cfg.CollectFootprint = true
+	tpcN := sim.TPCFull()
+
+	for _, name := range fig14Extras {
+		extra, _ := sim.ByName(name)
+		comp := sim.TPCWith(extra)
+		var aloneScope, aloneAcc, aloneW []float64
+		var compScope, compAcc, compW []float64
+		for _, wl := range workloads.SPEC() {
+			base := sim.RunSingle(wl, nil, cfg)
+			tpcRun := sim.RunSingle(wl, tpcN.Factory, cfg)
+			region := metrics.Uncovered(base, tpcRun)
+			if len(region) == 0 {
+				continue
+			}
+			alone := sim.RunSingle(wl, extra.Factory, cfg)
+			asComp := sim.RunSingle(wl, comp.Factory, cfg)
+
+			ra := metrics.Pair{Base: base, PF: alone}.InRegion(region)
+			rc := metrics.Pair{Base: base, PF: asComp}.InRegion(region)
+			if ra.Prefetches > 0 {
+				aloneScope = append(aloneScope, ra.Scope)
+				aloneAcc = append(aloneAcc, ra.EffAccuracy)
+				aloneW = append(aloneW, float64(ra.Prefetches))
+			}
+			if rc.Prefetches > 0 {
+				compScope = append(compScope, rc.Scope)
+				compAcc = append(compAcc, rc.EffAccuracy)
+				compW = append(compW, float64(rc.Prefetches))
+			}
+		}
+		fmt.Fprintf(tw, "%s\talone\t%s\t%s\t%.0f\n", name,
+			pct(stats.WeightedMean(aloneScope, aloneW)),
+			pct(stats.WeightedMean(aloneAcc, aloneW)), sum(aloneW))
+		fmt.Fprintf(tw, "%s\tas TPC component\t%s\t%s\t%.0f\n", name,
+			pct(stats.WeightedMean(compScope, compW)),
+			pct(stats.WeightedMean(compAcc, compW)), sum(compW))
+	}
+	return tw.Flush()
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func fig15(w io.Writer, o Options) error {
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Seed = o.Seed
+	tpcN := sim.TPCFull()
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "extra\tmode\tavg vs tpc\tmin\tmax")
+	for _, name := range fig14Extras {
+		extra, _ := sim.ByName(name)
+		comp := sim.TPCWith(extra)
+		shunt := sim.ShuntWith(extra)
+		var compRel, shuntRel []float64
+		for _, wl := range workloads.SPEC() {
+			tpcRun := sim.RunSingle(wl, tpcN.Factory, cfg)
+			if tpcRun.IPC() == 0 {
+				continue
+			}
+			c := sim.RunSingle(wl, comp.Factory, cfg)
+			s := sim.RunSingle(wl, shunt.Factory, cfg)
+			compRel = append(compRel, c.IPC()/tpcRun.IPC())
+			shuntRel = append(shuntRel, s.IPC()/tpcRun.IPC())
+		}
+		lo, hi := stats.MinMax(compRel)
+		fmt.Fprintf(tw, "%s\tcomposite\t%.3f\t%.3f\t%.3f\n", name, stats.Geomean(compRel), lo, hi)
+		lo, hi = stats.MinMax(shuntRel)
+		fmt.Fprintf(tw, "%s\tshunt\t%.3f\t%.3f\t%.3f\n", name, stats.Geomean(shuntRel), lo, hi)
+	}
+	return tw.Flush()
+}
+
+func fig16(w io.Writer, o Options) error {
+	pfs := evaluatedSet()
+	apps := workloads.SPEC()
+
+	// Three destination policies: force L2, force L1 (the monolithic
+	// default here), and the category oracle: LHF to L1, the rest to L2.
+	// TPC's own row shows its natural component-based stratification.
+	dests := []struct {
+		name     string
+		override func(req prefetch.Request, cat workloads.Category) mem.Level
+	}{
+		{"L2", func(prefetch.Request, workloads.Category) mem.Level { return mem.L2 }},
+		{"L1", func(prefetch.Request, workloads.Category) mem.Level { return mem.L1 }},
+		{"stratified", func(_ prefetch.Request, cat workloads.Category) mem.Level {
+			if cat == workloads.LHF {
+				return mem.L1
+			}
+			return mem.L2
+		}},
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tdest\tavg speedup\tmin\tmax")
+	for _, p := range pfs {
+		for _, d := range dests {
+			override := d.override
+			if p.Name == "tpc" && d.name == "stratified" {
+				// TPC's components already stratify; no oracle needed.
+				override = nil
+			}
+			var rel []float64
+			for _, wl := range apps {
+				cfg := sim.DefaultConfig(o.Insts)
+				cfg.Seed = o.Seed
+				base := sim.RunSingle(wl, nil, cfg)
+				cfg.DestOverride = override
+				r := sim.RunSingle(wl, p.Factory, cfg)
+				if base.IPC() > 0 {
+					rel = append(rel, r.IPC()/base.IPC())
+				}
+			}
+			lo, hi := stats.MinMax(rel)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\n", p.Name, d.name, stats.Geomean(rel), lo, hi)
+		}
+	}
+	return tw.Flush()
+}

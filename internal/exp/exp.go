@@ -1,0 +1,135 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Sec. V). Each experiment is registered by the paper's label ("fig8",
+// "table2", ...) and writes the same rows/series the paper reports — not the
+// same absolute numbers (the substrate is a simulator, see DESIGN.md), but
+// the same shape: which prefetcher wins, by roughly what factor, and where
+// the crossovers fall.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"divlab/internal/metrics"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Insts is the per-core instruction budget of each simulation.
+	Insts uint64
+	// Seed drives workload layout and controller randomness.
+	Seed uint64
+	// MixCount is the number of 4-core mixes for multicore experiments.
+	MixCount int
+}
+
+// DefaultOptions returns the full-size configuration used by cmd/tpcsim.
+func DefaultOptions() Options { return Options{Insts: 300_000, Seed: 1, MixCount: 8} }
+
+// QuickOptions returns a reduced configuration for benchmarks and tests.
+func QuickOptions() Options { return Options{Insts: 80_000, Seed: 1, MixCount: 2} }
+
+// Func runs one experiment, writing its report to w.
+type Func func(w io.Writer, o Options) error
+
+// entry pairs an experiment with its description for the registry listing.
+type entry struct {
+	name string
+	desc string
+	fn   Func
+}
+
+var registry []entry
+
+func register(name, desc string, fn Func) {
+	registry = append(registry, entry{name: name, desc: desc, fn: fn})
+}
+
+// Names lists registered experiments in registration (paper) order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string {
+	for _, e := range registry {
+		if e.name == name {
+			return e.desc
+		}
+	}
+	return ""
+}
+
+// Run executes the named experiment.
+func Run(name string, w io.Writer, o Options) error {
+	for _, e := range registry {
+		if e.name == name {
+			return e.fn(w, o)
+		}
+	}
+	return fmt.Errorf("exp: unknown experiment %q (known: %v)", name, Names())
+}
+
+// RunAll executes every registered experiment in order.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range registry {
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.name, e.desc)
+		if err := e.fn(w, o); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --------------------------------------------------------------------------
+// Shared machinery.
+
+// appRun holds one workload's paired results across prefetcher configs.
+type appRun struct {
+	W        workloads.Workload
+	Classify metrics.Classifier
+	Base     *sim.Result
+	PF       map[string]*sim.Result
+}
+
+// pair returns the metrics pair for one prefetcher of this app.
+func (a *appRun) pair(name string) metrics.Pair {
+	return metrics.Pair{Base: a.Base, PF: a.PF[name]}
+}
+
+// runMatrix simulates every app under the baseline and every prefetcher.
+func runMatrix(apps []workloads.Workload, pfs []sim.Named, o Options, footprint bool) []*appRun {
+	out := make([]*appRun, 0, len(apps))
+	for _, w := range apps {
+		cfg := sim.DefaultConfig(o.Insts)
+		cfg.Seed = o.Seed
+		cfg.CollectFootprint = footprint
+		ar := &appRun{W: w, PF: make(map[string]*sim.Result, len(pfs))}
+		ar.Classify = w.New(o.Seed).Classify
+		ar.Base = sim.RunSingle(w, nil, cfg)
+		for _, p := range pfs {
+			ar.PF[p.Name] = sim.RunSingle(w, p.Factory, cfg)
+		}
+		out = append(out, ar)
+	}
+	return out
+}
+
+// geomeanOver returns the geometric mean of f over runs.
+func geomeanOver(runs []*appRun, f func(*appRun) float64) float64 {
+	xs := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		xs = append(xs, f(r))
+	}
+	return stats.Geomean(xs)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%5.1f%%", 100*x) }

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig1", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "droppolicy"}
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("experiment %s not registered", n)
+		}
+		if Describe(n) == "" {
+			t.Errorf("experiment %s has no description", n)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("nope", new(bytes.Buffer), QuickOptions()); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+// tinyOptions keeps the smoke runs fast.
+func tinyOptions() Options { return Options{Insts: 15_000, Seed: 1, MixCount: 1} }
+
+func TestTablesRun(t *testing.T) {
+	for _, name := range []string{"table1", "table2"} {
+		var buf bytes.Buffer
+		if err := Run(name, &buf, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestTable2ListsAllPrefetchers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table2", &buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, n := range []string{"ghb-pc/dc", "fdp", "vldp", "spp", "bop", "ampm", "sms", "t2", "tpc"} {
+		if !strings.Contains(out, n) {
+			t.Errorf("table2 missing row for %s:\n%s", n, out)
+		}
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig9", &buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tpc") {
+		t.Errorf("fig9 output missing tpc row:\n%s", buf.String())
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig1", &buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GLOBAL") {
+		t.Error("fig1 must report global averages")
+	}
+}
+
+func TestDropPolicyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf bytes.Buffer
+	if err := Run("droppolicy", &buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "low-priority") {
+		t.Errorf("droppolicy output:\n%s", buf.String())
+	}
+}
+
+func TestAblationRegistered(t *testing.T) {
+	if Describe("ablation") == "" {
+		t.Error("ablation experiment must be registered")
+	}
+}

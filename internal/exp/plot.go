@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// scatter renders an ASCII scatter plot of (x, y) points in [0,1]×[lo,1],
+// used to draw the accuracy-vs-scope panels of Figs. 1 and 10 the way the
+// paper presents them. Marks overwrite left to right; '*' marks the
+// weighted average.
+type scatter struct {
+	title      string
+	xlab, ylab string
+	yLo        float64 // y axis lower bound (accuracy can be negative)
+	pts        []scatterPt
+}
+
+type scatterPt struct {
+	x, y float64
+	mark byte
+}
+
+func (s *scatter) add(x, y float64, mark byte) {
+	s.pts = append(s.pts, scatterPt{x, y, mark})
+}
+
+const (
+	plotW = 56
+	plotH = 16
+)
+
+func (s *scatter) render(w io.Writer) {
+	if s.yLo >= 1 {
+		s.yLo = 0
+	}
+	grid := make([][]byte, plotH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotW))
+	}
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for _, p := range s.pts {
+		x := clamp(p.x, 0, 1)
+		y := clamp(p.y, s.yLo, 1)
+		col := int(x * float64(plotW-1))
+		row := plotH - 1 - int((y-s.yLo)/(1-s.yLo)*float64(plotH-1))
+		if grid[row][col] == ' ' || p.mark == '*' {
+			grid[row][col] = p.mark
+		}
+	}
+	fmt.Fprintf(w, "  %s\n", s.title)
+	for i, row := range grid {
+		yv := s.yLo + (1-s.yLo)*float64(plotH-1-i)/float64(plotH-1)
+		fmt.Fprintf(w, "  %6.0f%% |%s|\n", 100*yv, string(row))
+	}
+	fmt.Fprintf(w, "          +%s+\n", strings.Repeat("-", plotW))
+	fmt.Fprintf(w, "           0%%%s100%%  (%s vs %s)\n",
+		strings.Repeat(" ", plotW-8), s.ylab, s.xlab)
+}

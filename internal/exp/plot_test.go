@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterRender(t *testing.T) {
+	sp := &scatter{title: "demo", xlab: "x", ylab: "y"}
+	sp.add(0, 0, 'o')
+	sp.add(1, 1, 'o')
+	sp.add(0.5, 0.5, '*')
+	sp.add(2, -3, 'o') // out of range: clamped, not panicking
+	var buf bytes.Buffer
+	sp.render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Errorf("render output missing marks:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < plotH {
+		t.Errorf("plot too short: %d lines", lines)
+	}
+}
+
+func TestScatterNegativeAxis(t *testing.T) {
+	sp := &scatter{title: "neg", xlab: "x", ylab: "y", yLo: -1}
+	sp.add(0.5, -0.5, 'o')
+	var buf bytes.Buffer
+	sp.render(&buf)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("negative axis labels missing")
+	}
+}

@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+func init() {
+	register("fig1", "accuracy vs scope for AMPM, BOP and SMS with global averages (Fig. 1)", fig1)
+	register("fig10", "effective accuracy vs scope, per app per prefetcher, with regression (Fig. 10)", fig10)
+	register("fig12", "eff. accuracy & coverage vs scope at L1/L2; TPC built up component by component (Fig. 12)", fig12)
+	register("fig13", "LHF/MHF/HHF stratified effective accuracy and scope (Fig. 13)", fig13)
+}
+
+// pickNamed resolves registry names, panicking on typos (programming error).
+func pickNamed(names ...string) []sim.Named {
+	out := make([]sim.Named, 0, len(names))
+	for _, n := range names {
+		p, ok := sim.ByName(n)
+		if !ok {
+			panic("exp: unknown prefetcher " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func fig1(w io.Writer, o Options) error {
+	pfs := pickNamed("ampm", "bop", "sms")
+	runs := runMatrix(workloads.SPEC(), pfs, o, true)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tbenchmark\tscope\teff.accuracy")
+	for _, p := range pfs {
+		// Global average over one large window strung from the individual
+		// applications: aggregate the raw counts.
+		var covered, total uint64
+		var avoided int64
+		var issued uint64
+		for _, r := range runs {
+			pr := r.pair(p.Name)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Name, r.W.Name, pct(pr.Scope()), pct(pr.EffAccuracyL1()))
+			for line, wgt := range r.Base.MissL1Lines {
+				total += uint64(wgt)
+				if _, ok := pr.PF.Attempted[line]; ok {
+					covered += uint64(wgt)
+				}
+			}
+			avoided += int64(r.Base.L1Misses) - int64(pr.PF.L1Misses)
+			issued += pr.PF.Issued
+		}
+		gScope, gAcc := 0.0, 0.0
+		if total > 0 {
+			gScope = float64(covered) / float64(total)
+		}
+		if issued > 0 {
+			gAcc = float64(avoided) / float64(issued)
+		}
+		fmt.Fprintf(tw, "%s\tGLOBAL\t%s\t%s\n", p.Name, pct(gScope), pct(gAcc))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// The paper's panels are scatter plots; draw them.
+	for _, p := range pfs {
+		sp := &scatter{title: p.Name + " (o = app, * = global average)", xlab: "scope", ylab: "accuracy"}
+		var covered, total uint64
+		var avoided int64
+		var issued uint64
+		for _, r := range runs {
+			pr := r.pair(p.Name)
+			sp.add(pr.Scope(), pr.EffAccuracyL1(), 'o')
+			for line, wgt := range r.Base.MissL1Lines {
+				total += uint64(wgt)
+				if _, ok := pr.PF.Attempted[line]; ok {
+					covered += uint64(wgt)
+				}
+			}
+			avoided += int64(r.Base.L1Misses) - int64(pr.PF.L1Misses)
+			issued += pr.PF.Issued
+		}
+		if total > 0 && issued > 0 {
+			sp.add(float64(covered)/float64(total), float64(avoided)/float64(issued), '*')
+		}
+		sp.render(w)
+	}
+	return nil
+}
+
+func fig10(w io.Writer, o Options) error {
+	pfs := evaluatedSet()
+	runs := runMatrix(workloads.SPEC(), pfs, o, true)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tbenchmark\tscope\teff.accuracy\tprefetches")
+	type summary struct{ scope, acc float64 }
+	sums := make([]summary, 0, len(pfs))
+	for _, p := range pfs {
+		var scopes, accs, weights []float64
+		for _, r := range runs {
+			pr := r.pair(p.Name)
+			sc, ac := pr.Scope(), pr.EffAccuracyL1()
+			wgt := float64(pr.PF.Issued)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n", p.Name, r.W.Name, pct(sc), pct(ac), pr.PF.Issued)
+			scopes, accs, weights = append(scopes, sc), append(accs, ac), append(weights, wgt)
+		}
+		ws := stats.WeightedMean(scopes, weights)
+		wa := stats.WeightedMean(accs, weights)
+		fmt.Fprintf(tw, "%s\tAVERAGE\t%s\t%s\t\n", p.Name, pct(ws), pct(wa))
+		sums = append(sums, summary{ws, wa})
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	xs := make([]float64, len(sums))
+	ys := make([]float64, len(sums))
+	for i, s := range sums {
+		xs[i], ys[i] = s.scope, s.acc
+	}
+	a, b := stats.Linreg(xs, ys)
+	fmt.Fprintf(w, "scope->accuracy regression over prefetcher averages: acc = %.3f %+.3f*scope\n", a, b)
+	// One scatter panel per prefetcher, as in the paper's figure.
+	for i, p := range pfs {
+		sp := &scatter{title: p.Name + " (o = app, * = weighted average)", xlab: "scope", ylab: "eff. accuracy", yLo: -0.2}
+		for _, r := range runs {
+			pr := r.pair(p.Name)
+			sp.add(pr.Scope(), pr.EffAccuracyL1(), 'o')
+		}
+		sp.add(sums[i].scope, sums[i].acc, '*')
+		sp.render(w)
+	}
+	return nil
+}
+
+func fig12(w io.Writer, o Options) error {
+	pfs := append(evaluatedSet(), pickNamed("t2", "t2+p1")...)
+	runs := runMatrix(workloads.SPEC(), pfs, o, true)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tscope\taccL1\tcovL1\taccL2\tcovL2")
+	order := []string{"ghb-pc/dc", "fdp", "vldp", "spp", "bop", "ampm", "sms", "t2", "t2+p1", "tpc"}
+	for _, name := range order {
+		var scopes, a1, c1, a2, c2, wgt []float64
+		for _, r := range runs {
+			pr := r.pair(name)
+			scopes = append(scopes, pr.Scope())
+			a1 = append(a1, pr.EffAccuracyL1())
+			c1 = append(c1, pr.CoverageL1())
+			a2 = append(a2, pr.EffAccuracyL2())
+			c2 = append(c2, pr.CoverageL2())
+			wgt = append(wgt, float64(r.Base.L1Misses))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", name,
+			pct(stats.WeightedMean(scopes, wgt)),
+			pct(stats.WeightedMean(a1, wgt)),
+			pct(stats.WeightedMean(c1, wgt)),
+			pct(stats.WeightedMean(a2, wgt)),
+			pct(stats.WeightedMean(c2, wgt)))
+	}
+	return tw.Flush()
+}
+
+func fig13(w io.Writer, o Options) error {
+	pfs := append(evaluatedSet(), pickNamed("t2", "t2+p1")...)
+	runs := runMatrix(workloads.SPEC(), pfs, o, true)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tcategory\tscope\teff.accuracy\tprefetch share")
+	for _, p := range pfs {
+		var totPrefetch uint64
+		catScope := make([][]float64, workloads.NumCategories)
+		catAcc := make([][]float64, workloads.NumCategories)
+		catWgt := make([][]float64, workloads.NumCategories)
+		catCnt := make([]uint64, workloads.NumCategories)
+		for _, r := range runs {
+			pr := r.pair(p.Name)
+			byCat := pr.ByCategory(r.Classify)
+			for c := 0; c < workloads.NumCategories; c++ {
+				cs := byCat[c]
+				if cs.Prefetches == 0 && cs.Scope == 0 {
+					continue
+				}
+				catScope[c] = append(catScope[c], cs.Scope)
+				catAcc[c] = append(catAcc[c], cs.EffAccuracy)
+				catWgt[c] = append(catWgt[c], float64(cs.Prefetches)+1)
+				catCnt[c] += cs.Prefetches
+				totPrefetch += cs.Prefetches
+			}
+		}
+		for c := 0; c < workloads.NumCategories; c++ {
+			share := 0.0
+			if totPrefetch > 0 {
+				share = float64(catCnt[c]) / float64(totPrefetch)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", p.Name, workloads.Category(c),
+				pct(stats.WeightedMean(catScope[c], catWgt[c])),
+				pct(stats.WeightedMean(catAcc[c], catWgt[c])),
+				pct(share))
+		}
+	}
+	return tw.Flush()
+}

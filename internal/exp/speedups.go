@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"divlab/internal/dram"
+	"divlab/internal/sim"
+	"divlab/internal/stats"
+	"divlab/internal/workloads"
+)
+
+func init() {
+	register("table1", "processor configuration (Table I)", table1)
+	register("fig8", "per-benchmark speedup of every prefetcher over no-prefetch, SPEC-like suite (Fig. 8)", fig8)
+	register("fig9", "normalized memory traffic (Fig. 9)", fig9)
+	register("fig11", "speedups by benchmark suite incl. 4-core mixes (Fig. 11)", fig11)
+	register("droppolicy", "memory-controller drop policy: random vs low-priority prefetch drop, 4-core (Sec. V-C1)", dropPolicy)
+}
+
+func table1(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Core:  1-4 cores, OoO (analytical), 4-wide, 192 ROB, 15-cycle branch miss penalty")
+	fmt.Fprintln(w, "L1D:   64KB 4-way, 64B lines, 3 cycles, 32 MSHRs, LRU")
+	fmt.Fprintln(w, "L2:    256KB 8-way, 9 cycles, 32 MSHRs, LRU (private)")
+	fmt.Fprintln(w, "L3:    2MB/core 16-way, 36 cycles, LRU (shared)")
+	fmt.Fprintln(w, "DRAM:  DDR3-1600, 2 channels, 2 ranks/channel, 8 banks/rank,")
+	fmt.Fprintln(w, "       tRCD=tRP=CAS=13.75ns, tRAS=35ns, 8KB rows, 64B burst @12.8GB/s/channel")
+	return nil
+}
+
+// evaluatedSet is the Fig. 8 lineup: seven monolithic prefetchers plus TPC.
+func evaluatedSet() []sim.Named { return sim.AllEvaluated() }
+
+func fig8(w io.Writer, o Options) error {
+	pfs := evaluatedSet()
+	runs := runMatrix(workloads.SPEC(), pfs, o, false)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark")
+	for _, p := range pfs {
+		fmt.Fprintf(tw, "\t%s", p.Name)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range runs {
+		fmt.Fprintf(tw, "%s", r.W.Name)
+		for _, p := range pfs {
+			fmt.Fprintf(tw, "\t%.3f", r.pair(p.Name).Speedup())
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "geomean")
+	best, bestName := 0.0, ""
+	for _, p := range pfs {
+		g := geomeanOver(runs, func(r *appRun) float64 { return r.pair(p.Name).Speedup() })
+		if g > best {
+			best, bestName = g, p.Name
+		}
+		fmt.Fprintf(tw, "\t%.3f", g)
+	}
+	fmt.Fprintln(tw)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Count per-benchmark winners, the paper's "best in 11 of 21" claim.
+	tpcWins := 0
+	for _, r := range runs {
+		bestApp, bestSp := "", 0.0
+		for _, p := range pfs {
+			if sp := r.pair(p.Name).Speedup(); sp > bestSp {
+				bestSp, bestApp = sp, p.Name
+			}
+		}
+		if bestApp == "tpc" {
+			tpcWins++
+		}
+	}
+	fmt.Fprintf(w, "best geomean: %s (%.3f); tpc is the best prefetcher on %d of %d benchmarks\n",
+		bestName, best, tpcWins, len(runs))
+	return nil
+}
+
+func fig9(w io.Writer, o Options) error {
+	pfs := evaluatedSet()
+	runs := runMatrix(workloads.SPEC(), pfs, o, false)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tgeomean traffic\tmin\tmax")
+	for _, p := range pfs {
+		xs := make([]float64, 0, len(runs))
+		for _, r := range runs {
+			xs = append(xs, r.pair(p.Name).TrafficNorm())
+		}
+		lo, hi := stats.MinMax(xs)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", p.Name, stats.Geomean(xs), lo, hi)
+	}
+	return tw.Flush()
+}
+
+// runSuite runs one suite's single-core geomean per prefetcher.
+func runSuiteGeomeans(apps []workloads.Workload, pfs []sim.Named, o Options) map[string]float64 {
+	runs := runMatrix(apps, pfs, o, false)
+	out := make(map[string]float64, len(pfs))
+	for _, p := range pfs {
+		out[p.Name] = geomeanOver(runs, func(r *appRun) float64 { return r.pair(p.Name).Speedup() })
+	}
+	return out
+}
+
+// runMixes returns, per prefetcher, the geomean over mixes of the mean
+// per-core relative IPC (weighted-speedup analogue against the shared
+// no-prefetch baseline).
+func runMixes(pfs []sim.Named, o Options) map[string]float64 {
+	mixes := workloads.Mixes(o.MixCount, o.Seed+77)
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Cores = 4
+	cfg.Seed = o.Seed
+	perPF := make(map[string][]float64)
+	for _, mix := range mixes {
+		base := sim.RunMulti(mix, nil, cfg)
+		for _, p := range pfs {
+			rs := sim.RunMulti(mix, p.Factory, cfg)
+			ws := 0.0
+			for i := range rs {
+				if b := base[i].IPC(); b > 0 {
+					ws += rs[i].IPC() / b
+				}
+			}
+			perPF[p.Name] = append(perPF[p.Name], ws/float64(len(rs)))
+		}
+	}
+	out := make(map[string]float64, len(pfs))
+	for _, p := range pfs {
+		out[p.Name] = stats.Geomean(perPF[p.Name])
+	}
+	return out
+}
+
+func fig11(w io.Writer, o Options) error {
+	pfs := evaluatedSet()
+	suites := []struct {
+		name string
+		apps []workloads.Workload
+	}{
+		{"spec", workloads.SPEC()},
+		{"crono", workloads.CRONO()},
+		{"starbench", workloads.STARBENCH()},
+		{"npb", workloads.NPB()},
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "suite")
+	for _, p := range pfs {
+		fmt.Fprintf(tw, "\t%s", p.Name)
+	}
+	fmt.Fprintln(tw)
+
+	all := make(map[string][]float64)
+	for _, s := range suites {
+		g := runSuiteGeomeans(s.apps, pfs, o)
+		fmt.Fprintf(tw, "%s", s.name)
+		for _, p := range pfs {
+			fmt.Fprintf(tw, "\t%.3f", g[p.Name])
+			all[p.Name] = append(all[p.Name], g[p.Name])
+		}
+		fmt.Fprintln(tw)
+	}
+	gm := runMixes(pfs, o)
+	fmt.Fprintf(tw, "mixes(4-core)")
+	for _, p := range pfs {
+		fmt.Fprintf(tw, "\t%.3f", gm[p.Name])
+		all[p.Name] = append(all[p.Name], gm[p.Name])
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "overall")
+	for _, p := range pfs {
+		fmt.Fprintf(tw, "\t%.3f", stats.Geomean(all[p.Name]))
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+func dropPolicy(w io.Writer, o Options) error {
+	tpcN := sim.TPCFull()
+	mixes := workloads.Mixes(o.MixCount, o.Seed+77)
+	var rnd, lowpri []float64
+	for _, mix := range mixes {
+		cfg := sim.DefaultConfig(o.Insts)
+		cfg.Cores = 4
+		cfg.Seed = o.Seed
+
+		cfg.DropPolicy = dram.DropRandomPrefetch
+		base := sim.RunMulti(mix, nil, cfg)
+		r1 := sim.RunMulti(mix, tpcN.Factory, cfg)
+		cfg.DropPolicy = dram.DropLowPriorityPrefetch
+		r2 := sim.RunMulti(mix, tpcN.Factory, cfg)
+
+		ws := func(rs []*sim.Result) float64 {
+			s := 0.0
+			for i := range rs {
+				if b := base[i].IPC(); b > 0 {
+					s += rs[i].IPC() / b
+				}
+			}
+			return s / float64(len(rs))
+		}
+		rnd = append(rnd, ws(r1))
+		lowpri = append(lowpri, ws(r2))
+	}
+	gr, gl := stats.Geomean(rnd), stats.Geomean(lowpri)
+	fmt.Fprintf(w, "tpc weighted speedup, random prefetch drop:       %.3f\n", gr)
+	fmt.Fprintf(w, "tpc weighted speedup, low-priority (C1) drop:     %.3f\n", gl)
+	if gr > 0 {
+		fmt.Fprintf(w, "gain from priority-aware dropping:                %+.1f%%\n", 100*(gl/gr-1))
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+func init() {
+	register("table2", "storage cost of evaluated prefetchers (Table II)", table2)
+}
+
+// paperKB records Table II's budgets for side-by-side comparison.
+var paperKB = map[string]float64{
+	"ghb-pc/dc": 4, "spp": 5, "vldp": 3.25, "bop": 4, "fdp": 2.5,
+	"sms": 12, "ampm": 4, "t2": 2.3, "t2+p1": 3.37, "tpc": 4.57,
+}
+
+func table2(w io.Writer, o Options) error {
+	// Instantiate each configuration against a dummy workload so composite
+	// designs can size their components.
+	dummy := workloads.SPEC()[0].New(o.Seed)
+	names := []string{"ghb-pc/dc", "fdp", "vldp", "spp", "bop", "ampm", "sms", "t2", "t2+p1", "tpc"}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tthis repo (KB)\tpaper Table II (KB)")
+	for _, n := range names {
+		p, ok := sim.ByName(n)
+		if !ok {
+			return fmt.Errorf("table2: unknown prefetcher %s", n)
+		}
+		bits := p.Factory(dummy).StorageBits()
+		paper := "-"
+		if v, ok := paperKB[n]; ok {
+			paper = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\n", n, float64(bits)/8192, paper)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,466 @@
+// Package mem assembles the cache hierarchy of Table I — private L1D and L2,
+// a shared L3, and the DRAM controller — and provides the two operations the
+// rest of the simulator needs: timed demand accesses and timed prefetch
+// insertion at a chosen destination level. It also keeps the running AMAT
+// estimate T2 uses to set its prefetch distance.
+package mem
+
+import (
+	"divlab/internal/cache"
+	"divlab/internal/dram"
+)
+
+// Level names a destination/observation point in the hierarchy.
+type Level uint8
+
+const (
+	// L1 is the private first-level data cache.
+	L1 Level = iota
+	// L2 is the private second-level cache.
+	L2
+	// L3 is the shared last-level cache.
+	L3
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	}
+	return "?"
+}
+
+// Config collects the per-core cache parameters (Table I defaults via
+// DefaultConfig).
+type Config struct {
+	L1D cache.Config
+	L2  cache.Config
+	L3  cache.Config // geometry of the shared L3 (per System)
+}
+
+// DefaultConfig returns the Table I hierarchy for `cores` cores: 64 KB 4-way
+// L1D (3-cycle), 256 KB 8-way L2 (9-cycle), 2 MB/core 16-way shared L3
+// (36-cycle), all with 32 MSHRs and 64 B lines.
+func DefaultConfig(cores int) Config {
+	return Config{
+		L1D: cache.Config{Name: "L1D", SizeBytes: 64 << 10, Ways: 4, LatCycles: 3, MSHRs: 32},
+		L2:  cache.Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LatCycles: 9, MSHRs: 32},
+		L3:  cache.Config{Name: "L3", SizeBytes: cores * (2 << 20), Ways: 16, LatCycles: 36, MSHRs: 64},
+	}
+}
+
+// System is the shared portion of the memory system: one L3 and one DRAM
+// controller, referenced by every core's Hierarchy.
+type System struct {
+	L3  *cache.Cache
+	Mem *dram.Controller
+}
+
+// NewSystem builds the shared L3 + DRAM for the given config and drop policy.
+func NewSystem(cfg Config, policy dram.DropPolicy, seed uint64) *System {
+	return &System{
+		L3:  cache.New(cfg.L3),
+		Mem: dram.NewController(dram.DDR3Default(), policy, seed),
+	}
+}
+
+// Reset clears shared state.
+func (s *System) Reset() {
+	s.L3.Reset()
+	s.Mem.Reset()
+}
+
+// Event describes one demand access as observed at the L1D, the training
+// stream every prefetcher consumes.
+type Event struct {
+	PC       uint64
+	Addr     uint64
+	LineAddr uint64
+	Cycle    uint64
+	Latency  uint64
+	Store    bool
+	// MemLat is the hierarchy's running estimate of the time to fetch a
+	// line from below the L1 (EWMA over demand-miss and prefetch fetches).
+	// Prefetchers use it to set distances; a demand-observed wait would
+	// underestimate how far ahead a fetch must start.
+	MemLat uint64
+	// HitL1 is true when the access hit in L1D (including late-prefetch
+	// hits that had to wait).
+	HitL1 bool
+	// MissL1 is a primary L1D miss (no pending fetch to the line).
+	MissL1 bool
+	// Secondary is an L1D miss that merged with an in-flight fetch;
+	// excluded from footprint accounting per the paper.
+	Secondary bool
+	// MissL2 is a primary L2 miss on this access's path.
+	MissL2 bool
+	// PrefetchHitL1/L2 report that the access was served by a line a
+	// prefetcher installed (first demand use), with the owning component.
+	PrefetchHitL1 bool
+	PrefetchHitL2 bool
+	OwnerL1       int
+	OwnerL2       int
+}
+
+// Stats accumulates hierarchy-level counters beyond the per-cache ones.
+type Stats struct {
+	DemandAccesses     uint64
+	PrefetchesIssued   uint64 // post-filter: actually caused a fetch
+	PrefetchesFiltered uint64
+	Writebacks         uint64
+}
+
+// Hierarchy is one core's private caches plus a reference to the shared
+// system. Not safe for concurrent use.
+type Hierarchy struct {
+	L1D *cache.Cache
+	L2  *cache.Cache
+	sys *System
+
+	Stats Stats
+
+	// amat is an exponentially weighted average of demand-load latency,
+	// in 1/64ths of a cycle for fixed-point stability.
+	amat uint64
+	// memLat is an EWMA (1/64ths) of the fetch latency below L1, updated by
+	// demand misses and prefetch fetches alike.
+	memLat uint64
+	// now is a monotone clock (max demand timestamp seen). Prefetch
+	// timestamps come from the dispatch stage, which the analytical core
+	// stamps up to a ROB window earlier than execution; clamping prefetches
+	// to this clock keeps MSHR occupancy and DRAM backlog checks coherent.
+	now uint64
+}
+
+// NewHierarchy builds one core's private caches over the shared system.
+func NewHierarchy(cfg Config, sys *System) *Hierarchy {
+	return &Hierarchy{
+		L1D:    cache.New(cfg.L1D),
+		L2:     cache.New(cfg.L2),
+		sys:    sys,
+		amat:   uint64(cfg.L1D.LatCycles) << 6,
+		memLat: 200 << 6, // optimistic-high until the first real fetch
+	}
+}
+
+// System returns the shared L3/DRAM this hierarchy is attached to.
+func (h *Hierarchy) System() *System { return h.sys }
+
+// AMAT returns the running average memory access time in cycles.
+func (h *Hierarchy) AMAT() uint64 { return h.amat >> 6 }
+
+// MemLat returns the running fetch-latency estimate in cycles.
+func (h *Hierarchy) MemLat() uint64 { return h.memLat >> 6 }
+
+func (h *Hierarchy) updateMemLat(lat uint64) {
+	h.memLat += (lat << 6) / 32
+	h.memLat -= h.memLat / 32
+}
+
+func (h *Hierarchy) updateAMAT(lat uint64) {
+	// amat += (lat - amat) / 32, in fixed point.
+	h.amat += (lat << 6) / 32
+	h.amat -= h.amat / 32
+}
+
+// Reset clears private-cache state and stats (not the shared system).
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.Stats = Stats{}
+	h.amat = uint64(h.L1D.Config().LatCycles) << 6
+	h.memLat = 200 << 6
+	h.now = 0
+}
+
+// writeback sends a dirty eviction to the next level down.
+func (h *Hierarchy) writeback(from Level, ev cache.Eviction, at uint64) {
+	if !ev.Valid || !ev.Dirty {
+		return
+	}
+	h.Stats.Writebacks++
+	switch from {
+	case L1:
+		if h.L2.Contains(ev.LineAddr) {
+			h.L2.MarkDirty(ev.LineAddr)
+			return
+		}
+		// Non-inclusive victim fill into L2.
+		ev2 := h.L2.Fill(ev.LineAddr, at, false, cache.NoOwner)
+		h.L2.MarkDirty(ev.LineAddr)
+		h.writeback(L2, ev2, at)
+	case L2:
+		if h.sys.L3.Contains(ev.LineAddr) {
+			h.sys.L3.MarkDirty(ev.LineAddr)
+			return
+		}
+		ev3 := h.sys.L3.Fill(ev.LineAddr, at, false, cache.NoOwner)
+		h.sys.L3.MarkDirty(ev.LineAddr)
+		h.writeback(L3, ev3, at)
+	case L3:
+		h.sys.Mem.Access(dram.Request{LineAddr: ev.LineAddr, Write: true}, at)
+	}
+}
+
+// admit gates a miss on MSHR availability BEFORE it descends: the request
+// waits until a register frees and returns the admission time. Gating at
+// admission (rather than charging a stall after the fact) is what bounds a
+// core's outstanding misses to its MSHR count, as in hardware.
+func admit(m *cache.MSHR, at uint64) uint64 {
+	t := m.NextFree(at)
+	if t > at {
+		m.FullStalls++
+	}
+	return t
+}
+
+// Access performs a demand access at cycle `at` and returns its latency and
+// the L1D-view event for prefetcher training and metrics.
+func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Event) {
+	h.Stats.DemandAccesses++
+	if at > h.now {
+		h.now = at
+	}
+	lineAddr := lineAddrOf(addr)
+	ev := Event{PC: pc, Addr: addr, LineAddr: lineAddr, Cycle: at, Store: store, OwnerL1: cache.NoOwner, OwnerL2: cache.NoOwner, MemLat: h.memLat >> 6}
+
+	l1lat := h.L1D.Config().LatCycles
+
+	if r := h.L1D.Lookup(lineAddr, at); r.Hit {
+		ev.HitL1 = true
+		ev.Latency = l1lat + r.ExtraWait
+		if r.WasPrefetched {
+			ev.PrefetchHitL1 = true
+			ev.OwnerL1 = r.Owner
+		}
+		if store {
+			h.L1D.MarkDirty(lineAddr)
+		}
+		h.updateAMAT(ev.Latency)
+		return ev.Latency, ev
+	}
+
+	// L1 miss: merge with a pending fetch if one exists.
+	if readyAt, ok := h.L1D.MSHR().Pending(lineAddr, at); ok {
+		ev.Secondary = true
+		ev.Latency = (readyAt - at) + l1lat
+		h.updateAMAT(ev.Latency)
+		// The line will be filled by the primary miss; just account.
+		return ev.Latency, ev
+	}
+	ev.MissL1 = true
+
+	adm := admit(h.L1D.MSHR(), at)
+	below := h.lookupL2(lineAddr, adm+l1lat, &ev)
+	readyAt := adm + l1lat + below
+	h.L1D.MSHR().Allocate(lineAddr, adm, readyAt, false)
+	lat := readyAt - at
+	h.updateMemLat(lat)
+	ev.MemLat = h.memLat >> 6
+
+	evict := h.L1D.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	h.writeback(L1, evict, readyAt)
+	if store {
+		h.L1D.MarkDirty(lineAddr)
+	}
+	ev.Latency = lat
+	h.updateAMAT(lat)
+	return lat, ev
+}
+
+// lookupL2 resolves a miss below L1 and returns the latency from L2 access
+// start to data return, filling L2 (and below) as needed.
+func (h *Hierarchy) lookupL2(lineAddr, at uint64, ev *Event) uint64 {
+	l2lat := h.L2.Config().LatCycles
+	if r := h.L2.Lookup(lineAddr, at); r.Hit {
+		if r.WasPrefetched {
+			ev.PrefetchHitL2 = true
+			ev.OwnerL2 = r.Owner
+		}
+		return l2lat + r.ExtraWait
+	}
+	if readyAt, ok := h.L2.MSHR().Pending(lineAddr, at); ok {
+		return (readyAt - at) + l2lat
+	}
+	ev.MissL2 = true
+
+	adm := admit(h.L2.MSHR(), at)
+	below := h.lookupL3(lineAddr, adm+l2lat, false, 0)
+	readyAt := adm + l2lat + below
+	h.L2.MSHR().Allocate(lineAddr, adm, readyAt, false)
+	evict := h.L2.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	h.writeback(L2, evict, readyAt)
+	return readyAt - at
+}
+
+// lookupL3 resolves a miss below L2; prefetch marks droppable DRAM requests.
+func (h *Hierarchy) lookupL3(lineAddr, at uint64, prefetch bool, priority int) uint64 {
+	l3 := h.sys.L3
+	l3lat := l3.Config().LatCycles
+	if r := l3.Lookup(lineAddr, at); r.Hit {
+		return l3lat + r.ExtraWait
+	}
+	if readyAt, ok := l3.MSHR().Pending(lineAddr, at); ok {
+		return (readyAt - at) + l3lat
+	}
+	var adm uint64
+	if prefetch {
+		// Prefetches never wait for an MSHR; they are shed instead.
+		if l3.MSHR().Full(h.nowOrLater(at)) {
+			return dropLatSentinel
+		}
+		adm = at
+	} else {
+		adm = admit(l3.MSHR(), at)
+	}
+	dlat, dropped := h.sys.Mem.Access(dram.Request{LineAddr: lineAddr, Prefetch: prefetch, Priority: priority}, adm+l3lat)
+	if dropped {
+		// Only prefetches are droppable; signal with a sentinel the caller
+		// understands (Prefetch checks dropped separately).
+		return dropLatSentinel
+	}
+	readyAt := adm + l3lat + dlat
+	l3.MSHR().Allocate(lineAddr, adm, readyAt, prefetch)
+	evict := l3.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	h.writeback(L3, evict, readyAt)
+	return readyAt - at
+}
+
+const dropLatSentinel = ^uint64(0)
+
+// Prefetch attempts to bring lineAddr into dest at cycle `at` on behalf of
+// component `owner`. It returns whether a fetch was actually generated
+// (redundant and dropped prefetches return false).
+// nowOrLater views a timestamp through the monotone clock for occupancy
+// decisions (a stale dispatch-time stamp would read phantom MSHR busyness);
+// fetch *timing* keeps the caller's own timestamp so prefetch completions
+// are not artificially pushed past what an equivalent demand fetch would see.
+func (h *Hierarchy) nowOrLater(at uint64) uint64 {
+	if h.now > at {
+		return h.now
+	}
+	return at
+}
+
+func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, at uint64) bool {
+	// Redundancy filter: already resident at (or above) the destination,
+	// or already being fetched.
+	// A redundant prefetch still signals expected reuse: refresh LRU state
+	// at the level that already holds the line.
+	switch dest {
+	case L1:
+		if h.L1D.Contains(lineAddr) {
+			h.L1D.Touch(lineAddr)
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+		if _, ok := h.L1D.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+	case L2:
+		if h.L1D.Contains(lineAddr) || h.L2.Contains(lineAddr) {
+			h.L1D.Touch(lineAddr)
+			h.L2.Touch(lineAddr)
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+		if _, ok := h.L2.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+	case L3:
+		if h.sys.L3.Contains(lineAddr) {
+			h.sys.L3.Touch(lineAddr)
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+		if _, ok := h.sys.L3.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
+			h.Stats.PrefetchesFiltered++
+			return false
+		}
+	}
+
+	// Resolve from the nearest level that has the line, else DRAM.
+	switch dest {
+	case L1:
+		// L1-destined prefetches land through a dedicated fill buffer and
+		// do not compete with demand misses for L1 MSHRs; their concurrency
+		// is bounded below by the L2/L3 MSHRs and the DRAM queue.
+		below := h.prefetchIntoL2Path(lineAddr, at, owner, priority)
+		if below == dropLatSentinel {
+			return false
+		}
+		readyAt := at + h.L1D.Config().LatCycles + below
+		h.updateMemLat(readyAt - at)
+		evict := h.L1D.Fill(lineAddr, readyAt, true, owner)
+		h.writeback(L1, evict, readyAt)
+	case L2:
+		l := h.prefetchL2(lineAddr, at, owner, priority)
+		if l == dropLatSentinel {
+			return false
+		}
+		h.updateMemLat(l)
+	case L3:
+		l := h.lookupL3(lineAddr, at, true, priority)
+		if l == dropLatSentinel {
+			return false
+		}
+	}
+	h.Stats.PrefetchesIssued++
+	return true
+}
+
+// prefetchIntoL2Path resolves the below-L1 portion of an L1-destined
+// prefetch, filling L2/L3 along the way, and returns the added latency.
+func (h *Hierarchy) prefetchIntoL2Path(lineAddr, at uint64, owner, priority int) uint64 {
+	l2lat := h.L2.Config().LatCycles
+	if h.L2.Contains(lineAddr) {
+		h.L2.Touch(lineAddr)
+		return l2lat
+	}
+	if readyAt, ok := h.L2.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
+		if readyAt <= at {
+			return l2lat
+		}
+		return (readyAt - at) + l2lat
+	}
+	if h.L2.MSHR().Full(h.nowOrLater(at)) {
+		return dropLatSentinel
+	}
+	below := h.lookupL3(lineAddr, at+l2lat, true, priority)
+	if below == dropLatSentinel {
+		return dropLatSentinel
+	}
+	readyAt := at + l2lat + below
+	h.L2.MSHR().Allocate(lineAddr, at, readyAt, true)
+	evict := h.L2.Fill(lineAddr, readyAt, true, owner)
+	h.writeback(L2, evict, readyAt)
+	return readyAt - at
+}
+
+// prefetchL2 resolves an L2-destined prefetch.
+func (h *Hierarchy) prefetchL2(lineAddr, at uint64, owner, priority int) uint64 {
+	l2lat := h.L2.Config().LatCycles
+	if h.L2.MSHR().Full(h.nowOrLater(at)) {
+		return dropLatSentinel
+	}
+	below := h.lookupL3(lineAddr, at+l2lat, true, priority)
+	if below == dropLatSentinel {
+		return dropLatSentinel
+	}
+	readyAt := at + l2lat + below
+	h.L2.MSHR().Allocate(lineAddr, at, readyAt, true)
+	evict := h.L2.Fill(lineAddr, readyAt, true, owner)
+	h.writeback(L2, evict, readyAt)
+	return readyAt - at
+}
+
+// lineAddrOf avoids an import cycle with internal/trace for this one
+// helper; line size is fixed hierarchy-wide.
+func lineAddrOf(addr uint64) uint64 { return addr &^ uint64(cache.LineBytes-1) }

@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"divlab/internal/cache"
+	"divlab/internal/dram"
+)
+
+// refModel is an independent, obviously-correct functional model of the
+// demand path: three LRU tag arrays with the same geometry as the real
+// hierarchy, no timing. The property: for any demand access sequence, the
+// real hierarchy and the reference model agree on hit/miss at every level.
+type refModel struct {
+	l1, l2, l3 *cache.Shadow
+}
+
+func newRefModel(cfg Config) *refModel {
+	return &refModel{
+		l1: cache.NewShadow(cfg.L1D),
+		l2: cache.NewShadow(cfg.L2),
+		l3: cache.NewShadow(cfg.L3),
+	}
+}
+
+// access returns (hitL1, hitL2) for the demand path with fill-on-miss at
+// every level.
+func (m *refModel) access(lineAddr uint64) (bool, bool) {
+	if m.l1.Access(lineAddr) {
+		return true, false
+	}
+	if m.l2.Access(lineAddr) {
+		return false, true
+	}
+	m.l3.Access(lineAddr)
+	return false, false
+}
+
+// TestHierarchyMatchesReferenceModel: without prefetching and without
+// writebacks in play, primary hit/miss decisions of the timed hierarchy
+// must match the untimed reference exactly. (Loads only: stores introduce
+// dirty-victim fills into lower levels that the three independent tag
+// arrays deliberately do not model.)
+func TestHierarchyMatchesReferenceModel(t *testing.T) {
+	cfg := DefaultConfig(1)
+	f := func(seq []uint16) bool {
+		sys := NewSystem(cfg, dram.DropNone, 1)
+		h := NewHierarchy(cfg, sys)
+		ref := newRefModel(cfg)
+		at := uint64(0)
+		for _, raw := range seq {
+			lineAddr := uint64(raw) * 64
+			_, ev := h.Access(0x400, lineAddr, at, false)
+			wantL1, wantL2 := ref.access(lineAddr)
+			gotL1 := ev.HitL1
+			gotL2 := !ev.HitL1 && !ev.MissL2
+			if gotL1 != wantL1 || (!wantL1 && gotL2 != wantL2) {
+				t.Logf("line %#x: got L1=%v L2hit=%v, want L1=%v L2hit=%v",
+					lineAddr, gotL1, gotL2, wantL1, wantL2)
+				return false
+			}
+			at += 1000 // let every fill settle before the next access
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyInclusionOnDemandPath: after a demand miss fill, the line is
+// present at every level (the fill path installs downward).
+func TestHierarchyInclusionOnDemandPath(t *testing.T) {
+	cfg := DefaultConfig(1)
+	sys := NewSystem(cfg, dram.DropNone, 1)
+	h := NewHierarchy(cfg, sys)
+	h.Access(0x400, 0x12345000, 0, false)
+	if !h.L1D.Contains(0x12345000) || !h.L2.Contains(0x12345000) || !sys.L3.Contains(0x12345000) {
+		t.Error("demand fill must install at every level")
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics computes the paper's evaluation quantities from paired
+// simulation runs (no-prefetch baseline vs prefetcher under test):
+//
+//   - scope S(P): the weighted fraction of the baseline miss footprint the
+//     prefetcher *attempted* to cover (Sec. III),
+//   - effective accuracy: misses avoided per prefetch issued — negative when
+//     pollution adds more misses than the prefetcher removes,
+//   - effective coverage: the fractional reduction in misses,
+//   - the LHF/MHF/HHF stratified versions of all three (Fig. 13), and
+//   - region-restricted versions over "what TPC does not cover" (Fig. 14).
+package metrics
+
+import (
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+// Classifier labels a line address with its ground-truth category.
+type Classifier func(lineAddr uint64) workloads.Category
+
+// Pair compares a prefetcher run against its no-prefetch baseline. Both
+// runs must come from the same workload, seed and instruction budget.
+type Pair struct {
+	Base *sim.Result
+	PF   *sim.Result
+}
+
+// Speedup returns IPC(pf) / IPC(baseline).
+func (p Pair) Speedup() float64 {
+	b := p.Base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return p.PF.IPC() / b
+}
+
+// TrafficNorm returns memory traffic normalized to the baseline.
+func (p Pair) TrafficNorm() float64 {
+	if p.Base.Traffic == 0 {
+		return 0
+	}
+	return float64(p.PF.Traffic) / float64(p.Base.Traffic)
+}
+
+// Scope returns S(P): the weighted fraction of the baseline L1 miss
+// footprint attempted by the prefetcher. Requires CollectFootprint runs.
+func (p Pair) Scope() float64 {
+	var covered, total uint64
+	for line, w := range p.Base.MissL1Lines {
+		total += uint64(w)
+		if _, ok := p.PF.Attempted[line]; ok {
+			covered += uint64(w)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// EffAccuracyL1 returns (baseline L1 misses − prefetch-run L1 misses) per
+// L1-destined prefetch; 0 when none were issued. Prefetches sent to the L2
+// (e.g. C1's region prefetches) cannot remove L1 misses by design, so they
+// are judged at their own destination by EffAccuracyL2 instead.
+func (p Pair) EffAccuracyL1() float64 {
+	issued := p.PF.IssuedDest[0]
+	if issued == 0 {
+		return 0
+	}
+	return float64(int64(p.Base.L1Misses)-int64(p.PF.L1Misses)) / float64(issued)
+}
+
+// EffAccuracyL2 is the L2-level analogue.
+func (p Pair) EffAccuracyL2() float64 {
+	if p.PF.Issued == 0 {
+		return 0
+	}
+	return float64(int64(p.Base.L2Misses)-int64(p.PF.L2Misses)) / float64(p.PF.Issued)
+}
+
+// CoverageL1 returns the fractional reduction of L1 misses.
+func (p Pair) CoverageL1() float64 {
+	if p.Base.L1Misses == 0 {
+		return 0
+	}
+	return float64(int64(p.Base.L1Misses)-int64(p.PF.L1Misses)) / float64(p.Base.L1Misses)
+}
+
+// CoverageL2 returns the fractional reduction of L2 misses.
+func (p Pair) CoverageL2() float64 {
+	if p.Base.L2Misses == 0 {
+		return 0
+	}
+	return float64(int64(p.Base.L2Misses)-int64(p.PF.L2Misses)) / float64(p.Base.L2Misses)
+}
+
+// CatStats is one category's slice of the Fig. 13 analysis.
+type CatStats struct {
+	Category    workloads.Category
+	Scope       float64
+	EffAccuracy float64
+	Prefetches  uint64
+}
+
+// ByCategory stratifies scope and effective accuracy over the ground-truth
+// categories. Requires CollectFootprint runs and the workload's classifier.
+func (p Pair) ByCategory(classify Classifier) [workloads.NumCategories]CatStats {
+	var covered, total [workloads.NumCategories]uint64
+	for line, w := range p.Base.MissL1Lines {
+		c := classify(line)
+		total[c] += uint64(w)
+		if _, ok := p.PF.Attempted[line]; ok {
+			covered[c] += uint64(w)
+		}
+	}
+	var out [workloads.NumCategories]CatStats
+	for c := 0; c < workloads.NumCategories; c++ {
+		cs := CatStats{Category: workloads.Category(c), Prefetches: p.PF.CatIssued[c]}
+		if total[c] > 0 {
+			cs.Scope = float64(covered[c]) / float64(total[c])
+		}
+		if cs.Prefetches > 0 {
+			// Judge the category's prefetches at their dominant
+			// destination: L1-destined prefetches by L1 misses avoided,
+			// L2-destined (C1 region prefetches) by L2 misses avoided.
+			avoided := int64(p.Base.CatL1Misses[c]) - int64(p.PF.CatL1Misses[c])
+			if p.PF.CatIssuedL1[c]*2 < cs.Prefetches {
+				avoided = int64(p.Base.CatL2Misses[c]) - int64(p.PF.CatL2Misses[c])
+			}
+			cs.EffAccuracy = float64(avoided) / float64(cs.Prefetches)
+		}
+		out[c] = cs
+	}
+	return out
+}
+
+// Region is a set of footprint lines (e.g. "what TPC does not cover").
+type Region map[uint64]bool
+
+// Uncovered returns the baseline footprint lines NOT attempted by the given
+// run — the region Fig. 14 studies.
+func Uncovered(base, ref *sim.Result) Region {
+	r := make(Region, len(base.MissL1Lines)/2)
+	for line := range base.MissL1Lines {
+		if _, ok := ref.Attempted[line]; !ok {
+			r[line] = true
+		}
+	}
+	return r
+}
+
+// RegionStats restricts scope and effective accuracy to a region.
+type RegionStats struct {
+	Scope       float64
+	EffAccuracy float64
+	Prefetches  uint64
+}
+
+// InRegion computes the pair's stats restricted to region lines: scope over
+// the region's share of the footprint, and accuracy as region misses avoided
+// per prefetch issued into the region.
+func (p Pair) InRegion(region Region) RegionStats {
+	var covered, total uint64
+	for line, w := range p.Base.MissL1Lines {
+		if !region[line] {
+			continue
+		}
+		total += uint64(w)
+		if _, ok := p.PF.Attempted[line]; ok {
+			covered += uint64(w)
+		}
+	}
+	var baseMiss, pfMiss int64
+	for line, w := range p.Base.MissL1Lines {
+		if region[line] {
+			baseMiss += int64(w)
+		}
+	}
+	for line, w := range p.PF.MissL1Lines {
+		if region[line] {
+			pfMiss += int64(w)
+		}
+	}
+	var issued uint64
+	for line, n := range p.PF.IssuedLines {
+		if region[line] {
+			issued += uint64(n)
+		}
+	}
+	rs := RegionStats{Prefetches: issued}
+	if total > 0 {
+		rs.Scope = float64(covered) / float64(total)
+	}
+	if issued > 0 {
+		rs.EffAccuracy = float64(baseMiss-pfMiss) / float64(issued)
+	}
+	return rs
+}

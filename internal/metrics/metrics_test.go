@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"testing"
+
+	"divlab/internal/cpu"
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+// mkResult builds a synthetic sim.Result for metric math tests.
+func mkResult(misses map[uint64]uint32, l1Misses, l2Misses, issued uint64, attempted []uint64) *sim.Result {
+	r := &sim.Result{
+		Core:        cpu.Result{Insts: 1000, Cycles: 1000},
+		L1Misses:    l1Misses,
+		L2Misses:    l2Misses,
+		Issued:      issued,
+		MissL1Lines: misses,
+		Attempted:   map[uint64]uint32{},
+		IssuedLines: map[uint64]uint32{},
+	}
+	for _, a := range attempted {
+		r.Attempted[a] = 1
+		r.IssuedLines[a] = 1
+	}
+	r.IssuedDest[0] = issued // tests model L1-destined prefetchers
+	return r
+}
+
+func TestScopeWeighted(t *testing.T) {
+	base := mkResult(map[uint64]uint32{0: 3, 64: 1}, 4, 0, 0, nil)
+	pf := mkResult(nil, 1, 0, 2, []uint64{0})
+	p := Pair{Base: base, PF: pf}
+	// Covered weight 3 of total 4.
+	if s := p.Scope(); s != 0.75 {
+		t.Errorf("Scope = %v, want 0.75", s)
+	}
+}
+
+func TestEffAccuracyAndCoverage(t *testing.T) {
+	base := mkResult(map[uint64]uint32{0: 10}, 10, 6, 0, nil)
+	pf := mkResult(map[uint64]uint32{0: 2}, 2, 2, 16, []uint64{0})
+	p := Pair{Base: base, PF: pf}
+	if a := p.EffAccuracyL1(); a != 0.5 {
+		t.Errorf("EffAccuracyL1 = %v, want (10-2)/16", a)
+	}
+	if a := p.EffAccuracyL2(); a != 0.25 {
+		t.Errorf("EffAccuracyL2 = %v, want (6-2)/16", a)
+	}
+	if c := p.CoverageL1(); c != 0.8 {
+		t.Errorf("CoverageL1 = %v", c)
+	}
+	if c := p.CoverageL2(); c < 0.66 || c > 0.67 {
+		t.Errorf("CoverageL2 = %v", c)
+	}
+}
+
+func TestEffAccuracyCanBeNegative(t *testing.T) {
+	// Pollution: more misses with the prefetcher than without.
+	base := mkResult(nil, 10, 0, 0, nil)
+	pf := mkResult(nil, 30, 0, 10, nil)
+	if a := (Pair{Base: base, PF: pf}).EffAccuracyL1(); a != -2 {
+		t.Errorf("negative accuracy = %v, want -2", a)
+	}
+}
+
+func TestZeroGuards(t *testing.T) {
+	empty := mkResult(nil, 0, 0, 0, nil)
+	p := Pair{Base: empty, PF: empty}
+	if p.Scope() != 0 || p.EffAccuracyL1() != 0 || p.CoverageL1() != 0 || p.TrafficNorm() != 0 || p.Speedup() == 0 {
+		// Speedup of identical results is 1.
+		if p.Speedup() != 1 {
+			t.Error("zero guards broken")
+		}
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	classify := func(line uint64) workloads.Category {
+		if line < 1000 {
+			return workloads.LHF
+		}
+		return workloads.HHF
+	}
+	base := mkResult(map[uint64]uint32{0: 4, 2048: 4}, 8, 0, 0, nil)
+	base.CatL1Misses[workloads.LHF] = 4
+	base.CatL1Misses[workloads.HHF] = 4
+	pf := mkResult(map[uint64]uint32{2048: 4}, 4, 0, 8, []uint64{0})
+	pf.CatL1Misses[workloads.HHF] = 4
+	pf.CatIssued[workloads.LHF] = 8
+	pf.CatIssuedL1[workloads.LHF] = 8
+	p := Pair{Base: base, PF: pf}
+	cats := p.ByCategory(classify)
+	if cats[workloads.LHF].Scope != 1 {
+		t.Errorf("LHF scope = %v", cats[workloads.LHF].Scope)
+	}
+	if cats[workloads.HHF].Scope != 0 {
+		t.Errorf("HHF scope = %v", cats[workloads.HHF].Scope)
+	}
+	if cats[workloads.LHF].EffAccuracy != 0.5 {
+		t.Errorf("LHF accuracy = %v, want (4-0)/8", cats[workloads.LHF].EffAccuracy)
+	}
+}
+
+func TestUncoveredAndRegionStats(t *testing.T) {
+	base := mkResult(map[uint64]uint32{0: 2, 64: 2, 128: 2}, 6, 0, 0, nil)
+	tpcRun := mkResult(nil, 2, 0, 4, []uint64{0, 64})
+	region := Uncovered(base, tpcRun)
+	if len(region) != 1 || !region[128] {
+		t.Fatalf("Uncovered = %v", region)
+	}
+	// An extra that attempts line 128 and removes its misses.
+	extra := mkResult(map[uint64]uint32{0: 2, 64: 2}, 4, 0, 3, []uint64{128})
+	rs := (Pair{Base: base, PF: extra}).InRegion(region)
+	if rs.Scope != 1 {
+		t.Errorf("region scope = %v", rs.Scope)
+	}
+	if rs.Prefetches != 1 {
+		t.Errorf("region prefetches = %d", rs.Prefetches)
+	}
+	if rs.EffAccuracy != 2 {
+		t.Errorf("region accuracy = %v, want (2-0)/1", rs.EffAccuracy)
+	}
+}
+
+// TestEndToEndMetrics sanity-checks the full pipeline on a real workload:
+// TPC on a pure stream must show high scope, positive accuracy and coverage.
+func TestEndToEndMetrics(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	cfg := sim.DefaultConfig(100_000)
+	cfg.CollectFootprint = true
+	base := sim.RunSingle(w, nil, cfg)
+	tpc, _ := sim.ByName("tpc")
+	r := sim.RunSingle(w, tpc.Factory, cfg)
+	p := Pair{Base: base, PF: r}
+	if s := p.Scope(); s < 0.5 {
+		t.Errorf("TPC scope on pure stream = %v", s)
+	}
+	if a := p.EffAccuracyL1(); a < 0.5 {
+		t.Errorf("TPC accuracy on pure stream = %v", a)
+	}
+	if c := p.CoverageL1(); c < 0.5 {
+		t.Errorf("TPC coverage on pure stream = %v", c)
+	}
+	if sp := p.Speedup(); sp < 1.1 {
+		t.Errorf("TPC speedup = %v", sp)
+	}
+}

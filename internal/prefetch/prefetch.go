@@ -1,0 +1,173 @@
+// Package prefetch defines the component framework of the composite design:
+// the Component interface every prefetcher (monolithic or specialized)
+// implements, the request type components emit, and the two ways of
+// combining prefetchers the paper contrasts — compositing (division of
+// labor through a coordinator that stratifies accesses) and shunting
+// (everyone sees everything, Sec. V-C3).
+package prefetch
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/trace"
+)
+
+// Request is a prefetch a component wants issued. Components construct
+// requests through Base.Req so that every request carries the identity of
+// the component that produced it; the hierarchy tags installed lines with
+// that identity, which is what lets a coordinator learn which component's
+// prefetches a given instruction's accesses hit (Sec. IV-E) and lets the
+// memory controller drop low-confidence components' requests first.
+type Request struct {
+	// LineAddr is the line-aligned target address.
+	LineAddr uint64
+	// Dest is the cache level to install into.
+	Dest mem.Level
+	// Priority orders requests under memory pressure; lower values are
+	// dropped first by the controller's low-priority drop policy.
+	Priority int
+	// Owner is the id of the issuing component (assigned by AssignIDs).
+	Owner int
+}
+
+// Issuer accepts requests from a component.
+type Issuer func(Request)
+
+// Component is a prefetcher (or prefetcher component). Components train on
+// the demand-access stream observed at the L1D and may issue any number of
+// prefetches per event.
+type Component interface {
+	// Name identifies the component in results tables.
+	Name() string
+	// OnAccess observes one demand access and may issue prefetches.
+	OnAccess(ev *mem.Event, issue Issuer)
+	// Reset returns the component to its post-construction state.
+	Reset()
+	// StorageBits returns the hardware budget the design would occupy,
+	// for the Table II storage-cost comparison.
+	StorageBits() int
+}
+
+// InstObserver is implemented by components that additionally snoop the
+// instruction stream at dispatch (T2's loop hardware, P1's taint unit).
+type InstObserver interface {
+	OnInst(in *trace.Inst, cycle uint64, issue Issuer)
+}
+
+// Parent is implemented by combinators so AssignIDs can reach their leaves.
+type Parent interface {
+	Children() []Component
+}
+
+// Base carries the component identity; embed it in every Component
+// implementation and build requests with Req.
+type Base struct {
+	id int
+}
+
+// SetID records the component's id (called by AssignIDs).
+func (b *Base) SetID(id int) { b.id = id }
+
+// ID returns the component's assigned id (0 until assigned).
+func (b *Base) ID() int { return b.id }
+
+// Req builds a request stamped with the component's identity.
+func (b *Base) Req(lineAddr uint64, dest mem.Level, priority int) Request {
+	return Request{LineAddr: lineAddr, Dest: dest, Priority: priority, Owner: b.id}
+}
+
+type idAware interface{ SetID(int) }
+
+// AssignIDs walks the component tree rooted at root, assigns each component
+// a unique id starting at firstID, and returns a name table keyed by id.
+func AssignIDs(root Component, firstID int) map[int]string {
+	names := make(map[int]string)
+	next := firstID
+	var walk func(c Component)
+	walk = func(c Component) {
+		if ia, ok := c.(idAware); ok {
+			ia.SetID(next)
+			names[next] = c.Name()
+			next++
+		}
+		if p, ok := c.(Parent); ok {
+			for _, ch := range p.Children() {
+				walk(ch)
+			}
+		}
+	}
+	walk(root)
+	return names
+}
+
+// Nop is the no-prefetcher baseline.
+type Nop struct{ Base }
+
+// Name implements Component.
+func (*Nop) Name() string { return "none" }
+
+// OnAccess implements Component.
+func (*Nop) OnAccess(*mem.Event, Issuer) {}
+
+// Reset implements Component.
+func (*Nop) Reset() {}
+
+// StorageBits implements Component.
+func (*Nop) StorageBits() int { return 0 }
+
+// Shunt runs several prefetchers in parallel with no coordination: every
+// component sees every access and issues independently. This is the
+// overlapping-effort strawman of Sec. V-C3.
+type Shunt struct {
+	Base
+	Comps []Component
+}
+
+// NewShunt combines comps without coordination.
+func NewShunt(comps ...Component) *Shunt { return &Shunt{Comps: comps} }
+
+// Name implements Component.
+func (s *Shunt) Name() string {
+	n := "shunt("
+	for i, c := range s.Comps {
+		if i > 0 {
+			n += "+"
+		}
+		n += c.Name()
+	}
+	return n + ")"
+}
+
+// Children implements Parent.
+func (s *Shunt) Children() []Component { return s.Comps }
+
+// OnAccess implements Component: everyone sees everything.
+func (s *Shunt) OnAccess(ev *mem.Event, issue Issuer) {
+	for _, c := range s.Comps {
+		c.OnAccess(ev, issue)
+	}
+}
+
+// OnInst forwards the instruction stream to sub-components that want it.
+func (s *Shunt) OnInst(in *trace.Inst, cycle uint64, issue Issuer) {
+	for _, c := range s.Comps {
+		if o, ok := c.(InstObserver); ok {
+			o.OnInst(in, cycle, issue)
+		}
+	}
+}
+
+// Reset implements Component.
+func (s *Shunt) Reset() {
+	for _, c := range s.Comps {
+		c.Reset()
+	}
+}
+
+// StorageBits implements Component.
+func (s *Shunt) StorageBits() int {
+	n := 0
+	for _, c := range s.Comps {
+		n += c.StorageBits()
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package prefetch
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/trace"
+)
+
+// capture is a minimal component that issues one request per access.
+type capture struct {
+	Base
+	name string
+	seen int
+}
+
+func (c *capture) Name() string { return c.name }
+func (c *capture) OnAccess(ev *mem.Event, issue Issuer) {
+	c.seen++
+	issue(c.Req(ev.LineAddr+64, mem.L1, 1))
+}
+func (c *capture) Reset()           { c.seen = 0 }
+func (c *capture) StorageBits() int { return 100 }
+
+type instCapture struct {
+	capture
+	insts int
+}
+
+func (c *instCapture) OnInst(in *trace.Inst, cycle uint64, issue Issuer) { c.insts++ }
+
+func TestAssignIDsStampsOwners(t *testing.T) {
+	a := &capture{name: "a"}
+	b := &capture{name: "b"}
+	sh := NewShunt(a, b)
+	names := prefAssign(t, sh)
+	if len(names) != 3 {
+		t.Fatalf("expected 3 ids (shunt + 2 leaves), got %v", names)
+	}
+	if a.ID() == b.ID() || a.ID() == 0 || b.ID() == 0 {
+		t.Errorf("leaf ids not distinct/assigned: a=%d b=%d", a.ID(), b.ID())
+	}
+	var got []Request
+	sh.OnAccess(&mem.Event{LineAddr: 0x1000}, func(r Request) { got = append(got, r) })
+	if len(got) != 2 {
+		t.Fatalf("shunt must fan out to both components, got %d", len(got))
+	}
+	if got[0].Owner == got[1].Owner {
+		t.Error("requests must carry distinct leaf identities")
+	}
+	for _, r := range got {
+		if names[r.Owner] == "" {
+			t.Errorf("owner %d not in name table", r.Owner)
+		}
+	}
+}
+
+func prefAssign(t *testing.T, c Component) map[int]string {
+	t.Helper()
+	return AssignIDs(c, 1)
+}
+
+func TestShuntForwardsInstStream(t *testing.T) {
+	a := &instCapture{capture: capture{name: "a"}}
+	b := &capture{name: "b"} // no InstObserver
+	sh := NewShunt(a, b)
+	sh.OnInst(&trace.Inst{}, 0, func(Request) {})
+	if a.insts != 1 {
+		t.Error("shunt must forward instructions to observers")
+	}
+}
+
+func TestShuntAggregates(t *testing.T) {
+	a := &capture{name: "a"}
+	b := &capture{name: "b"}
+	sh := NewShunt(a, b)
+	if sh.StorageBits() != 200 {
+		t.Errorf("StorageBits = %d", sh.StorageBits())
+	}
+	if sh.Name() != "shunt(a+b)" {
+		t.Errorf("Name = %q", sh.Name())
+	}
+	sh.OnAccess(&mem.Event{}, func(Request) {})
+	sh.Reset()
+	if a.seen != 0 || b.seen != 0 {
+		t.Error("Reset must propagate")
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	n.OnAccess(&mem.Event{}, func(Request) { t.Error("Nop must not issue") })
+	if n.StorageBits() != 0 || n.Name() != "none" {
+		t.Error("Nop contract")
+	}
+	n.Reset()
+}
+
+func TestBaseReq(t *testing.T) {
+	var b Base
+	b.SetID(7)
+	r := b.Req(0x1040, mem.L2, 3)
+	if r.Owner != 7 || r.Dest != mem.L2 || r.Priority != 3 || r.LineAddr != 0x1040 {
+		t.Errorf("Req = %+v", r)
+	}
+}

@@ -1,0 +1,128 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// AMPM is the access map pattern matching prefetcher [Ishii et al., JILP'11]:
+// it keeps a 2-bit state per line for a set of hot memory zones and, on each
+// access, pattern-matches every candidate stride k — if lines t−k and t−2k
+// were accessed, line t+k is a stride-k continuation and is prefetched.
+type AMPM struct {
+	prefetch.Base
+	dest      mem.Level
+	maps      []ampmMap
+	tick      uint64
+	maxStride int
+	degree    int
+}
+
+type ampmMap struct {
+	valid bool
+	zone  uint64
+	state [ampmZoneLines]uint8 // 0 init, 1 accessed, 2 prefetched
+	lru   uint64
+}
+
+const (
+	ampmZoneLines = 256 // 16 KB zones of 64 B lines
+	ampmNumMaps   = 128
+)
+
+// NewAMPM returns an AMPM prefetcher checking strides up to maxStride and
+// issuing at most degree prefetches per access.
+func NewAMPM(dest mem.Level, maxStride, degree int) *AMPM {
+	if maxStride <= 0 {
+		maxStride = 16
+	}
+	if degree <= 0 {
+		degree = 2
+	}
+	return &AMPM{dest: dest, maps: make([]ampmMap, ampmNumMaps), maxStride: maxStride, degree: degree}
+}
+
+// Name implements prefetch.Component.
+func (p *AMPM) Name() string { return "ampm" }
+
+func (p *AMPM) find(zone uint64) *ampmMap {
+	for i := range p.maps {
+		if p.maps[i].valid && p.maps[i].zone == zone {
+			return &p.maps[i]
+		}
+	}
+	return nil
+}
+
+func (p *AMPM) alloc(zone uint64) *ampmMap {
+	victim := 0
+	for i := range p.maps {
+		if !p.maps[i].valid {
+			victim = i
+			break
+		}
+		if p.maps[i].lru < p.maps[victim].lru {
+			victim = i
+		}
+	}
+	p.maps[victim] = ampmMap{valid: true, zone: zone}
+	return &p.maps[victim]
+}
+
+// OnAccess implements prefetch.Component. AMPM observes all L1 demand
+// accesses (the access map needs the full touch pattern, not just misses).
+func (p *AMPM) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	p.tick++
+	line := ev.LineAddr / lineBytes
+	zone := line / ampmZoneLines
+	t := int(line % ampmZoneLines)
+
+	m := p.find(zone)
+	if m == nil {
+		m = p.alloc(zone)
+	}
+	m.lru = p.tick
+	m.state[t] = 1
+
+	// Only misses trigger prefetch issue; hits still train the map above.
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+
+	issued := 0
+	accessed := func(i int) bool { return i >= 0 && i < ampmZoneLines && m.state[i] == 1 }
+	for k := 1; k <= p.maxStride && issued < p.degree; k++ {
+		// Forward stride k.
+		if accessed(t-k) && accessed(t-2*k) {
+			if tgt := t + k; tgt < ampmZoneLines && m.state[tgt] == 0 {
+				m.state[tgt] = 2
+				issue(p.Req((zone*ampmZoneLines+uint64(tgt))*lineBytes, p.dest, 1))
+				issued++
+			}
+		}
+		if issued >= p.degree {
+			break
+		}
+		// Backward stride k.
+		if accessed(t+k) && accessed(t+2*k) {
+			if tgt := t - k; tgt >= 0 && m.state[tgt] == 0 {
+				m.state[tgt] = 2
+				issue(p.Req((zone*ampmZoneLines+uint64(tgt))*lineBytes, p.dest, 1))
+				issued++
+			}
+		}
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *AMPM) Reset() {
+	for i := range p.maps {
+		p.maps[i] = ampmMap{}
+	}
+	p.tick = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 4 KB —
+// 128 access maps × 256 lines × 2 b (the paper's "256b per map" counts the
+// accessed bit-plane; both planes are costed here) plus zone tags.
+func (p *AMPM) StorageBits() int { return ampmNumMaps * (ampmZoneLines*2 + 34) }

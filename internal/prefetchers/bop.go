@@ -1,0 +1,151 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// BOP is the best-offset prefetcher [Michaud, HPCA'16]: a learning automaton
+// scores a fixed list of candidate offsets against a recent-requests (RR)
+// table and prefetches X+D for the winning offset D, retraining in rounds so
+// the offset tracks phase changes. Offsets whose best score is too low turn
+// prefetching off entirely — BOP's built-in accuracy guard.
+type BOP struct {
+	prefetch.Base
+	dest mem.Level
+
+	offsets []int64
+	scores  []int
+	rr      []uint64 // recent base addresses (line numbers), direct mapped
+	rrValid []bool
+
+	testIdx int
+	round   int
+	bestOff int64
+	active  bool
+}
+
+const (
+	bopRRSize   = 256
+	bopScoreMax = 31
+	bopMaxRound = 100
+	bopBadScore = 1
+)
+
+// bopOffsets returns the canonical candidate list: integers up to 64 whose
+// prime factors are only 2, 3 and 5.
+func bopOffsets() []int64 {
+	var out []int64
+	for n := int64(1); n <= 64; n++ {
+		m := n
+		for _, f := range []int64{2, 3, 5} {
+			for m%f == 0 {
+				m /= f
+			}
+		}
+		if m == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NewBOP returns a best-offset prefetcher.
+func NewBOP(dest mem.Level) *BOP {
+	offs := bopOffsets()
+	return &BOP{
+		dest:    dest,
+		offsets: offs,
+		scores:  make([]int, len(offs)),
+		rr:      make([]uint64, bopRRSize),
+		rrValid: make([]bool, bopRRSize),
+		bestOff: 1,
+		active:  true,
+	}
+}
+
+// Name implements prefetch.Component.
+func (p *BOP) Name() string { return "bop" }
+
+func (p *BOP) rrInsert(line uint64) {
+	i := line % bopRRSize
+	p.rr[i] = line
+	p.rrValid[i] = true
+}
+
+func (p *BOP) rrHit(line uint64) bool {
+	i := line % bopRRSize
+	return p.rrValid[i] && p.rr[i] == line
+}
+
+// OnAccess implements prefetch.Component. BOP trains on L1 misses and hits
+// to prefetched lines.
+func (p *BOP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	line := ev.LineAddr / lineBytes
+
+	// Learning: test one candidate offset per trigger.
+	d := p.offsets[p.testIdx]
+	if int64(line)-d > 0 && p.rrHit(uint64(int64(line)-d)) {
+		p.scores[p.testIdx]++
+		if p.scores[p.testIdx] >= bopScoreMax {
+			p.endRound()
+		}
+	}
+	p.testIdx++
+	if p.testIdx == len(p.offsets) {
+		p.testIdx = 0
+		p.round++
+		if p.round >= bopMaxRound {
+			p.endRound()
+		}
+	}
+
+	// The RR table records recently triggered lines; offset d then scores
+	// when a previous trigger happened at X - d, i.e. a d-offset prefetch
+	// issued back then would have covered this access.
+	p.rrInsert(line)
+
+	if p.active {
+		t := int64(line) + p.bestOff
+		if t > 0 {
+			issue(p.Req(uint64(t)*lineBytes, p.dest, 2))
+		}
+	}
+}
+
+// endRound commits the learning phase: adopt the best-scoring offset, or
+// disable prefetching if even the best is unconvincing.
+func (p *BOP) endRound() {
+	best, bestScore := int64(1), -1
+	for i, s := range p.scores {
+		if s > bestScore {
+			bestScore, best = s, p.offsets[i]
+		}
+		p.scores[i] = 0
+	}
+	p.bestOff = best
+	p.active = bestScore > bopBadScore
+	p.round, p.testIdx = 0, 0
+}
+
+// BestOffset returns the currently selected offset (exported for tests).
+func (p *BOP) BestOffset() (int64, bool) { return p.bestOff, p.active }
+
+// Reset implements prefetch.Component.
+func (p *BOP) Reset() {
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	for i := range p.rrValid {
+		p.rrValid[i] = false
+	}
+	p.testIdx, p.round = 0, 0
+	p.bestOff, p.active = 1, true
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 4 KB —
+// a 1 K-entry RR table plus score/offset state and prefetch bits.
+func (p *BOP) StorageBits() int { return bopRRSize*32 + len(p.offsets)*(5+7) + 1024 }

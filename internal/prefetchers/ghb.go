@@ -1,0 +1,149 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// GHB is the global history buffer prefetcher in PC/DC (program-counter
+// localized, delta-correlated) mode [Nesbit & Smith, HPCA'04]: a circular
+// buffer of recent miss addresses threaded into per-PC linked lists by an
+// index table. On each trained access it reconstructs the PC's recent delta
+// stream, correlates the last delta pair against history, and prefetches the
+// deltas that followed previous occurrences of that pair.
+type GHB struct {
+	prefetch.Base
+	dest    mem.Level
+	degree  int
+	size    int
+	idxSize int
+	buf     []ghbEntry
+	count   int
+	index   []ghbIndex
+}
+
+type ghbEntry struct {
+	lineAddr uint64
+	prev     int // absolute position of previous entry with same PC; -1 none
+}
+
+type ghbIndex struct {
+	pc   uint64
+	pos  int // absolute position of most recent entry
+	used bool
+}
+
+// NewGHB returns a GHB-PC/DC prefetcher with `size` history entries and an
+// equally sized index table (Table II: 256 + 256).
+func NewGHB(dest mem.Level, size, degree int) *GHB {
+	if size <= 0 {
+		size = 256
+	}
+	if degree <= 0 {
+		degree = 4
+	}
+	return &GHB{dest: dest, degree: degree, size: size, idxSize: size,
+		buf: make([]ghbEntry, size), index: make([]ghbIndex, size)}
+}
+
+// Name implements prefetch.Component.
+func (p *GHB) Name() string { return "ghb-pc/dc" }
+
+// OnAccess implements prefetch.Component. GHB trains on the L1 miss stream
+// (including hits to prefetched lines, which would have been misses).
+func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	line := ev.LineAddr / lineBytes
+
+	ie := &p.index[(ev.PC>>2)%uint64(p.idxSize)]
+	prev := -1
+	if ie.used && ie.pc == ev.PC {
+		prev = ie.pos
+	}
+	pos := p.count
+	p.buf[pos%p.size] = ghbEntry{lineAddr: line, prev: prev}
+	p.count++
+	*ie = ghbIndex{pc: ev.PC, pos: pos, used: true}
+
+	// Walk this PC's chain to collect recent line addresses (newest first).
+	const maxWalk = 16
+	var hist [maxWalk]uint64
+	n := 0
+	for at := pos; at >= 0 && n < maxWalk && at > p.count-1-p.size; {
+		e := p.buf[at%p.size]
+		hist[n] = e.lineAddr
+		n++
+		if e.prev < 0 || e.prev <= p.count-1-p.size {
+			break
+		}
+		at = e.prev
+	}
+	if n < 3 {
+		return
+	}
+	// Deltas, newest first: d[i] = hist[i] - hist[i+1].
+	var deltas [maxWalk - 1]int64
+	for i := 0; i < n-1; i++ {
+		deltas[i] = int64(hist[i]) - int64(hist[i+1])
+	}
+	nd := n - 1
+	// Correlate the most recent delta pair (d1, d2) against older history;
+	// on a match, replay the deltas that followed it.
+	d1, d2 := deltas[0], deltas[1]
+	for i := 2; i+1 < nd; i++ {
+		if deltas[i] == d1 && deltas[i+1] == d2 {
+			addr := int64(line)
+			issued := 0
+			for j := i - 1; j >= 0 && issued < p.degree; j-- {
+				addr += deltas[j]
+				if addr <= 0 {
+					return
+				}
+				issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+				issued++
+			}
+			// The replayed window may be shorter than the prefetch degree;
+			// extend periodically through the matched pattern.
+			for j := i - 1; issued < p.degree; j-- {
+				if j < 0 {
+					j = i - 1
+				}
+				addr += deltas[j]
+				if addr <= 0 {
+					return
+				}
+				issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+				issued++
+			}
+			return
+		}
+	}
+	// No correlation: fall back to constant-delta detection.
+	if d1 == d2 && d1 != 0 {
+		addr := int64(line)
+		for i := 0; i < p.degree; i++ {
+			addr += d1
+			if addr <= 0 {
+				return
+			}
+			issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+		}
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *GHB) Reset() {
+	for i := range p.buf {
+		p.buf[i] = ghbEntry{}
+	}
+	for i := range p.index {
+		p.index[i] = ghbIndex{}
+	}
+	p.count = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 4 KB for
+// 256 GHB entries (addr 48 + ptr 8) + 256 index entries (tag 16 + ptr 8).
+func (p *GHB) StorageBits() int { return p.size*(48+8) + p.idxSize*(16+8) }

@@ -1,0 +1,128 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// Markov is the classic address-correlating prefetcher [Joseph & Grunwald,
+// ISCA'97], one of the monolithic families the paper's related work
+// discusses: a table maps a miss address to the distinct addresses that
+// followed it, with per-successor confidence counters; on a miss the most
+// likely successors are prefetched. Correlation tables are storage-hungry —
+// the reason the paper cites ISB-style compression — so this implementation
+// keeps a bounded direct-mapped table.
+type Markov struct {
+	prefetch.Base
+	dest     mem.Level
+	entries  []markovEntry
+	last     uint64
+	haveLast bool
+	degree   int
+}
+
+type markovEntry struct {
+	valid bool
+	line  uint64
+	succ  [4]uint64
+	conf  [4]uint8
+}
+
+const markovEntries = 4096
+
+// NewMarkov returns a Markov prefetcher issuing up to degree successors.
+func NewMarkov(dest mem.Level, degree int) *Markov {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &Markov{dest: dest, entries: make([]markovEntry, markovEntries), degree: degree}
+}
+
+// Name implements prefetch.Component.
+func (p *Markov) Name() string { return "markov" }
+
+func (p *Markov) slot(line uint64) *markovEntry {
+	return &p.entries[(line*0x9E3779B97F4A7C15>>40)%markovEntries]
+}
+
+// OnAccess implements prefetch.Component. Markov trains on the miss stream:
+// each miss is recorded as a successor of the previous miss.
+func (p *Markov) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	line := ev.LineAddr / lineBytes
+
+	if p.haveLast && p.last != line {
+		e := p.slot(p.last)
+		if !e.valid || e.line != p.last {
+			*e = markovEntry{valid: true, line: p.last}
+		}
+		// Bump the matching successor or displace the weakest.
+		weakest, wc := 0, uint8(255)
+		found := false
+		for i := range e.succ {
+			if e.conf[i] > 0 && e.succ[i] == line {
+				if e.conf[i] < 15 {
+					e.conf[i]++
+				}
+				found = true
+				break
+			}
+			if e.conf[i] < wc {
+				wc, weakest = e.conf[i], i
+			}
+		}
+		if !found {
+			if wc > 0 {
+				e.conf[weakest]--
+			}
+			if e.conf[weakest] == 0 {
+				e.succ[weakest] = line
+				e.conf[weakest] = 1
+			}
+		}
+	}
+	p.last, p.haveLast = line, true
+
+	// Predict: prefetch the strongest successors of the current miss.
+	e := p.slot(line)
+	if !e.valid || e.line != line {
+		return
+	}
+	type cand struct {
+		line uint64
+		conf uint8
+	}
+	var cs []cand
+	for i := range e.succ {
+		if e.conf[i] >= 2 {
+			cs = append(cs, cand{e.succ[i], e.conf[i]})
+		}
+	}
+	// Selection by confidence, bounded by degree.
+	for issued := 0; issued < p.degree && len(cs) > 0; issued++ {
+		best := 0
+		for i := range cs {
+			if cs[i].conf > cs[best].conf {
+				best = i
+			}
+		}
+		issue(p.Req(cs[best].line*lineBytes, p.dest, 1))
+		cs[best] = cs[len(cs)-1]
+		cs = cs[:len(cs)-1]
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *Markov) Reset() {
+	for i := range p.entries {
+		p.entries[i] = markovEntry{}
+	}
+	p.haveLast = false
+}
+
+// StorageBits implements prefetch.Component: 4K entries × (tag 32 + 4
+// successors × (addr 32 + conf 4)) — the multi-KB cost the paper's related
+// work calls out for Markov tables.
+func (p *Markov) StorageBits() int { return markovEntries * (32 + 4*(32+4)) }

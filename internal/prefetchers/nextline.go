@@ -1,0 +1,50 @@
+// Package prefetchers implements the monolithic baseline prefetchers the
+// paper compares against (Table II): GHB-PC/DC, SPP, VLDP, BOP, FDP, SMS and
+// AMPM, plus the classic next-line and PC-stride designs. All train on the
+// demand stream observed at the L1D and, per the paper's methodology
+// (Sec. V-C footnote), prefetch into L1 by default — each constructor takes
+// the destination level so the Fig. 16 destination study can retarget them.
+package prefetchers
+
+import (
+	"divlab/internal/cache"
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+const lineBytes = cache.LineBytes
+
+// NextLine prefetches the next sequential line(s) on every demand miss
+// (Jouppi-style one-block lookahead).
+type NextLine struct {
+	prefetch.Base
+	dest   mem.Level
+	degree int
+}
+
+// NewNextLine returns a next-line prefetcher with the given degree.
+func NewNextLine(dest mem.Level, degree int) *NextLine {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &NextLine{dest: dest, degree: degree}
+}
+
+// Name implements prefetch.Component.
+func (p *NextLine) Name() string { return "nextline" }
+
+// OnAccess implements prefetch.Component.
+func (p *NextLine) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	for i := 1; i <= p.degree; i++ {
+		issue(p.Req(ev.LineAddr+uint64(i)*lineBytes, p.dest, 1))
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *NextLine) Reset() {}
+
+// StorageBits implements prefetch.Component: the design is stateless.
+func (p *NextLine) StorageBits() int { return 0 }

@@ -1,0 +1,239 @@
+package prefetchers
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// collect gathers issued line addresses.
+func collect() (prefetch.Issuer, *[]prefetch.Request) {
+	var got []prefetch.Request
+	return func(r prefetch.Request) { got = append(got, r) }, &got
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(mem.L1, 2)
+	sink, got := collect()
+	p.OnAccess(access(0x400, 0x1000), sink)
+	if len(*got) != 2 || (*got)[0].LineAddr != 0x1040 || (*got)[1].LineAddr != 0x1080 {
+		t.Errorf("next-line requests %v", *got)
+	}
+	// Hits (non-miss) must not trigger.
+	*got = (*got)[:0]
+	p.OnAccess(&mem.Event{PC: 0x400, LineAddr: 0x1000, HitL1: true}, sink)
+	if len(*got) != 0 {
+		t.Error("plain hit must not trigger next-line")
+	}
+}
+
+func TestStrideDetectsAndPrefetches(t *testing.T) {
+	p := NewStride(mem.L1, 64, 2)
+	sink, got := collect()
+	base := uint64(1 << 28)
+	for i := uint64(0); i < 10; i++ {
+		p.OnAccess(access(0x400, base+i*256), sink)
+	}
+	if len(*got) == 0 {
+		t.Fatal("stride must engage after confidence builds")
+	}
+	last := (*got)[len(*got)-1]
+	if last.LineAddr <= base+9*256 {
+		t.Errorf("prefetch %#x not ahead of stream head %#x", last.LineAddr, base+9*256)
+	}
+}
+
+func TestStrideIgnoresIrregular(t *testing.T) {
+	p := NewStride(mem.L1, 64, 2)
+	sink, got := collect()
+	addrs := []uint64{100, 7000, 300, 90000, 1500, 60000, 2000, 123456}
+	for _, a := range addrs {
+		p.OnAccess(access(0x400, a<<6), sink)
+	}
+	if len(*got) > 2 {
+		t.Errorf("irregular stream should yield almost no prefetches, got %d", len(*got))
+	}
+}
+
+func TestVLDPConstantDelta(t *testing.T) {
+	p := NewVLDP(mem.L1, 4)
+	sink, got := collect()
+	base := uint64(1 << 28)
+	for i := uint64(0); i < 40; i++ {
+		p.OnAccess(access(0x400, base+i*64), sink)
+	}
+	if len(*got) == 0 {
+		t.Fatal("VLDP must learn the constant delta")
+	}
+}
+
+func TestVLDPVariableDeltaPattern(t *testing.T) {
+	p := NewVLDP(mem.L1, 4)
+	sink, got := collect()
+	// Repeating delta pattern +1,+2 within a page (line units).
+	base := uint64(1 << 28)
+	off := uint64(0)
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			off++
+		} else {
+			off += 2
+		}
+		// Wrap inside pages so delta history stays page-local.
+		p.OnAccess(access(0x400, base+(off%60)*64), sink)
+	}
+	if len(*got) == 0 {
+		t.Fatal("VLDP must learn a repeating delta pattern")
+	}
+}
+
+func TestSPPLearnsPath(t *testing.T) {
+	p := NewSPP(mem.L1, 25, 8)
+	sink, got := collect()
+	base := uint64(1 << 28)
+	// Walk many pages with the same +1 per-page pattern.
+	for pg := uint64(0); pg < 8; pg++ {
+		for i := uint64(0); i < 30; i++ {
+			p.OnAccess(access(0x400, base+pg*4096+i*64), sink)
+		}
+	}
+	if len(*got) == 0 {
+		t.Fatal("SPP must issue on a learned path")
+	}
+	// Lookahead: at high confidence it should run multiple deltas ahead.
+	var deepest uint64
+	for _, r := range *got {
+		if r.LineAddr > deepest {
+			deepest = r.LineAddr
+		}
+	}
+	if deepest < base+29*64 {
+		t.Errorf("SPP lookahead never passed the stream head: %#x", deepest)
+	}
+}
+
+func TestBOPSelectsDominantOffset(t *testing.T) {
+	p := NewBOP(mem.L1)
+	sink, _ := collect()
+	base := uint64(1 << 28)
+	// Stride of 3 lines.
+	for i := uint64(0); i < 4000; i++ {
+		p.OnAccess(access(0x400, base+i*3*64), sink)
+	}
+	off, active := p.BestOffset()
+	if !active {
+		t.Fatal("BOP turned itself off on a regular stream")
+	}
+	if off%3 != 0 {
+		t.Errorf("best offset %d not a multiple of the stride 3", off)
+	}
+}
+
+func TestBOPDisablesOnRandom(t *testing.T) {
+	p := NewBOP(mem.L1)
+	sink, _ := collect()
+	s := uint64(12345)
+	for i := 0; i < 40000; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		p.OnAccess(access(0x400, (s>>20)&^63), sink)
+	}
+	if _, active := p.BestOffset(); active {
+		t.Error("BOP must disable prefetching on random streams")
+	}
+}
+
+func TestAMPMForwardAndBackward(t *testing.T) {
+	p := NewAMPM(mem.L1, 16, 4)
+	sink, got := collect()
+	base := uint64(1 << 28)
+	// Forward stride 2 lines.
+	for i := uint64(0); i < 20; i++ {
+		p.OnAccess(access(0x400, base+i*128), sink)
+	}
+	if len(*got) == 0 {
+		t.Fatal("AMPM must match the +2 stride")
+	}
+	fwd := len(*got)
+	// Backward stride.
+	*got = (*got)[:0]
+	base2 := uint64(3 << 28)
+	for i := uint64(40); i > 20; i-- {
+		p.OnAccess(access(0x404, base2+i*128), sink)
+	}
+	if len(*got) == 0 {
+		t.Error("AMPM must match backward strides too")
+	}
+	_ = fwd
+}
+
+func TestAMPMNoFalseMatchOnRandom(t *testing.T) {
+	p := NewAMPM(mem.L1, 16, 4)
+	sink, got := collect()
+	s := uint64(99)
+	for i := 0; i < 500; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		p.OnAccess(access(0x400, (s>>30)&^63), sink)
+	}
+	if len(*got) > 100 {
+		t.Errorf("AMPM issued %d prefetches on random accesses", len(*got))
+	}
+}
+
+func TestFDPThrottlesOnUselessness(t *testing.T) {
+	p := NewFDP(mem.L1)
+	sink, _ := collect()
+	start := p.Level()
+	// A long miss stream with NO feedback hits: accuracy 0 -> throttle down.
+	base := uint64(1 << 28)
+	for i := uint64(0); i < 40000; i++ {
+		p.OnAccess(access(0x400, base+i*64), sink)
+	}
+	if p.Level() >= start {
+		t.Errorf("FDP level %d did not throttle down from %d without useful hits", p.Level(), start)
+	}
+}
+
+func TestFDPRampsUpWithUsefulHits(t *testing.T) {
+	p := NewFDP(mem.L1)
+	prefetch.AssignIDs(p, 1)
+	sink, _ := collect()
+	base := uint64(1 << 28)
+	for i := uint64(0); i < 40000; i++ {
+		ev := access(0x400, base+i*64)
+		// Pretend most demands hit our own prefetched lines.
+		ev.MissL1 = false
+		ev.PrefetchHitL1 = true
+		ev.OwnerL1 = p.ID()
+		if i%8 == 0 {
+			ev.MissL1, ev.PrefetchHitL1 = true, false
+		}
+		p.OnAccess(ev, sink)
+	}
+	if p.Level() <= 2 {
+		t.Errorf("FDP level %d did not ramp up under high accuracy", p.Level())
+	}
+}
+
+func TestAllHaveStorageAndReset(t *testing.T) {
+	comps := []prefetch.Component{
+		NewNextLine(mem.L1, 1), NewStride(mem.L1, 64, 2), NewGHB(mem.L1, 128, 4),
+		NewFDP(mem.L1), NewVLDP(mem.L1, 4), NewSPP(mem.L1, 25, 8),
+		NewBOP(mem.L1), NewAMPM(mem.L1, 16, 2), NewSMS(mem.L1),
+	}
+	sink, _ := collect()
+	for _, c := range comps {
+		if c.Name() == "" {
+			t.Error("empty name")
+		}
+		if c.StorageBits() < 0 {
+			t.Errorf("%s negative storage", c.Name())
+		}
+		for i := uint64(0); i < 100; i++ {
+			c.OnAccess(access(0x40, (1<<26)+i*64), sink)
+		}
+		c.Reset()
+		// After reset, behaviour restarts from scratch without panicking.
+		c.OnAccess(access(0x40, 1<<26), sink)
+	}
+}

@@ -1,0 +1,180 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// SMS is spatial memory streaming [Somogyi et al., ISCA'06]: it records the
+// bit pattern of lines touched within a spatial region during one
+// "generation", stores the pattern keyed by the (PC, offset) of the trigger
+// access, and on a future trigger by the same instruction replays the whole
+// pattern as prefetches.
+type SMS struct {
+	prefetch.Base
+	dest mem.Level
+	at   []smsActive // active generation table
+	fr   []smsFilter // filter table: regions with a single access so far
+	pht  []smsPHT    // pattern history table
+	tick uint64
+}
+
+type smsActive struct {
+	valid   bool
+	region  uint64
+	trigger uint64 // PC ^ rotated trigger offset
+	pattern uint32
+	lru     uint64
+}
+
+type smsFilter struct {
+	valid   bool
+	region  uint64
+	trigger uint64
+	offset  int
+	lru     uint64
+}
+
+type smsPHT struct {
+	valid   bool
+	trigger uint64
+	pattern uint32
+}
+
+const (
+	smsRegionLines = 32 // 2 KB spatial regions
+	smsATSize      = 64
+	smsFRSize      = 32
+	smsPHTSize     = 512
+)
+
+// NewSMS returns an SMS prefetcher (Table II: 64 AT, 32 FR, 512 PHT).
+func NewSMS(dest mem.Level) *SMS {
+	return &SMS{dest: dest,
+		at:  make([]smsActive, smsATSize),
+		fr:  make([]smsFilter, smsFRSize),
+		pht: make([]smsPHT, smsPHTSize),
+	}
+}
+
+// Name implements prefetch.Component.
+func (p *SMS) Name() string { return "sms" }
+
+// smsTriggerKey mixes PC and trigger offset so both reach the PHT index
+// bits (a plain high-shift xor would alias every offset to one set).
+func smsTriggerKey(pc uint64, offset int) uint64 {
+	k := pc ^ (uint64(offset) << 48) ^ (uint64(offset) * 0x9E3779B97F4A7C15)
+	return k
+}
+
+// OnAccess implements prefetch.Component. SMS observes every L1 demand
+// access: spatial patterns require the full touch stream.
+func (p *SMS) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	p.tick++
+	line := ev.LineAddr / lineBytes
+	region := line / smsRegionLines
+	offset := int(line % smsRegionLines)
+
+	// Already recording this region?
+	for i := range p.at {
+		a := &p.at[i]
+		if a.valid && a.region == region {
+			a.pattern |= 1 << uint(offset)
+			a.lru = p.tick
+			return
+		}
+	}
+	// Second access to a filtered region promotes it to the AT.
+	for i := range p.fr {
+		f := &p.fr[i]
+		if f.valid && f.region == region {
+			if f.offset == offset {
+				f.lru = p.tick
+				return
+			}
+			pattern := uint32(1)<<uint(f.offset) | uint32(1)<<uint(offset)
+			f.valid = false
+			p.allocActive(region, f.trigger, pattern)
+			return
+		}
+	}
+
+	// Trigger access: consult the PHT and replay the stored pattern.
+	trig := smsTriggerKey(ev.PC, offset)
+	if e := &p.pht[trig%smsPHTSize]; e.valid && e.trigger == trig {
+		base := region * smsRegionLines
+		for b := 0; b < smsRegionLines; b++ {
+			if b != offset && e.pattern&(1<<uint(b)) != 0 {
+				issue(p.Req((base+uint64(b))*lineBytes, p.dest, 1))
+			}
+		}
+	}
+	p.allocFilter(region, trig, offset)
+}
+
+func (p *SMS) allocActive(region, trigger uint64, pattern uint32) {
+	victim := 0
+	for i := range p.at {
+		if !p.at[i].valid {
+			victim = i
+			break
+		}
+		if p.at[i].lru < p.at[victim].lru {
+			victim = i
+		}
+	}
+	if v := &p.at[victim]; v.valid {
+		p.commit(v)
+	}
+	p.at[victim] = smsActive{valid: true, region: region, trigger: trigger, pattern: pattern, lru: p.tick}
+}
+
+func (p *SMS) allocFilter(region, trigger uint64, offset int) {
+	victim := 0
+	for i := range p.fr {
+		if !p.fr[i].valid {
+			victim = i
+			break
+		}
+		if p.fr[i].lru < p.fr[victim].lru {
+			victim = i
+		}
+	}
+	p.fr[victim] = smsFilter{valid: true, region: region, trigger: trigger, offset: offset, lru: p.tick}
+}
+
+// commit ends a generation, storing its pattern in the PHT.
+func (p *SMS) commit(a *smsActive) {
+	p.pht[a.trigger%smsPHTSize] = smsPHT{valid: true, trigger: a.trigger, pattern: a.pattern}
+}
+
+// Flush ends all active generations (e.g. at a phase boundary in tests).
+func (p *SMS) Flush() {
+	for i := range p.at {
+		if p.at[i].valid {
+			p.commit(&p.at[i])
+			p.at[i].valid = false
+		}
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *SMS) Reset() {
+	for i := range p.at {
+		p.at[i] = smsActive{}
+	}
+	for i := range p.fr {
+		p.fr[i] = smsFilter{}
+	}
+	for i := range p.pht {
+		p.pht[i] = smsPHT{}
+	}
+	p.tick = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 12 KB —
+// 64 AT entries (tag+pattern) + 32 FR entries + 512 PHT entries
+// (trigger tag 48 + 32 b pattern).
+func (p *SMS) StorageBits() int {
+	return smsATSize*(40+32+48) + smsFRSize*(40+48+5) + smsPHTSize*(48+32)
+}

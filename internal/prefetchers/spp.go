@@ -1,0 +1,190 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// SPP is the signature path prefetcher [Kim et al., MICRO'16]: per-page
+// compressed delta-history signatures index a pattern table whose confidence
+// counters drive a lookahead walk — prefetches continue down the predicted
+// path while the multiplicative path confidence stays above a threshold.
+type SPP struct {
+	prefetch.Base
+	dest mem.Level
+	st   []sppST
+	pt   []sppPT
+	tick uint64
+	// threshold is the minimum path confidence (×100) to keep prefetching.
+	threshold int
+	maxDepth  int
+}
+
+type sppST struct {
+	valid      bool
+	page       uint64
+	sig        uint16
+	lastOffset int64
+	lru        uint64
+}
+
+type sppPT struct {
+	csig   uint8
+	deltas [4]int64
+	cdelta [4]uint8
+}
+
+const (
+	sppSTSize  = 256
+	sppPTSize  = 512
+	sppSigMask = 0xFFF
+)
+
+// NewSPP returns an SPP prefetcher. threshold is the path-confidence cutoff
+// in percent (the paper uses 25); maxDepth bounds the lookahead walk.
+func NewSPP(dest mem.Level, threshold, maxDepth int) *SPP {
+	if threshold <= 0 {
+		threshold = 25
+	}
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	return &SPP{dest: dest, st: make([]sppST, sppSTSize), pt: make([]sppPT, sppPTSize),
+		threshold: threshold, maxDepth: maxDepth}
+}
+
+// Name implements prefetch.Component.
+func (p *SPP) Name() string { return "spp" }
+
+func sppNextSig(sig uint16, delta int64) uint16 {
+	return (sig<<3 ^ uint16(uint64(delta)&0x3F)) & sppSigMask
+}
+
+func (p *SPP) ptEntry(sig uint16) *sppPT { return &p.pt[uint64(sig)%sppPTSize] }
+
+// train records that `sig` was followed by `delta`.
+func (p *SPP) train(sig uint16, delta int64) {
+	e := p.ptEntry(sig)
+	if e.csig < 255 {
+		e.csig++
+	}
+	// Find or allocate the delta slot.
+	slot, minC := -1, uint8(255)
+	for i := range e.deltas {
+		if e.cdelta[i] > 0 && e.deltas[i] == delta {
+			if e.cdelta[i] < 255 {
+				e.cdelta[i]++
+			}
+			return
+		}
+		if e.cdelta[i] < minC {
+			minC, slot = e.cdelta[i], i
+		}
+	}
+	if slot >= 0 {
+		e.deltas[slot] = delta
+		e.cdelta[slot] = 1
+	}
+	if e.csig == 255 {
+		// Periodic halving keeps counters adaptive.
+		e.csig /= 2
+		for i := range e.cdelta {
+			e.cdelta[i] /= 2
+		}
+	}
+}
+
+// best returns the strongest predicted delta for sig and its confidence in
+// percent.
+func (p *SPP) best(sig uint16) (delta int64, confPct int, ok bool) {
+	e := p.ptEntry(sig)
+	if e.csig == 0 {
+		return 0, 0, false
+	}
+	bi, bc := -1, uint8(0)
+	for i := range e.deltas {
+		if e.cdelta[i] > bc {
+			bc, bi = e.cdelta[i], i
+		}
+	}
+	if bi < 0 || bc == 0 {
+		return 0, 0, false
+	}
+	return e.deltas[bi], int(bc) * 100 / int(e.csig), true
+}
+
+// OnAccess implements prefetch.Component. SPP trains on the L1 miss stream.
+func (p *SPP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	p.tick++
+	line := ev.LineAddr / lineBytes
+	page := line / vldpPageLines
+	offset := int64(line % vldpPageLines)
+
+	s := p.findST(page)
+	if s == nil {
+		p.allocST(page, offset)
+		return
+	}
+	s.lru = p.tick
+	delta := offset - s.lastOffset
+	if delta == 0 {
+		return
+	}
+	p.train(s.sig, delta)
+	s.sig = sppNextSig(s.sig, delta)
+	s.lastOffset = offset
+
+	// Lookahead walk with multiplicative path confidence.
+	sig := s.sig
+	cur := int64(line)
+	conf := 100
+	for depth := 0; depth < p.maxDepth; depth++ {
+		d, c, ok := p.best(sig)
+		if !ok {
+			break
+		}
+		conf = conf * c / 100
+		if conf < p.threshold {
+			break
+		}
+		cur += d
+		if cur <= 0 {
+			break
+		}
+		issue(p.Req(uint64(cur)*lineBytes, p.dest, 1+conf/25))
+		sig = sppNextSig(sig, d)
+	}
+}
+
+func (p *SPP) findST(page uint64) *sppST {
+	e := &p.st[page%sppSTSize]
+	if e.valid && e.page == page {
+		return e
+	}
+	return nil
+}
+
+func (p *SPP) allocST(page uint64, offset int64) {
+	p.st[page%sppSTSize] = sppST{valid: true, page: page, sig: 0, lastOffset: offset, lru: p.tick}
+}
+
+// Reset implements prefetch.Component.
+func (p *SPP) Reset() {
+	for i := range p.st {
+		p.st[i] = sppST{}
+	}
+	for i := range p.pt {
+		p.pt[i] = sppPT{}
+	}
+	p.tick = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 5 KB —
+// 256 ST entries + 512 PT entries + prefetch filter + GHR (filter/GHR are
+// folded into the hierarchy's MSHR-based redundancy filter here but costed).
+func (p *SPP) StorageBits() int {
+	return sppSTSize*(16+12+6) + sppPTSize*(8+4*(7+8)) + 1024*8 + 8*32
+}

@@ -1,0 +1,90 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// StreamBuf models Jouppi-style stream buffers [ISCA'90]: on a miss that
+// does not extend an existing stream, a buffer is allocated that prefetches
+// the next sequential lines; hits at a stream's head advance it. This is the
+// historical ancestor of the stream prefetchers (FDP) the paper compares.
+type StreamBuf struct {
+	prefetch.Base
+	dest  mem.Level
+	bufs  []streamBuffer
+	depth int
+	tick  uint64
+}
+
+type streamBuffer struct {
+	valid bool
+	next  uint64 // next line the buffer would supply
+	left  int    // lines remaining before the buffer is exhausted
+	lru   uint64
+}
+
+const streamBufCount = 8
+
+// NewStreamBuf returns `streamBufCount` buffers each running `depth` lines
+// ahead.
+func NewStreamBuf(dest mem.Level, depth int) *StreamBuf {
+	if depth <= 0 {
+		depth = 4
+	}
+	return &StreamBuf{dest: dest, bufs: make([]streamBuffer, streamBufCount), depth: depth}
+}
+
+// Name implements prefetch.Component.
+func (p *StreamBuf) Name() string { return "streambuf" }
+
+// OnAccess implements prefetch.Component.
+func (p *StreamBuf) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	p.tick++
+	line := ev.LineAddr / lineBytes
+
+	// A hit at a buffer head advances the stream by one line.
+	for i := range p.bufs {
+		b := &p.bufs[i]
+		if b.valid && b.next == line {
+			b.lru = p.tick
+			b.next++
+			b.left = p.depth
+			issue(p.Req((line+uint64(p.depth))*lineBytes, p.dest, 1))
+			return
+		}
+	}
+	// Otherwise allocate the LRU buffer and prime it.
+	victim := 0
+	for i := range p.bufs {
+		if !p.bufs[i].valid {
+			victim = i
+			break
+		}
+		if p.bufs[i].lru < p.bufs[victim].lru {
+			victim = i
+		}
+	}
+	p.bufs[victim] = streamBuffer{valid: true, next: line + 1, left: p.depth, lru: p.tick}
+	for k := 1; k <= p.depth; k++ {
+		issue(p.Req((line+uint64(k))*lineBytes, p.dest, 1))
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *StreamBuf) Reset() {
+	for i := range p.bufs {
+		p.bufs[i] = streamBuffer{}
+	}
+	p.tick = 0
+}
+
+// StorageBits implements prefetch.Component: each buffer holds `depth`
+// lines of data plus a tag — stream buffers pay for storage in line-sized
+// entries, unlike table-based designs.
+func (p *StreamBuf) StorageBits() int {
+	return streamBufCount * (48 + p.depth*(64*8+48))
+}

@@ -1,0 +1,88 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// Stride is the classic PC-indexed stride prefetcher (Chen & Baer style):
+// a reference prediction table keyed by load PC with a two-bit confidence
+// automaton; in the steady state it prefetches `degree` strides ahead.
+type Stride struct {
+	prefetch.Base
+	dest    mem.Level
+	degree  int
+	entries int
+	table   []strideEntry
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8 // 0..3; >=2 is steady
+	valid    bool
+}
+
+// NewStride returns a PC-stride prefetcher with `entries` table entries.
+func NewStride(dest mem.Level, entries, degree int) *Stride {
+	if entries <= 0 {
+		entries = 256
+	}
+	if degree <= 0 {
+		degree = 4
+	}
+	return &Stride{dest: dest, degree: degree, entries: entries, table: make([]strideEntry, entries)}
+}
+
+// Name implements prefetch.Component.
+func (p *Stride) Name() string { return "stride" }
+
+func (p *Stride) slot(pc uint64) *strideEntry {
+	return &p.table[(pc>>2)%uint64(p.entries)]
+}
+
+// OnAccess implements prefetch.Component.
+func (p *Stride) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	e := p.slot(ev.PC)
+	if !e.valid || e.pc != ev.PC {
+		*e = strideEntry{pc: ev.PC, lastAddr: ev.Addr, valid: true}
+		return
+	}
+	s := int64(ev.Addr) - int64(e.lastAddr)
+	if s == 0 {
+		return
+	}
+	if s == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = s
+		}
+	}
+	e.lastAddr = ev.Addr
+	if e.conf >= 2 && e.stride != 0 {
+		for i := 1; i <= p.degree; i++ {
+			target := int64(ev.Addr) + int64(i)*e.stride
+			if target <= 0 {
+				break
+			}
+			issue(p.Req(uint64(target)&^uint64(lineBytes-1), p.dest, 2))
+		}
+	}
+}
+
+// Reset implements prefetch.Component.
+func (p *Stride) Reset() {
+	for i := range p.table {
+		p.table[i] = strideEntry{}
+	}
+}
+
+// StorageBits implements prefetch.Component: entries × (tag 16 + addr 48 +
+// stride 16 + conf 2).
+func (p *Stride) StorageBits() int { return p.entries * (16 + 48 + 16 + 2) }

@@ -1,0 +1,251 @@
+package prefetchers
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// VLDP is the variable-length delta prefetcher [Shevgoor et al., MICRO'15]:
+// per-page delta histories (DHB) feed multiple delta prediction tables
+// (DPTs) keyed by progressively longer delta sequences; the deepest matching
+// table wins. An offset prediction table (OPT) predicts the first delta of
+// a freshly touched page from its first-access offset.
+type VLDP struct {
+	prefetch.Base
+	dest   mem.Level
+	degree int
+	dhb    []vldpDHB
+	dpt    [3][]vldpDPT // level i keyed by (i+1) most recent deltas
+	opt    []vldpOPT
+	tick   uint64
+}
+
+type vldpDHB struct {
+	valid      bool
+	page       uint64
+	lastOffset int64 // line offset within page
+	deltas     [4]int64
+	nDeltas    int
+	lru        uint64
+}
+
+type vldpDPT struct {
+	valid bool
+	key   uint64
+	delta int64
+	conf  uint8
+}
+
+type vldpOPT struct {
+	valid bool
+	delta int64
+	conf  uint8
+}
+
+const (
+	vldpPageLines = 64 // 4 KB pages of 64 B lines
+	vldpDHBSize   = 64
+	vldpOPTSize   = 128
+)
+
+var vldpDPTSizes = [3]int{64, 32, 32} // 128 DPT entries total (Table II)
+
+// NewVLDP returns a VLDP prefetcher prefetching up to `degree` deltas ahead.
+func NewVLDP(dest mem.Level, degree int) *VLDP {
+	if degree <= 0 {
+		degree = 4
+	}
+	p := &VLDP{dest: dest, degree: degree,
+		dhb: make([]vldpDHB, vldpDHBSize),
+		opt: make([]vldpOPT, vldpOPTSize),
+	}
+	for i := range p.dpt {
+		p.dpt[i] = make([]vldpDPT, vldpDPTSizes[i])
+	}
+	return p
+}
+
+// Name implements prefetch.Component.
+func (p *VLDP) Name() string { return "vldp" }
+
+func vldpKey(deltas []int64) uint64 {
+	// Mix the delta sequence into a table key (order-sensitive).
+	var k uint64 = 1469598103934665603
+	for _, d := range deltas {
+		k ^= uint64(d)
+		k *= 1099511628211
+	}
+	return k
+}
+
+func (p *VLDP) dptLookup(level int, deltas []int64) (int64, bool) {
+	t := p.dpt[level]
+	e := &t[vldpKey(deltas)%uint64(len(t))]
+	if e.valid && e.key == vldpKey(deltas) && e.conf > 0 {
+		return e.delta, true
+	}
+	return 0, false
+}
+
+func (p *VLDP) dptUpdate(level int, deltas []int64, next int64) {
+	t := p.dpt[level]
+	k := vldpKey(deltas)
+	e := &t[k%uint64(len(t))]
+	if e.valid && e.key == k {
+		if e.delta == next {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else if e.conf > 0 {
+			e.conf--
+		} else {
+			e.delta = next
+			e.conf = 1
+		}
+		return
+	}
+	*e = vldpDPT{valid: true, key: k, delta: next, conf: 1}
+}
+
+// predict returns the next delta using the deepest matching DPT.
+func (p *VLDP) predict(hist []int64) (int64, bool) {
+	for level := 2; level >= 0; level-- {
+		need := level + 1
+		if len(hist) < need {
+			continue
+		}
+		if d, ok := p.dptLookup(level, hist[len(hist)-need:]); ok {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// OnAccess implements prefetch.Component. VLDP trains on the L1 miss stream.
+func (p *VLDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if !ev.MissL1 && !ev.PrefetchHitL1 {
+		return
+	}
+	p.tick++
+	line := ev.LineAddr / lineBytes
+	page := line / vldpPageLines
+	offset := int64(line % vldpPageLines)
+
+	d := p.findDHB(page)
+	if d == nil {
+		d = p.allocDHB(page, offset)
+		// First touch of the page: consult the OPT.
+		o := &p.opt[offset%vldpOPTSize]
+		if o.valid && o.conf > 0 {
+			t := int64(line) + o.delta
+			if t > 0 {
+				issue(p.Req(uint64(t)*lineBytes, p.dest, 1))
+			}
+		}
+		return
+	}
+	d.lru = p.tick
+	delta := offset - d.lastOffset
+	if delta == 0 {
+		return
+	}
+	// Train: the history before this access predicted `delta`.
+	hist := d.deltas[:d.nDeltas]
+	for level := 0; level < 3; level++ {
+		need := level + 1
+		if len(hist) >= need {
+			p.dptUpdate(level, hist[len(hist)-need:], delta)
+		}
+	}
+	if d.nDeltas == 0 {
+		// This was the second access to the page: train OPT.
+		o := &p.opt[uint64(d.lastOffset)%vldpOPTSize]
+		if o.valid && o.delta == delta {
+			if o.conf < 3 {
+				o.conf++
+			}
+		} else if o.valid && o.conf > 0 {
+			o.conf--
+		} else {
+			*o = vldpOPT{valid: true, delta: delta, conf: 1}
+		}
+	}
+	// Push delta into history.
+	if d.nDeltas < len(d.deltas) {
+		d.deltas[d.nDeltas] = delta
+		d.nDeltas++
+	} else {
+		copy(d.deltas[:], d.deltas[1:])
+		d.deltas[3] = delta
+	}
+	d.lastOffset = offset
+
+	// Predict and prefetch up to degree deltas ahead by chaining.
+	var walk [8]int64
+	n := copy(walk[:], d.deltas[:d.nDeltas])
+	cur := int64(line)
+	for i := 0; i < p.degree; i++ {
+		nd, ok := p.predict(walk[:n])
+		if !ok {
+			break
+		}
+		cur += nd
+		if cur <= 0 {
+			break
+		}
+		issue(p.Req(uint64(cur)*lineBytes, p.dest, 1))
+		if n < len(walk) {
+			walk[n] = nd
+			n++
+		} else {
+			copy(walk[:], walk[1:])
+			walk[n-1] = nd
+		}
+	}
+}
+
+func (p *VLDP) findDHB(page uint64) *vldpDHB {
+	for i := range p.dhb {
+		if p.dhb[i].valid && p.dhb[i].page == page {
+			return &p.dhb[i]
+		}
+	}
+	return nil
+}
+
+func (p *VLDP) allocDHB(page uint64, offset int64) *vldpDHB {
+	victim := 0
+	for i := range p.dhb {
+		if !p.dhb[i].valid {
+			victim = i
+			break
+		}
+		if p.dhb[i].lru < p.dhb[victim].lru {
+			victim = i
+		}
+	}
+	p.dhb[victim] = vldpDHB{valid: true, page: page, lastOffset: offset, lru: p.tick}
+	return &p.dhb[victim]
+}
+
+// Reset implements prefetch.Component.
+func (p *VLDP) Reset() {
+	for i := range p.dhb {
+		p.dhb[i] = vldpDHB{}
+	}
+	for l := range p.dpt {
+		for i := range p.dpt[l] {
+			p.dpt[l][i] = vldpDPT{}
+		}
+	}
+	for i := range p.opt {
+		p.opt[i] = vldpOPT{}
+	}
+	p.tick = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 3.25 KB —
+// 64 DHB entries (~200b) + 128 DPT entries (~60b) + 128 OPT entries (~10b).
+func (p *VLDP) StorageBits() int {
+	return vldpDHBSize*(36+6+4*7+8) + 128*(32+7+2) + vldpOPTSize*(7+2)
+}

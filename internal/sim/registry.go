@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/prefetchers"
+	"divlab/internal/tpc"
+	"divlab/internal/workloads"
+)
+
+// Named pairs a display name with a prefetcher factory.
+type Named struct {
+	Name    string
+	Factory Factory
+}
+
+// Baseline returns the no-prefetch configuration.
+func Baseline() Named { return Named{Name: "none", Factory: nil} }
+
+// Monolithic returns the paper's seven comparison prefetchers in Table II
+// order, all prefetching into L1 (the paper's best-performing destination).
+func Monolithic() []Named {
+	return []Named{
+		{"ghb-pc/dc", func(workloads.Instance) prefetch.Component { return prefetchers.NewGHB(mem.L1, 256, 4) }},
+		{"fdp", func(workloads.Instance) prefetch.Component { return prefetchers.NewFDP(mem.L1) }},
+		{"vldp", func(workloads.Instance) prefetch.Component { return prefetchers.NewVLDP(mem.L1, 4) }},
+		{"spp", func(workloads.Instance) prefetch.Component { return prefetchers.NewSPP(mem.L1, 25, 8) }},
+		{"bop", func(workloads.Instance) prefetch.Component { return prefetchers.NewBOP(mem.L1) }},
+		{"ampm", func(workloads.Instance) prefetch.Component { return prefetchers.NewAMPM(mem.L1, 16, 2) }},
+		{"sms", func(workloads.Instance) prefetch.Component { return prefetchers.NewSMS(mem.L1) }},
+	}
+}
+
+// TPCFull returns the composite T2+P1+C1 configuration.
+func TPCFull() Named {
+	return Named{Name: "tpc", Factory: func(inst workloads.Instance) prefetch.Component {
+		return tpc.New(tpc.DefaultOptions(inst.Memory()))
+	}}
+}
+
+// TPCIncremental returns T2 alone, T2+P1, and T2+P1+C1 (Fig. 12's
+// component-by-component build-up).
+func TPCIncremental() []Named {
+	return []Named{
+		{"t2", func(inst workloads.Instance) prefetch.Component {
+			return tpc.New(tpc.Options{EnableT2: true, Memory: inst.Memory()})
+		}},
+		{"t2+p1", func(inst workloads.Instance) prefetch.Component {
+			return tpc.New(tpc.Options{EnableT2: true, EnableP1: true, Memory: inst.Memory()})
+		}},
+		TPCFull(),
+	}
+}
+
+// TPCWith returns TPC composited with an extra existing prefetcher
+// (Sec. IV-E / Fig. 15 "compositing").
+func TPCWith(extra Named) Named {
+	return Named{Name: "tpc+" + extra.Name, Factory: func(inst workloads.Instance) prefetch.Component {
+		opts := tpc.DefaultOptions(inst.Memory())
+		opts.Extras = []prefetch.Component{extra.Factory(inst)}
+		return tpc.New(opts)
+	}}
+}
+
+// ShuntWith returns TPC shunted with an extra prefetcher: both run in
+// parallel with no coordination (Fig. 15 "shunting").
+func ShuntWith(extra Named) Named {
+	return Named{Name: "shunt+" + extra.Name, Factory: func(inst workloads.Instance) prefetch.Component {
+		return prefetch.NewShunt(
+			tpc.New(tpc.DefaultOptions(inst.Memory())),
+			extra.Factory(inst),
+		)
+	}}
+}
+
+// AllEvaluated returns the paper's full Fig. 8 lineup: seven monolithic
+// prefetchers plus TPC.
+func AllEvaluated() []Named {
+	return append(Monolithic(), TPCFull())
+}
+
+// ByName resolves a prefetcher configuration by name.
+func ByName(name string) (Named, bool) {
+	if name == "none" {
+		return Baseline(), true
+	}
+	cands := append(append([]Named{}, AllEvaluated()...), TPCIncremental()...)
+	cands = append(cands,
+		Named{"nextline", func(workloads.Instance) prefetch.Component { return prefetchers.NewNextLine(mem.L1, 1) }},
+		Named{"stride", func(workloads.Instance) prefetch.Component { return prefetchers.NewStride(mem.L1, 256, 4) }},
+		Named{"markov", func(workloads.Instance) prefetch.Component { return prefetchers.NewMarkov(mem.L1, 2) }},
+		Named{"streambuf", func(workloads.Instance) prefetch.Component { return prefetchers.NewStreamBuf(mem.L1, 4) }},
+	)
+	for _, m := range Monolithic() {
+		cands = append(cands, TPCWith(m), ShuntWith(m))
+	}
+	for _, c := range cands {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Named{}, false
+}

@@ -1,0 +1,421 @@
+// Package sim wires the substrates together: a workload instance feeds the
+// analytical core, whose memory accesses flow through the hierarchy; every
+// demand event trains the prefetcher under test, and every prefetch request
+// is issued back into the hierarchy with its component identity. The runner
+// produces the per-run measurements (misses, traffic, footprints, prefetch
+// attempts by category and owner) that the metrics layer turns into the
+// paper's scope / effective-accuracy / coverage numbers.
+package sim
+
+import (
+	"divlab/internal/bpred"
+	"divlab/internal/cache"
+	"divlab/internal/cpu"
+	"divlab/internal/dram"
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+	"divlab/internal/vmem"
+	"divlab/internal/workloads"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Insts is the instruction budget per core.
+	Insts uint64
+	// Cores is the number of cores (1 or 4 in the paper's experiments).
+	Cores int
+	// Seed drives workload layout and the DRAM drop policy.
+	Seed uint64
+	// DropPolicy selects the memory controller's overflow behaviour.
+	DropPolicy dram.DropPolicy
+	// CollectFootprint enables the per-line miss and prefetch maps needed
+	// for scope metrics (costs memory; off for plain speedup runs).
+	CollectFootprint bool
+	// DestOverride, when non-nil, remaps each prefetch's destination based
+	// on the target's ground-truth category (the Fig. 16 oracle study).
+	DestOverride func(req prefetch.Request, cat workloads.Category) mem.Level
+	// CoreParams defaults to cpu.DefaultParams() when zero.
+	CoreParams cpu.Params
+	// UseBPred replaces the workloads' mispredict flags with the Table I
+	// TAGE + loop predictor (each core gets its own instance).
+	UseBPred bool
+}
+
+// DefaultConfig returns a single-core run of n instructions.
+func DefaultConfig(n uint64) Config {
+	return Config{Insts: n, Cores: 1, Seed: 1, CoreParams: cpu.DefaultParams()}
+}
+
+// Factory builds the prefetcher for a given workload instance (components
+// like P1 need the instance's value memory).
+type Factory func(inst workloads.Instance) prefetch.Component
+
+// Result captures everything measured in one core's run.
+type Result struct {
+	Core cpu.Result
+
+	L1Misses    uint64 // primary L1D misses
+	L1Secondary uint64
+	L2Misses    uint64
+	Traffic     uint64 // memory-bus lines (reads + writebacks)
+
+	Issued   uint64 // prefetches that caused a fetch
+	Filtered uint64
+	Dropped  uint64
+	// IssuedDest splits Issued by destination level (L1/L2/L3).
+	IssuedDest [3]uint64
+
+	// PerOwner maps component id -> issued prefetch count.
+	PerOwner map[int]uint64
+	// CatIssued counts issued prefetches by ground-truth category.
+	CatIssued [workloads.NumCategories]uint64
+	// CatIssuedL1 counts only L1-destined issues by category, so accuracy
+	// can be judged at each prefetch's own destination level.
+	CatIssuedL1 [workloads.NumCategories]uint64
+	// PerOwnerCat maps component id -> per-category issued counts.
+	PerOwnerCat map[int][workloads.NumCategories]uint64
+	// CatL1Misses counts primary L1 misses by category.
+	CatL1Misses [workloads.NumCategories]uint64
+	// CatL2Misses counts primary L2 misses by category.
+	CatL2Misses [workloads.NumCategories]uint64
+
+	// MissL1Lines / MissL2Lines are per-line primary miss counts
+	// (CollectFootprint only).
+	MissL1Lines map[uint64]uint32
+	MissL2Lines map[uint64]uint32
+	// Attempted is the prefetch footprint: line -> bitmask of component
+	// slots that attempted it (CollectFootprint only).
+	Attempted map[uint64]uint32
+	// IssuedLines is the post-filter per-line issued prefetch count
+	// (CollectFootprint only), used for region-restricted accuracy.
+	IssuedLines map[uint64]uint32
+	// OwnerSlots maps component id -> bit position in Attempted masks.
+	OwnerSlots map[int]uint
+	// Names maps component id -> component name.
+	Names map[int]string
+
+	// L1Stats / L2Stats expose the raw cache counters.
+	L1Stats cache.Stats
+	L2Stats cache.Stats
+	// DRAM exposes the memory controller counters (system-wide).
+	DRAM dram.Stats
+}
+
+// IPC returns the run's instructions per cycle.
+func (r *Result) IPC() float64 { return r.Core.IPC() }
+
+// MPKI returns primary L1 misses per kilo-instruction.
+func (r *Result) MPKI() float64 {
+	if r.Core.Insts == 0 {
+		return 0
+	}
+	return float64(r.L1Misses) * 1000 / float64(r.Core.Insts)
+}
+
+// runner binds one core's pieces together.
+type runner struct {
+	cfg    Config
+	inst   workloads.Instance
+	hier   *mem.Hierarchy
+	pf     prefetch.Component
+	pfInst prefetch.InstObserver
+	res    *Result
+	queue  []prefetch.Request
+}
+
+// Access implements cpu.MemPort.
+func (r *runner) Access(pc, addr uint64, at uint64, store bool) uint64 {
+	lat, ev := r.hier.Access(pc, addr, at, store)
+	res := r.res
+	cat := r.inst.Classify(ev.LineAddr)
+	if ev.MissL1 {
+		res.L1Misses++
+		res.CatL1Misses[cat]++
+		if res.MissL1Lines != nil {
+			res.MissL1Lines[ev.LineAddr]++
+		}
+	}
+	if ev.Secondary {
+		res.L1Secondary++
+	}
+	if ev.MissL2 {
+		res.L2Misses++
+		res.CatL2Misses[cat]++
+		if res.MissL2Lines != nil {
+			res.MissL2Lines[ev.LineAddr]++
+		}
+	}
+	if r.pf != nil {
+		r.pf.OnAccess(&ev, r.issue)
+		r.drain(at)
+	}
+	return lat
+}
+
+// hook is the core's dispatch-time instruction hook.
+func (r *runner) hook(in *trace.Inst, cycle uint64) {
+	if r.pfInst == nil {
+		return
+	}
+	r.pfInst.OnInst(in, cycle, r.issue)
+	r.drain(cycle)
+}
+
+// issue queues a component's request; drain processes it after the handler
+// returns. A per-event cap bounds runaway components.
+func (r *runner) issue(req prefetch.Request) {
+	if len(r.queue) < 256 {
+		r.queue = append(r.queue, req)
+	}
+}
+
+func (r *runner) drain(at uint64) {
+	res := r.res
+	for _, req := range r.queue {
+		cat := r.inst.Classify(req.LineAddr)
+		dest := req.Dest
+		if r.cfg.DestOverride != nil {
+			dest = r.cfg.DestOverride(req, cat)
+		}
+		if res.Attempted != nil {
+			res.Attempted[req.LineAddr] |= 1 << res.OwnerSlots[req.Owner]
+		}
+		if r.hier.Prefetch(req.LineAddr, dest, req.Owner, req.Priority, at) {
+			res.Issued++
+			res.IssuedDest[dest]++
+			if res.IssuedLines != nil {
+				res.IssuedLines[req.LineAddr]++
+			}
+			res.CatIssued[cat]++
+			if dest == mem.L1 {
+				res.CatIssuedL1[cat]++
+			}
+			res.PerOwner[req.Owner]++
+			pc := res.PerOwnerCat[req.Owner]
+			pc[cat]++
+			res.PerOwnerCat[req.Owner] = pc
+		}
+	}
+	r.queue = r.queue[:0]
+}
+
+func newResult(cfg Config, names map[int]string) *Result {
+	res := &Result{
+		PerOwner:    make(map[int]uint64),
+		PerOwnerCat: make(map[int][workloads.NumCategories]uint64),
+		Names:       names,
+		OwnerSlots:  make(map[int]uint),
+	}
+	// Deterministic slot assignment by id order.
+	slot := uint(0)
+	maxID := 0
+	for id := range names {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := 1; id <= maxID; id++ {
+		if _, ok := names[id]; ok {
+			res.OwnerSlots[id] = slot
+			slot++
+		}
+	}
+	if cfg.CollectFootprint {
+		res.MissL1Lines = make(map[uint64]uint32, 1<<14)
+		res.MissL2Lines = make(map[uint64]uint32, 1<<14)
+		res.Attempted = make(map[uint64]uint32, 1<<14)
+		res.IssuedLines = make(map[uint64]uint32, 1<<14)
+	}
+	return res
+}
+
+// RunSingle executes one workload on one core with the given prefetcher
+// factory (nil for the no-prefetch baseline).
+func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
+	if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	if cfg.CoreParams.Width == 0 {
+		cfg.CoreParams = cpu.DefaultParams()
+	}
+	inst := w.New(cfg.Seed)
+	sys := mem.NewSystem(mem.DefaultConfig(1), cfg.DropPolicy, cfg.Seed)
+	hier := mem.NewHierarchy(mem.DefaultConfig(1), sys)
+
+	var comp prefetch.Component
+	names := map[int]string{}
+	if factory != nil {
+		comp = factory(inst)
+		names = prefetch.AssignIDs(comp, 1)
+	}
+	res := newResult(cfg, names)
+	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
+	if o, ok := comp.(prefetch.InstObserver); ok {
+		r.pfInst = o
+	}
+
+	params := cfg.CoreParams
+	if cfg.UseBPred {
+		params.Pred = bpred.New()
+	}
+	core := cpu.New(params, r, r.hook)
+	src := &trace.Limit{Src: inst, N: cfg.Insts}
+	res.Core = core.Run(src)
+
+	res.Traffic = sys.Mem.Stats.Lines()
+	res.Issued = hier.Stats.PrefetchesIssued
+	res.Filtered = hier.Stats.PrefetchesFiltered
+	res.Dropped = sys.Mem.Stats.DroppedPrefetches
+	res.L1Stats = hier.L1D.Stats
+	res.L2Stats = hier.L2.Stats
+	res.DRAM = sys.Mem.Stats
+	return res
+}
+
+// RunMulti executes a 4-app mix on `cores` cores sharing L3 and DRAM; each
+// core gets its own private hierarchy and its own prefetcher instance.
+// Cores are interleaved in simulated-time order so contention at the shared
+// levels is honored. The i-th result corresponds to the i-th app.
+func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
+	cores := cfg.Cores
+	if cores <= 0 || cores > 4 {
+		cores = 4
+	}
+	if cfg.CoreParams.Width == 0 {
+		cfg.CoreParams = cpu.DefaultParams()
+	}
+	sys := mem.NewSystem(mem.DefaultConfig(cores), cfg.DropPolicy, cfg.Seed)
+
+	type coreState struct {
+		r    *runner
+		core *cpu.Core
+		src  *trace.Limit
+		done bool
+	}
+	states := make([]*coreState, cores)
+	results := make([]*Result, cores)
+	for i := 0; i < cores; i++ {
+		inst := mix.Apps[i].New(cfg.Seed + uint64(i)*7919)
+		hier := mem.NewHierarchy(mem.DefaultConfig(cores), sys)
+		var comp prefetch.Component
+		names := map[int]string{}
+		if factory != nil {
+			comp = factory(inst)
+			names = prefetch.AssignIDs(comp, 1)
+		}
+		res := newResult(cfg, names)
+		r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
+		if o, ok := comp.(prefetch.InstObserver); ok {
+			r.pfInst = o
+		}
+		params := cfg.CoreParams
+		if cfg.UseBPred {
+			params.Pred = bpred.New()
+		}
+		states[i] = &coreState{
+			r:    r,
+			core: cpu.New(params, r, r.hook),
+			src:  &trace.Limit{Src: inst, N: cfg.Insts},
+		}
+		results[i] = res
+	}
+
+	// Advance the core that is furthest behind in simulated time so shared
+	// resources see accesses in approximate time order.
+	var in trace.Inst
+	for {
+		pick := -1
+		var minCycle uint64 = ^uint64(0)
+		for i, st := range states {
+			if st.done {
+				continue
+			}
+			if c := st.core.Cycle(); c < minCycle {
+				minCycle, pick = c, i
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		st := states[pick]
+		// Step a small batch to amortize scheduling.
+		for k := 0; k < 64; k++ {
+			if !st.src.Next(&in) {
+				st.done = true
+				break
+			}
+			st.core.Step(&in)
+		}
+	}
+
+	for i, st := range states {
+		results[i].Core = st.core.Result()
+		results[i].Issued = st.r.hier.Stats.PrefetchesIssued
+		results[i].Filtered = st.r.hier.Stats.PrefetchesFiltered
+		results[i].L1Stats = st.r.hier.L1D.Stats
+		results[i].L2Stats = st.r.hier.L2.Stats
+	}
+	// Shared traffic is system-wide; attribute the total to each result so
+	// suite aggregation can normalize consistently.
+	for i := range results {
+		results[i].Traffic = sys.Mem.Stats.Lines()
+		results[i].Dropped = sys.Mem.Stats.DroppedPrefetches
+	}
+	return results
+}
+
+// traceInstance adapts a loaded trace file to the workload interface.
+// Ground-truth categories are not recorded in trace files, so everything
+// classifies as HHF; category-stratified metrics are meaningless in trace
+// mode (speedup, traffic, scope and accuracy remain exact).
+type traceInstance struct {
+	ft *trace.FileTrace
+}
+
+func (t *traceInstance) Next(in *trace.Inst) bool           { return t.ft.Next(in) }
+func (t *traceInstance) Memory() vmem.Memory                { return t.ft.Memory }
+func (t *traceInstance) Classify(uint64) workloads.Category { return workloads.HHF }
+
+// RunTrace replays a captured trace file on one core with the given
+// prefetcher factory (nil for the no-prefetch baseline). The trace is
+// rewound first, so the same FileTrace can be replayed repeatedly.
+func RunTrace(ft *trace.FileTrace, factory Factory, cfg Config) *Result {
+	ft.Reset()
+	if cfg.CoreParams.Width == 0 {
+		cfg.CoreParams = cpu.DefaultParams()
+	}
+	inst := &traceInstance{ft: ft}
+	sys := mem.NewSystem(mem.DefaultConfig(1), cfg.DropPolicy, cfg.Seed)
+	hier := mem.NewHierarchy(mem.DefaultConfig(1), sys)
+
+	var comp prefetch.Component
+	names := map[int]string{}
+	if factory != nil {
+		comp = factory(inst)
+		names = prefetch.AssignIDs(comp, 1)
+	}
+	res := newResult(cfg, names)
+	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
+	if o, ok := comp.(prefetch.InstObserver); ok {
+		r.pfInst = o
+	}
+	params := cfg.CoreParams
+	if cfg.UseBPred {
+		params.Pred = bpred.New()
+	}
+	core := cpu.New(params, r, r.hook)
+	n := cfg.Insts
+	if n == 0 || n > uint64(len(ft.Insts)) {
+		n = uint64(len(ft.Insts))
+	}
+	res.Core = core.Run(&trace.Limit{Src: inst, N: n})
+	res.Traffic = sys.Mem.Stats.Lines()
+	res.Issued = hier.Stats.PrefetchesIssued
+	res.Filtered = hier.Stats.PrefetchesFiltered
+	res.Dropped = sys.Mem.Stats.DroppedPrefetches
+	res.L1Stats = hier.L1D.Stats
+	res.L2Stats = hier.L2.Stats
+	res.DRAM = sys.Mem.Stats
+	return res
+}

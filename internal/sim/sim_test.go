@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/workloads"
+)
+
+func TestDeterminism(t *testing.T) {
+	w, _ := workloads.ByName("mix.phases")
+	cfg := DefaultConfig(60_000)
+	tpc, _ := ByName("tpc")
+	a := RunSingle(w, tpc.Factory, cfg)
+	b := RunSingle(w, tpc.Factory, cfg)
+	if a.Core.Cycles != b.Core.Cycles || a.L1Misses != b.L1Misses || a.Issued != b.Issued {
+		t.Errorf("same seed diverged: %+v vs %+v", a.Core, b.Core)
+	}
+}
+
+func TestByNameRegistry(t *testing.T) {
+	for _, name := range []string{"none", "tpc", "t2", "t2+p1", "ghb-pc/dc", "fdp", "vldp",
+		"spp", "bop", "ampm", "sms", "nextline", "stride", "tpc+sms", "shunt+sms"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("unknown name must not resolve")
+	}
+}
+
+func TestAllEvaluatedRunAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is long")
+	}
+	cfg := DefaultConfig(20_000)
+	for _, p := range AllEvaluated() {
+		for _, w := range workloads.All() {
+			r := RunSingle(w, p.Factory, cfg)
+			if r.Core.Insts != cfg.Insts {
+				t.Fatalf("%s on %s retired %d of %d", p.Name, w.Name, r.Core.Insts, cfg.Insts)
+			}
+		}
+	}
+}
+
+func TestBaselineNeverPrefetches(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	r := RunSingle(w, nil, DefaultConfig(50_000))
+	if r.Issued != 0 || r.Filtered != 0 {
+		t.Errorf("baseline issued %d prefetches", r.Issued)
+	}
+}
+
+func TestDestOverride(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	cfg := DefaultConfig(80_000)
+	tpc, _ := ByName("tpc")
+	// Forcing everything to L2 must leave L1 misses (mostly) unfixed while
+	// still reducing L2 misses.
+	cfg.DestOverride = func(prefetch.Request, workloads.Category) mem.Level { return mem.L2 }
+	rl2 := RunSingle(w, tpc.Factory, cfg)
+	cfg.DestOverride = nil
+	rl1 := RunSingle(w, tpc.Factory, cfg)
+	if rl2.L1Misses <= rl1.L1Misses {
+		t.Errorf("L2-only destination should leave more L1 misses: %d vs %d", rl2.L1Misses, rl1.L1Misses)
+	}
+}
+
+func TestMultiCoreSharing(t *testing.T) {
+	mix := workloads.Mixes(1, 3)[0]
+	cfg := DefaultConfig(40_000)
+	cfg.Cores = 4
+	rs := RunMulti(mix, nil, cfg)
+	if len(rs) != 4 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Core.Insts != cfg.Insts {
+			t.Errorf("core %d retired %d", i, r.Core.Insts)
+		}
+	}
+	// Contention check: the same app alone must be at least as fast as in
+	// the mix (shared L3/DRAM can only hurt).
+	solo := RunSingle(mix.Apps[0], nil, DefaultConfig(40_000))
+	if rs[0].IPC() > solo.IPC()*1.05 {
+		t.Errorf("shared run faster than solo: %.3f vs %.3f", rs[0].IPC(), solo.IPC())
+	}
+}
+
+func TestMultiCoreWithPrefetcher(t *testing.T) {
+	mix := workloads.Mixes(1, 4)[0]
+	cfg := DefaultConfig(30_000)
+	cfg.Cores = 4
+	tpc, _ := ByName("tpc")
+	base := RunMulti(mix, nil, cfg)
+	rs := RunMulti(mix, tpc.Factory, cfg)
+	var wsum float64
+	for i := range rs {
+		if b := base[i].IPC(); b > 0 {
+			wsum += rs[i].IPC() / b
+		}
+	}
+	if ws := wsum / 4; ws < 0.9 {
+		t.Errorf("TPC multicore weighted speedup %.3f < 0.9", ws)
+	}
+}
+
+func TestFootprintCollection(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	cfg := DefaultConfig(50_000)
+	cfg.CollectFootprint = true
+	tpc, _ := ByName("tpc")
+	base := RunSingle(w, nil, cfg)
+	r := RunSingle(w, tpc.Factory, cfg)
+	if len(base.MissL1Lines) == 0 {
+		t.Error("baseline footprint empty")
+	}
+	if len(r.Attempted) == 0 || len(r.IssuedLines) == 0 {
+		t.Error("prefetch footprint empty")
+	}
+	// Attempted lines carry owner slots from the name table.
+	for _, mask := range r.Attempted {
+		if mask == 0 {
+			t.Fatal("attempted mask empty")
+		}
+		break
+	}
+	// Per-line issue counts never exceed the aggregate.
+	var sum uint64
+	for _, n := range r.IssuedLines {
+		sum += uint64(n)
+	}
+	if sum != r.Issued {
+		t.Errorf("IssuedLines sum %d != Issued %d", sum, r.Issued)
+	}
+}
+
+func TestPerOwnerAttribution(t *testing.T) {
+	w, _ := workloads.ByName("mix.phases")
+	cfg := DefaultConfig(120_000)
+	tpc, _ := ByName("tpc")
+	r := RunSingle(w, tpc.Factory, cfg)
+	if len(r.PerOwner) < 2 {
+		t.Fatalf("expected multiple components to issue, got %v (names %v)", r.PerOwner, r.Names)
+	}
+	var sum uint64
+	for _, n := range r.PerOwner {
+		sum += n
+	}
+	if sum != r.Issued {
+		t.Errorf("per-owner sum %d != issued %d", sum, r.Issued)
+	}
+}
+
+func TestMPKIAndIPC(t *testing.T) {
+	w, _ := workloads.ByName("resident.l2")
+	r := RunSingle(w, nil, DefaultConfig(30_000))
+	if r.IPC() <= 0 || r.MPKI() < 0 {
+		t.Errorf("IPC=%v MPKI=%v", r.IPC(), r.MPKI())
+	}
+}
+
+// TestBranchPredictorMode: with the real predictor, the fixed-trip loop
+// exits that the flag mode charges as mispredicts are learned by the loop
+// predictor, so total mispredicts must not increase.
+func TestBranchPredictorMode(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	cfg := DefaultConfig(100_000)
+	flagMode := RunSingle(w, nil, cfg)
+	cfg.UseBPred = true
+	predMode := RunSingle(w, nil, cfg)
+	if predMode.Core.Mispredicts > flagMode.Core.Mispredicts {
+		t.Errorf("predictor mode mispredicted more (%d) than flag mode (%d)",
+			predMode.Core.Mispredicts, flagMode.Core.Mispredicts)
+	}
+	if predMode.Core.Insts != cfg.Insts {
+		t.Error("run truncated")
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"divlab/internal/workloads"
+)
+
+// TestSmokeStream checks the end-to-end pipeline: a pure streaming workload
+// must see a large speedup from T2 and TPC, and prefetchers must actually
+// issue prefetches.
+func TestSmokeStream(t *testing.T) {
+	w, ok := workloads.ByName("stream.pure")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	cfg := DefaultConfig(200_000)
+	base := RunSingle(w, nil, cfg)
+	if base.L1Misses == 0 {
+		t.Fatalf("baseline generated no misses (insts=%d cycles=%d)", base.Core.Insts, base.Core.Cycles)
+	}
+	t.Logf("baseline: IPC=%.3f MPKI=%.1f misses=%d traffic=%d", base.IPC(), base.MPKI(), base.L1Misses, base.Traffic)
+
+	for _, name := range []string{"t2", "tpc", "bop", "sms", "ampm"} {
+		n, ok := ByName(name)
+		if !ok {
+			t.Fatalf("prefetcher %s missing", name)
+		}
+		r := RunSingle(w, n.Factory, cfg)
+		sp := r.IPC() / base.IPC()
+		t.Logf("%-6s: IPC=%.3f speedup=%.3f misses=%d issued=%d filtered=%d traffic=%d",
+			name, r.IPC(), sp, r.L1Misses, r.Issued, r.Filtered, r.Traffic)
+		if name == "t2" || name == "tpc" {
+			if r.Issued == 0 {
+				t.Errorf("%s issued no prefetches", name)
+			}
+			if sp < 1.05 {
+				t.Errorf("%s speedup %.3f too low on pure stream", name, sp)
+			}
+		}
+	}
+}
+
+// TestSmokeChase checks that P1 covers random pointer chains.
+func TestSmokeChase(t *testing.T) {
+	w, _ := workloads.ByName("chase.rand")
+	cfg := DefaultConfig(150_000)
+	base := RunSingle(w, nil, cfg)
+	t.Logf("baseline: IPC=%.3f MPKI=%.1f misses=%d", base.IPC(), base.MPKI(), base.L1Misses)
+	for _, name := range []string{"t2", "t2+p1", "tpc", "bop"} {
+		n, _ := ByName(name)
+		r := RunSingle(w, n.Factory, cfg)
+		t.Logf("%-6s: IPC=%.3f speedup=%.3f misses=%d issued=%d", name, r.IPC(), r.IPC()/base.IPC(), r.L1Misses, r.Issued)
+	}
+	n, _ := ByName("t2+p1")
+	r := RunSingle(w, n.Factory, cfg)
+	if r.IPC() <= base.IPC()*1.05 {
+		t.Errorf("t2+p1 speedup %.3f too low on pointer chase", r.IPC()/base.IPC())
+	}
+}
+
+// TestSmokeRegion checks that C1 helps dense-region workloads.
+func TestSmokeRegion(t *testing.T) {
+	w, _ := workloads.ByName("region.hot")
+	cfg := DefaultConfig(150_000)
+	base := RunSingle(w, nil, cfg)
+	t.Logf("baseline: IPC=%.3f MPKI=%.1f misses=%d", base.IPC(), base.MPKI(), base.L1Misses)
+	for _, name := range []string{"t2", "tpc", "sms"} {
+		n, _ := ByName(name)
+		r := RunSingle(w, n.Factory, cfg)
+		t.Logf("%-6s: IPC=%.3f speedup=%.3f misses=%d issued=%d", name, r.IPC(), r.IPC()/base.IPC(), r.L1Misses, r.Issued)
+	}
+	full, _ := ByName("tpc")
+	r := RunSingle(w, full.Factory, cfg)
+	if r.IPC() <= base.IPC() {
+		t.Errorf("tpc did not help region workload: speedup %.3f", r.IPC()/base.IPC())
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses to aggregate per-benchmark results the way the paper does: geometric
+// means for speedups, weighted means for scope/accuracy (weighted by MPKI or
+// by prefetch volume), and least-squares regression for the trend lines in
+// Figs. 10 and 12.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which would otherwise poison the product). An empty input yields 0.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i); 0 when weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: mismatched lengths")
+	}
+	var sx, sw float64
+	for i := range xs {
+		sx += xs[i] * ws[i]
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// MinMax returns the extrema of xs; (0,0) for empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Linreg fits y = a + b*x by least squares and returns (a, b). Degenerate
+// inputs (fewer than two points or zero x-variance) return b = 0.
+func Linreg(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched lengths")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return Mean(ys), 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// Median returns the median of xs (average of middle two for even length).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return (c[m-1] + c[m]) / 2
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if !almost(Geomean([]float64{2, 8}), 4) {
+		t.Errorf("Geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	// Non-positive entries are ignored, not poison.
+	if !almost(Geomean([]float64{4, 0, -1}), 4) {
+		t.Errorf("Geomean with nonpositives = %v", Geomean([]float64{4, 0, -1}))
+	}
+}
+
+func TestGeomeanConstantProperty(t *testing.T) {
+	f := func(x float64, n uint8) bool {
+		if x <= 0 || x > 1e300 || math.IsInf(x, 0) || math.IsNaN(x) || n == 0 {
+			return true
+		}
+		xs := make([]float64, int(n%16)+1)
+		for i := range xs {
+			xs[i] = x
+		}
+		return math.Abs(Geomean(xs)-x) < 1e-6*x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanWeightedMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty Mean")
+	}
+	if !almost(WeightedMean([]float64{1, 3}, []float64{1, 1}), 2) {
+		t.Error("uniform WeightedMean")
+	}
+	if !almost(WeightedMean([]float64{1, 3}, []float64{0, 5}), 3) {
+		t.Error("WeightedMean must follow weights")
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Error("empty WeightedMean")
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths must panic")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax must be 0,0")
+	}
+}
+
+func TestLinregExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := Linreg(xs, ys)
+	if !almost(a, 1) || !almost(b, 2) {
+		t.Errorf("Linreg = %v, %v", a, b)
+	}
+}
+
+func TestLinregDegenerate(t *testing.T) {
+	a, b := Linreg([]float64{5}, []float64{3})
+	if b != 0 || a != 3 {
+		t.Errorf("single point: a=%v b=%v", a, b)
+	}
+	a, b = Linreg([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || !almost(a, 2) {
+		t.Errorf("zero variance: a=%v b=%v", a, b)
+	}
+}
+
+func TestLinregRecoversLineProperty(t *testing.T) {
+	f := func(a0, b0 float64) bool {
+		if math.Abs(a0) > 1e6 || math.Abs(b0) > 1e6 {
+			return true
+		}
+		xs := []float64{-2, 0, 1, 5, 9}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a0 + b0*x
+		}
+		a, b := Linreg(xs, ys)
+		return math.Abs(a-a0) < 1e-6*(1+math.Abs(a0)) && math.Abs(b-b0) < 1e-6*(1+math.Abs(b0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Error("Median mutated its input")
+	}
+}

@@ -1,0 +1,212 @@
+package tpc
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"math/bits"
+)
+
+// C1 region and monitor geometry (Sec. IV-C): a region is a 16-line super
+// cache line (1 KB); the Region Monitor tracks 16 regions; the Instruction
+// Monitor holds 16 candidate instructions with no eviction — entries vacate
+// only when a decision is made after TotalRegions reaches 4; a region is
+// dense when more than 6 of its lines were touched, and an instruction is
+// marked dense when more than 3/4 of its observed regions were dense.
+const (
+	c1RegionLines = 16
+	c1RMEntries   = 16
+	c1IMEntries   = 16
+	c1DenseLines  = 6 // strictly more than this many lines => dense
+	c1DecideAt    = 4
+)
+
+type rmEntry struct {
+	valid  bool
+	region uint64
+	lines  uint16 // cache-line bit vector
+	insts  uint16 // PC bit vector: one bit per IM entry
+	lru    uint64
+}
+
+type imEntry struct {
+	valid        bool
+	pc           uint64
+	totalRegions int
+	denseRegions int
+}
+
+// C1 is the high-spatial-locality ("carpet bombing") component: instructions
+// empirically shown to touch dense regions trigger a whole-region prefetch
+// into the L2 (the coordinator's destination policy for C1's lower
+// accuracy).
+type C1 struct {
+	prefetch.Base
+	dest       mem.Level
+	denseLines int
+	rm         []rmEntry
+	im         []imEntry
+	// dense marks PCs decided as dense-region instructions; notDense marks
+	// PCs decided against, so the coordinator stops nominating them.
+	dense    map[uint64]bool
+	notDense map[uint64]bool
+	lastPref map[uint64]uint64 // PC -> last region prefetched (dedup)
+	tick     uint64
+}
+
+// NewC1 returns a C1 component prefetching regions into dest (the paper
+// uses L2).
+func NewC1(dest mem.Level) *C1 { return NewC1WithDensity(dest, c1DenseLines) }
+
+// NewC1WithDensity overrides the dense-region line threshold (the paper's
+// "more than six of sixteen" choice) for ablation studies.
+func NewC1WithDensity(dest mem.Level, denseLines int) *C1 {
+	return &C1{
+		dest:       dest,
+		denseLines: denseLines,
+		rm:         make([]rmEntry, c1RMEntries),
+		im:         make([]imEntry, c1IMEntries),
+		dense:      make(map[uint64]bool),
+		notDense:   make(map[uint64]bool),
+		lastPref:   make(map[uint64]uint64),
+	}
+}
+
+// Name implements prefetch.Component.
+func (c *C1) Name() string { return "c1" }
+
+// Handles reports whether C1 has marked pc as a dense-region instruction.
+func (c *C1) Handles(pc uint64) bool { return c.dense[pc] }
+
+// Decided reports whether C1 has finished judging pc either way.
+func (c *C1) Decided(pc uint64) bool { return c.dense[pc] || c.notDense[pc] }
+
+// Consider nominates pc for monitoring. The coordinator calls this for
+// instructions T2 and P1 both rejected. It returns false when the IM is
+// full (no eviction by design — the entry waits for its decision).
+func (c *C1) Consider(pc uint64) bool {
+	if c.Decided(pc) {
+		return true
+	}
+	for i := range c.im {
+		if c.im[i].valid && c.im[i].pc == pc {
+			return true
+		}
+	}
+	for i := range c.im {
+		if !c.im[i].valid {
+			c.im[i] = imEntry{valid: true, pc: pc}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *C1) imIndex(pc uint64) int {
+	for i := range c.im {
+		if c.im[i].valid && c.im[i].pc == pc {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnAccess implements prefetch.Component: every access trains the Region
+// Monitor; accesses by dense-marked instructions trigger region prefetch.
+func (c *C1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	c.tick++
+	line := ev.LineAddr / 64
+	region := line / c1RegionLines
+	offset := uint(line % c1RegionLines)
+
+	e := c.findRM(region)
+	if e == nil {
+		e = c.allocRM(region)
+	}
+	e.lru = c.tick
+	e.lines |= 1 << offset
+	if k := c.imIndex(ev.PC); k >= 0 {
+		e.insts |= 1 << uint(k)
+	}
+
+	if c.dense[ev.PC] {
+		if c.lastPref[ev.PC] != region {
+			c.lastPref[ev.PC] = region
+			base := region * c1RegionLines
+			for b := uint64(0); b < c1RegionLines; b++ {
+				if base+b == line {
+					continue
+				}
+				issue(c.Req((base+b)*64, c.dest, 1))
+			}
+		}
+	}
+}
+
+func (c *C1) findRM(region uint64) *rmEntry {
+	for i := range c.rm {
+		if c.rm[i].valid && c.rm[i].region == region {
+			return &c.rm[i]
+		}
+	}
+	return nil
+}
+
+func (c *C1) allocRM(region uint64) *rmEntry {
+	victim := 0
+	for i := range c.rm {
+		if !c.rm[i].valid {
+			victim = i
+			break
+		}
+		if c.rm[i].lru < c.rm[victim].lru {
+			victim = i
+		}
+	}
+	if v := &c.rm[victim]; v.valid {
+		c.evictRM(v)
+	}
+	c.rm[victim] = rmEntry{valid: true, region: region}
+	return &c.rm[victim]
+}
+
+// evictRM credits every monitored instruction that touched the departing
+// region and makes decisions for instructions that reached the threshold.
+func (c *C1) evictRM(e *rmEntry) {
+	denseRegion := bits.OnesCount16(e.lines) > c.denseLines
+	for k := 0; k < c1IMEntries; k++ {
+		if e.insts&(1<<uint(k)) == 0 || !c.im[k].valid {
+			continue
+		}
+		im := &c.im[k]
+		im.totalRegions++
+		if denseRegion {
+			im.denseRegions++
+		}
+		if im.totalRegions >= c1DecideAt {
+			if im.denseRegions*4 > im.totalRegions*3 {
+				c.dense[im.pc] = true
+			} else {
+				c.notDense[im.pc] = true
+			}
+			im.valid = false // vacate for another candidate
+		}
+	}
+}
+
+// Reset implements prefetch.Component.
+func (c *C1) Reset() {
+	for i := range c.rm {
+		c.rm[i] = rmEntry{}
+	}
+	for i := range c.im {
+		c.im[i] = imEntry{}
+	}
+	c.dense = make(map[uint64]bool)
+	c.notDense = make(map[uint64]bool)
+	c.lastPref = make(map[uint64]uint64)
+	c.tick = 0
+}
+
+// StorageBits implements prefetch.Component: Table II budgets 1.2 KB —
+// 16 IM entries (640 b), 16 RM entries (1248 b), and 1 Kb of state bits.
+func (c *C1) StorageBits() int { return 640 + 1248 + 1024 }

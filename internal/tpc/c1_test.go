@@ -1,0 +1,139 @@
+package tpc
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+)
+
+// touchRegion drives C1 with accesses by pc to `lines` distinct lines of the
+// 1 KB region starting at base.
+func touchRegion(c *C1, pc, base uint64, lines int, issue prefetch.Issuer) {
+	for j := 0; j < lines; j++ {
+		off := uint64((j * 7) % 16)
+		ev := mem.Event{PC: pc, Addr: base + off*64, LineAddr: base + off*64, MissL1: true}
+		c.OnAccess(&ev, issue)
+	}
+}
+
+func TestC1MarksDenseInstruction(t *testing.T) {
+	c := NewC1(mem.L2)
+	issue, _ := sink()
+	const pc = 0x600
+	if !c.Consider(pc) {
+		t.Fatal("Consider must admit into an empty IM")
+	}
+	// Five regions, 10/16 lines each: dense. Decision after 4 evictions.
+	for r := uint64(0); r < 30; r++ {
+		touchRegion(c, pc, (1<<30)+r*1024, 10, issue)
+	}
+	if !c.Handles(pc) {
+		t.Fatal("instruction touching dense regions must be marked")
+	}
+}
+
+func TestC1RejectsSparseInstruction(t *testing.T) {
+	c := NewC1(mem.L2)
+	issue, got := sink()
+	const pc = 0x604
+	c.Consider(pc)
+	for r := uint64(0); r < 40; r++ {
+		touchRegion(c, pc, (1<<30)+r*1024, 4, issue) // 4/16 lines: sparse
+	}
+	if c.Handles(pc) {
+		t.Error("sparse-region instruction must not be marked dense")
+	}
+	if !c.Decided(pc) {
+		t.Error("a decision must eventually be made")
+	}
+	if len(*got) != 0 {
+		t.Error("undecided/sparse instructions must not trigger region prefetch")
+	}
+}
+
+func TestC1RegionPrefetchAfterDecision(t *testing.T) {
+	c := NewC1(mem.L2)
+	issue, got := sink()
+	const pc = 0x608
+	c.Consider(pc)
+	for r := uint64(0); r < 30; r++ {
+		touchRegion(c, pc, (1<<30)+r*1024, 10, issue)
+	}
+	if !c.Handles(pc) {
+		t.Fatal("not marked dense")
+	}
+	*got = (*got)[:0]
+	newBase := uint64(2 << 30)
+	ev := mem.Event{PC: pc, Addr: newBase + 3*64, LineAddr: newBase + 3*64, MissL1: true}
+	c.OnAccess(&ev, issue)
+	if len(*got) != 15 {
+		t.Fatalf("region prefetch must cover the other 15 lines, got %d", len(*got))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range *got {
+		if r.Dest != mem.L2 {
+			t.Errorf("C1 must prefetch to L2, got %v", r.Dest)
+		}
+		if r.LineAddr < newBase || r.LineAddr >= newBase+1024 {
+			t.Errorf("prefetch %#x outside region", r.LineAddr)
+		}
+		if r.LineAddr == ev.LineAddr {
+			t.Error("the demanded line must not be re-prefetched")
+		}
+		seen[r.LineAddr] = true
+	}
+	if len(seen) != 15 {
+		t.Errorf("duplicate region prefetches: %d unique", len(seen))
+	}
+	// Re-access in the same region: deduplicated.
+	*got = (*got)[:0]
+	ev2 := mem.Event{PC: pc, Addr: newBase + 5*64, LineAddr: newBase + 5*64, MissL1: true}
+	c.OnAccess(&ev2, issue)
+	if len(*got) != 0 {
+		t.Errorf("same-region re-trigger must be deduped, got %d", len(*got))
+	}
+}
+
+func TestC1IMNoEviction(t *testing.T) {
+	c := NewC1(mem.L2)
+	// Fill the IM with 16 undecided candidates.
+	for i := uint64(0); i < 16; i++ {
+		if !c.Consider(0x700 + i*4) {
+			t.Fatalf("IM admission %d failed", i)
+		}
+	}
+	if c.Consider(0x900) {
+		t.Error("full IM must refuse new candidates (no eviction by design)")
+	}
+	// Deciding one vacates a slot.
+	issue, _ := sink()
+	for r := uint64(0); r < 30; r++ {
+		touchRegion(c, 0x700, (1<<30)+r*1024, 10, issue)
+	}
+	if !c.Decided(0x700) {
+		t.Fatal("candidate not decided")
+	}
+	if !c.Consider(0x900) {
+		t.Error("vacated IM slot must admit a new candidate")
+	}
+}
+
+func TestC1StorageBudget(t *testing.T) {
+	c := NewC1(mem.L2)
+	kb := float64(c.StorageBits()) / 8192
+	if kb < 0.2 || kb > 1.5 {
+		t.Errorf("C1 storage %.2f KB, Table II budgets 1.2 KB", kb)
+	}
+}
+
+func TestC1Reset(t *testing.T) {
+	c := NewC1(mem.L2)
+	issue, _ := sink()
+	c.Consider(0x600)
+	touchRegion(c, 0x600, 1<<30, 10, issue)
+	c.Reset()
+	if c.Decided(0x600) || c.imIndex(0x600) >= 0 {
+		t.Error("Reset must clear IM/decisions")
+	}
+}

@@ -1,0 +1,147 @@
+// Package tpc implements the paper's composite prefetcher: the T2 strided
+// stream component (Sec. IV-A), the P1 pointer component (Sec. IV-B), the C1
+// high-spatial-locality component (Sec. IV-C), and the hardwired coordinator
+// that divides labor among them and optionally admits existing monolithic
+// prefetchers as additional components (Secs. IV-D, IV-E).
+package tpc
+
+import "divlab/internal/trace"
+
+// LoopHW is T2's loop hardware (Fig. 3a): a loop-branch register capturing
+// back-to-back instances of the same backward branch, and a non-loop PC
+// table (NLPCT) remembering backward branches that turned out not to be
+// loop branches, so they are skipped by the loop marker.
+type LoopHW struct {
+	// Loop-branch register.
+	lrPC, lrTarget uint64
+	lrValid        bool
+	lrHits         int // consecutive confirmations
+	lastTick       uint64
+
+	nlpct     []uint64
+	nlpctSize int
+
+	// tIter is the EWMA of cycles per loop iteration, in 1/16ths.
+	tIter uint64
+	seen  bool
+}
+
+const (
+	nlpctEntries = 20
+	// lrConfirm is how many back-to-back matches establish a stable loop
+	// before a displaced candidate is treated as a non-loop branch.
+	lrConfirm = 2
+)
+
+// NewLoopHW returns loop hardware with a 20-entry NLPCT.
+func NewLoopHW() *LoopHW {
+	return &LoopHW{nlpct: make([]uint64, 0, nlpctEntries), nlpctSize: nlpctEntries}
+}
+
+func (l *LoopHW) inNLPCT(pc uint64) bool {
+	for _, p := range l.nlpct {
+		if p == pc {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *LoopHW) addNLPCT(pc uint64) {
+	if l.inNLPCT(pc) {
+		return
+	}
+	if len(l.nlpct) == l.nlpctSize {
+		copy(l.nlpct, l.nlpct[1:])
+		l.nlpct = l.nlpct[:l.nlpctSize-1]
+	}
+	l.nlpct = append(l.nlpct, pc)
+}
+
+// OnBranch observes a branch at dispatch cycle `cycle`. It returns true when
+// the branch closes an iteration of the identified inner loop.
+func (l *LoopHW) OnBranch(in *trace.Inst, cycle uint64) bool {
+	if !in.Taken || in.Target >= in.PC {
+		return false // only taken backward branches are loop candidates
+	}
+	if l.inNLPCT(in.PC) {
+		return false
+	}
+	if l.lrValid && l.lrPC == in.PC && l.lrTarget == in.Target {
+		l.lrHits++
+		if l.lastTick != 0 && cycle > l.lastTick {
+			dt := cycle - l.lastTick
+			if !l.seen {
+				l.tIter = dt << 4
+				l.seen = true
+			} else {
+				// tIter += (dt - tIter)/8 in fixed point.
+				l.tIter += (dt << 4) / 8
+				l.tIter -= l.tIter / 8
+			}
+		}
+		l.lastTick = cycle
+		return true
+	}
+	// A different backward branch displaces the register. If the old
+	// occupant never established itself, remember it as a non-loop branch
+	// so it stops delaying loop identification.
+	if l.lrValid && l.lrHits < lrConfirm {
+		l.addNLPCT(l.lrPC)
+	}
+	l.lrPC, l.lrTarget, l.lrValid = in.PC, in.Target, true
+	l.lrHits = 0
+	l.lastTick = cycle
+	return false
+}
+
+// TIter returns the average cycles per iteration of the current inner loop
+// (0 until a loop has been identified).
+func (l *LoopHW) TIter() uint64 {
+	if !l.seen {
+		return 0
+	}
+	return l.tIter >> 4
+}
+
+// Reset clears all loop state.
+func (l *LoopHW) Reset() {
+	*l = LoopHW{nlpct: l.nlpct[:0], nlpctSize: l.nlpctSize}
+}
+
+// RAS is the return address stack used to disambiguate call sites:
+// T2 indexes its SIT with mPC = PC xor RAS-top (Sec. IV-A2).
+type RAS struct {
+	stack []uint64
+	size  int
+}
+
+// NewRAS returns a return-address stack with n entries (Table I: 32).
+func NewRAS(n int) *RAS { return &RAS{stack: make([]uint64, 0, n), size: n} }
+
+// OnBranch updates the stack for call/return branches.
+func (r *RAS) OnBranch(in *trace.Inst) {
+	switch {
+	case in.IsCall:
+		if len(r.stack) == r.size {
+			copy(r.stack, r.stack[1:])
+			r.stack = r.stack[:r.size-1]
+		}
+		r.stack = append(r.stack, in.PC+4)
+	case in.IsRet:
+		if len(r.stack) > 0 {
+			r.stack = r.stack[:len(r.stack)-1]
+		}
+	}
+}
+
+// Top returns the top of the stack (0 when empty).
+func (r *RAS) Top() uint64 {
+	if len(r.stack) == 0 {
+		return 0
+	}
+	return r.stack[len(r.stack)-1]
+}
+
+// Reset empties the stack.
+func (r *RAS) Reset() { r.stack = r.stack[:0] }

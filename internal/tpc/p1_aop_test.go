@@ -1,0 +1,159 @@
+package tpc
+
+import (
+	"testing"
+
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+	"divlab/internal/vmem"
+)
+
+// TestP1ArrayOfPointers drives the Sec. IV-B1 pattern: a strided load i over
+// a pointer array, and a dependent load j at a constant offset from i's
+// value. P1 must confirm the pattern via the taint unit, mark i as a
+// strided-pointer instruction in T2's SIT, and prefetch future pointees.
+func TestP1ArrayOfPointers(t *testing.T) {
+	const (
+		pcI   = 0x600000 // strided pointer-array load
+		pcJ   = 0x600008 // dependent dereference
+		arrPC = uint64(1) << 30
+		heap  = uint64(3) << 30
+		off   = uint64(16)
+		n     = 4096
+	)
+	vm := vmem.NewSparse(n)
+	pointees := make([]uint64, n)
+	s := uint64(5)
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		pointees[i] = heap + (s>>33%uint64(4*n))*64
+		vm.Store(arrPC+uint64(i)*8, pointees[i])
+	}
+
+	t2 := NewT2()
+	p1 := NewP1(t2, vm)
+	prefetched := map[uint64]bool{}
+	issue := func(r prefetch.Request) { prefetched[r.LineAddr] = true }
+
+	cycle := uint64(0)
+	for i := 0; i < 600; i++ {
+		iAddr := arrPC + uint64(i)*8
+		insts := []trace.Inst{
+			{PC: pcI, Kind: trace.Load, Addr: iAddr, Dst: 5, Src1: 4},
+			{PC: pcJ, Kind: trace.Load, Addr: pointees[i] + off, Dst: 6, Src1: 5},
+			{PC: 0x600010, Kind: trace.ALU, Dst: 7, Src1: 6, Src2: 7},
+			{PC: 0x600014, Kind: trace.Branch, Taken: true, Target: pcI},
+		}
+		// Activate both loads in T2 via miss events.
+		evI := missEvent(pcI, iAddr)
+		t2.OnAccess(&evI, issue)
+		evJ := missEvent(pcJ, pointees[i]+off)
+		t2.OnAccess(&evJ, issue)
+		for k := range insts {
+			t2.OnInst(&insts[k], cycle, issue)
+			p1.OnInst(&insts[k], cycle, issue)
+			cycle += 2
+		}
+	}
+
+	e := t2.SITFor(pcI)
+	if e == nil || !e.ptr {
+		t.Fatal("P1 never marked the strided load as a pointer instruction")
+	}
+	if e.ptrDelta != int64(off) {
+		t.Errorf("learned pointer delta %d, want %d", e.ptrDelta, off)
+	}
+	if !p1.Handles(pcJ) {
+		t.Error("dependent load must be claimed by P1")
+	}
+	// Future pointees must have been prefetched ahead of their demand: check
+	// coverage over the later part of the run.
+	covered, uncovered := 0, 0
+	d := int(2 * t2.Distance())
+	for i := 400; i < 600-d; i++ {
+		if prefetched[(pointees[i]+off)&^63] {
+			covered++
+		} else {
+			uncovered++
+		}
+	}
+	if covered == 0 || uncovered > covered {
+		t.Errorf("pointee coverage weak: covered=%d uncovered=%d", covered, uncovered)
+	}
+}
+
+// TestP1GivesUpWithoutValueMemory: with no pointer words mapped, P1 must
+// fail candidates gracefully and never claim anything.
+func TestP1GivesUpWithoutValueMemory(t *testing.T) {
+	t2 := NewT2()
+	p1 := NewP1(t2, nil) // vmem.Empty
+	issue := func(prefetch.Request) {}
+	cycle := uint64(0)
+	s := uint64(77)
+	for i := 0; i < 200; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		addr := (s >> 30) &^ 63
+		ev := missEvent(0x700000, addr)
+		t2.OnAccess(&ev, issue)
+		ld := trace.Inst{PC: 0x700000, Kind: trace.Load, Addr: addr, Dst: 5, Src1: 5}
+		t2.OnInst(&ld, cycle, issue)
+		p1.OnInst(&ld, cycle, issue)
+		cycle += 2
+	}
+	if p1.Handles(0x700000) {
+		t.Error("P1 must not confirm a chain it cannot dereference")
+	}
+}
+
+// TestP1SingleCandidate: the 1-entry PtrPC register means only one pattern
+// is under test at a time; a second candidate waits its turn but is
+// eventually confirmed too.
+func TestP1TwoChainsSequentialConfirmation(t *testing.T) {
+	n := 2048
+	nodesA, vmA, _ := chainTrace(n, 21)
+	// Second chain: a genuinely random permutation in a different range.
+	vm := vmem.NewSparse(2 * n)
+	order := make([]uint64, n)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	s := uint64(99)
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int((s >> 33) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	nodesB := make([]uint64, n)
+	for i := range nodesB {
+		nodesB[i] = (uint64(5) << 30) + order[i]*64
+	}
+	for i := range nodesB {
+		vm.Store(nodesB[i]+8, nodesB[(i+1)%n])
+	}
+	union := vmem.Union{vmA, vm}
+
+	t2 := NewT2()
+	p1 := NewP1(t2, union)
+	issue := func(prefetch.Request) {}
+	cycle := uint64(0)
+	for i := 0; i < 200; i++ {
+		for c, nodes := range [][]uint64{nodesA, nodesB} {
+			pc := uint64(0x800000 + c*0x100)
+			reg := trace.Reg(10 + 2*c)
+			cur := nodes[i%n]
+			ev := missEvent(pc, cur+8)
+			t2.OnAccess(&ev, issue)
+			ld := trace.Inst{PC: pc, Kind: trace.Load, Addr: cur + 8, Dst: reg, Src1: reg}
+			br := trace.Inst{PC: pc + 16, Kind: trace.Branch, Taken: true, Target: pc}
+			t2.OnInst(&ld, cycle, issue)
+			p1.OnInst(&ld, cycle, issue)
+			t2.OnInst(&br, cycle+1, issue)
+			p1.OnInst(&br, cycle+1, issue)
+			cycle += 3
+		}
+	}
+	if !p1.Handles(0x800000) || !p1.Handles(0x800100) {
+		t.Errorf("both chains must eventually confirm: A=%v B=%v",
+			p1.Handles(0x800000), p1.Handles(0x800100))
+	}
+}

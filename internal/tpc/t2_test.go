@@ -1,0 +1,276 @@
+package tpc
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+)
+
+func sink() (prefetch.Issuer, *[]prefetch.Request) {
+	var got []prefetch.Request
+	return func(r prefetch.Request) { got = append(got, r) }, &got
+}
+
+// driveStream feeds T2 a strided load inside a loop for n iterations.
+func driveStream(t2 *T2, pc, base uint64, stride int64, n int, issue prefetch.Issuer) {
+	cycle := uint64(0)
+	for i := 0; i < n; i++ {
+		addr := uint64(int64(base) + int64(i)*stride)
+		if i == 0 {
+			ev := missEvent(pc, addr)
+			t2.OnAccess(&ev, issue)
+		}
+		ld := trace.Inst{PC: pc, Kind: trace.Load, Addr: addr, Dst: 5, Src1: 4}
+		br := trace.Inst{PC: pc + 16, Kind: trace.Branch, Taken: true, Target: pc - 8}
+		t2.OnInst(&ld, cycle, issue)
+		t2.OnInst(&br, cycle+2, issue)
+		cycle += 4
+	}
+}
+
+func TestT2DetectsCanonicalStride(t *testing.T) {
+	t2 := NewT2()
+	issue, got := sink()
+	driveStream(t2, 0x400, 1<<28, 64, 40, issue)
+	if t2.StateOf(0x400) != stStrided {
+		t.Fatalf("state = %d, want strided", t2.StateOf(0x400))
+	}
+	if !t2.Handles(0x400) {
+		t.Error("T2 must claim the instruction")
+	}
+	if len(*got) == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	// Prefetches must be ahead of the demand stream.
+	head := uint64(1<<28) + 39*64
+	ahead := 0
+	for _, r := range *got {
+		if r.LineAddr > head {
+			ahead++
+		}
+		if r.Dest != mem.L1 {
+			t.Errorf("T2 must prefetch to L1, got %v", r.Dest)
+		}
+	}
+	if ahead == 0 {
+		t.Error("no prefetch ran ahead of the stream head")
+	}
+}
+
+func TestT2RejectsIrregular(t *testing.T) {
+	t2 := NewT2()
+	issue, got := sink()
+	addrs := []uint64{100, 9000, 400, 77000, 2000, 130000, 5000, 260000}
+	cycle := uint64(0)
+	ev := missEvent(0x400, addrs[0]<<6)
+	t2.OnAccess(&ev, issue)
+	for _, a := range addrs {
+		ld := trace.Inst{PC: 0x400, Kind: trace.Load, Addr: a << 6, Dst: 5}
+		t2.OnInst(&ld, cycle, issue)
+		cycle += 4
+	}
+	if !t2.Rejected(0x400) {
+		t.Errorf("state = %d, want non-strided", t2.StateOf(0x400))
+	}
+	if len(*got) != 0 {
+		t.Errorf("rejected instruction must not prefetch, got %d", len(*got))
+	}
+}
+
+func TestT2IgnoresInstructionsWithoutMiss(t *testing.T) {
+	t2 := NewT2()
+	issue, got := sink()
+	// No activation miss: T2 must stay in state 0 and never track it.
+	cycle := uint64(0)
+	for i := 0; i < 30; i++ {
+		ld := trace.Inst{PC: 0x500, Kind: trace.Load, Addr: uint64(1<<28) + uint64(i)*64, Dst: 5}
+		t2.OnInst(&ld, cycle, issue)
+		cycle += 4
+	}
+	if t2.StateOf(0x500) != stUnknown || len(*got) != 0 {
+		t.Error("instructions must be ignored until they trigger a primary miss")
+	}
+}
+
+func TestT2CallSiteDisambiguation(t *testing.T) {
+	// The same load PC through two call sites accesses two streams; mPC
+	// must split them so both stabilize.
+	t2 := NewT2()
+	issue, got := sink()
+	const funcPC = 0x800
+	ev := missEvent(funcPC, 1<<28)
+	t2.OnAccess(&ev, issue)
+	cycle := uint64(0)
+	for i := 0; i < 60; i++ {
+		for site := 0; site < 2; site++ {
+			callPC := uint64(0x400 + site*8)
+			base := uint64(1<<28) + uint64(site)<<27
+			call := trace.Inst{PC: callPC, Kind: trace.Branch, Taken: true, Target: funcPC, IsCall: true}
+			ld := trace.Inst{PC: funcPC, Kind: trace.Load, Addr: base + uint64(i)*64, Dst: 5}
+			ret := trace.Inst{PC: funcPC + 4, Kind: trace.Branch, Taken: true, Target: callPC + 4, IsRet: true}
+			t2.OnInst(&call, cycle, issue)
+			t2.OnInst(&ld, cycle+1, issue)
+			t2.OnInst(&ret, cycle+2, issue)
+			cycle += 3
+		}
+		br := trace.Inst{PC: 0x420, Kind: trace.Branch, Taken: true, Target: 0x400}
+		t2.OnInst(&br, cycle, issue)
+		cycle++
+	}
+	if t2.StateOf(funcPC) != stStrided {
+		t.Fatalf("call-site streams must stabilize via mPC; state=%d", t2.StateOf(funcPC))
+	}
+	// Both streams must receive prefetches.
+	var a, b int
+	for _, r := range *got {
+		if r.LineAddr < 1<<28+1<<27 {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Errorf("both call-site streams must be prefetched: a=%d b=%d", a, b)
+	}
+}
+
+func TestT2DistanceFormula(t *testing.T) {
+	t2 := NewT2()
+	issue, _ := sink()
+	// Feed a known fetch latency and a known iteration time.
+	ev := mem.Event{PC: 0x400, MemLat: 200, MissL1: true}
+	t2.OnAccess(&ev, issue)
+	// Loop branch every 10 cycles.
+	for i := uint64(0); i < 20; i++ {
+		br := trace.Inst{PC: 0x420, Kind: trace.Branch, Taken: true, Target: 0x400}
+		t2.OnInst(&br, i*10, issue)
+	}
+	d := t2.Distance()
+	// d = (200+32)/10 = 23.
+	if d < 18 || d > 28 {
+		t.Errorf("Distance = %d, want ~23", d)
+	}
+}
+
+func TestT2StorageBudget(t *testing.T) {
+	t2 := NewT2()
+	kb := float64(t2.StorageBits()) / 8192
+	if kb < 1.5 || kb > 3.5 {
+		t.Errorf("T2 storage %.2f KB, Table II budgets 2.3 KB", kb)
+	}
+}
+
+func TestT2Reset(t *testing.T) {
+	t2 := NewT2()
+	issue, _ := sink()
+	driveStream(t2, 0x400, 1<<28, 64, 40, issue)
+	t2.Reset()
+	if t2.Handles(0x400) || t2.StateOf(0x400) != stUnknown {
+		t.Error("Reset must clear all instruction state")
+	}
+}
+
+func TestLoopHWIdentifiesInnerLoop(t *testing.T) {
+	l := NewLoopHW()
+	br := trace.Inst{PC: 0x100, Kind: trace.Branch, Taken: true, Target: 0x80}
+	ticks := 0
+	for i := uint64(0); i < 10; i++ {
+		if l.OnBranch(&br, i*20) {
+			ticks++
+		}
+	}
+	if ticks < 8 {
+		t.Errorf("loop branch confirmed %d times, want >=8", ticks)
+	}
+	if ti := l.TIter(); ti < 15 || ti > 25 {
+		t.Errorf("TIter = %d, want ~20", ti)
+	}
+}
+
+func TestLoopHWFiltersNonLoopBranches(t *testing.T) {
+	l := NewLoopHW()
+	// Alternate two different backward branches: neither is back-to-back,
+	// both end up in the NLPCT, and a later real loop is still identified.
+	a := trace.Inst{PC: 0x100, Kind: trace.Branch, Taken: true, Target: 0x80}
+	b := trace.Inst{PC: 0x200, Kind: trace.Branch, Taken: true, Target: 0x180}
+	for i := uint64(0); i < 30; i++ {
+		l.OnBranch(&a, i*40)
+		l.OnBranch(&b, i*40+20)
+	}
+	loop := trace.Inst{PC: 0x300, Kind: trace.Branch, Taken: true, Target: 0x280}
+	ticks := 0
+	for i := uint64(0); i < 10; i++ {
+		if l.OnBranch(&loop, 10_000+i*10) {
+			ticks++
+		}
+	}
+	if ticks < 8 {
+		t.Errorf("real loop not identified after noise: %d ticks", ticks)
+	}
+}
+
+func TestLoopHWIgnoresForwardAndNotTaken(t *testing.T) {
+	l := NewLoopHW()
+	fwd := trace.Inst{PC: 0x100, Kind: trace.Branch, Taken: true, Target: 0x200}
+	nt := trace.Inst{PC: 0x100, Kind: trace.Branch, Taken: false, Target: 0x80}
+	for i := uint64(0); i < 10; i++ {
+		if l.OnBranch(&fwd, i) || l.OnBranch(&nt, i) {
+			t.Fatal("forward/not-taken branches must not tick the loop")
+		}
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := NewRAS(2)
+	call := func(pc uint64) { r.OnBranch(&trace.Inst{PC: pc, Kind: trace.Branch, IsCall: true, Taken: true}) }
+	ret := func() { r.OnBranch(&trace.Inst{Kind: trace.Branch, IsRet: true, Taken: true}) }
+	if r.Top() != 0 {
+		t.Error("empty RAS top must be 0")
+	}
+	call(0x100)
+	call(0x200)
+	if r.Top() != 0x204 {
+		t.Errorf("Top = %#x", r.Top())
+	}
+	call(0x300) // overflows capacity 2: oldest dropped
+	ret()
+	if r.Top() != 0x204 {
+		t.Errorf("after overflow+ret Top = %#x", r.Top())
+	}
+	ret()
+	ret() // underflow is harmless
+	if r.Top() != 0 {
+		t.Errorf("drained RAS top = %#x", r.Top())
+	}
+}
+
+func TestTaintUnit(t *testing.T) {
+	var tu TaintUnit
+	tu.Arm(5)
+	if !tu.Tainted(5) || tu.Tainted(6) {
+		t.Fatal("arm must taint exactly the seed")
+	}
+	// Propagation: 6 <- 5 (tainted), 7 <- 6, then 6 <- 8 clears 6.
+	if !tu.Step(&trace.Inst{Dst: 6, Src1: 5}) {
+		t.Error("consumption not reported")
+	}
+	tu.Step(&trace.Inst{Dst: 7, Src1: 6})
+	if !tu.Tainted(7) {
+		t.Error("transitive taint lost")
+	}
+	tu.Step(&trace.Inst{Dst: 6, Src1: 8})
+	if tu.Tainted(6) {
+		t.Error("overwrite must clear taint")
+	}
+	tu.Disarm()
+	if tu.Step(&trace.Inst{Dst: 9, Src1: 7}) {
+		t.Error("disarmed unit must not propagate")
+	}
+	// Register 0 never carries taint.
+	tu.Arm(0)
+	if tu.Tainted(0) {
+		t.Error("register 0 must never be tainted")
+	}
+}

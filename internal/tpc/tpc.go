@@ -1,0 +1,257 @@
+package tpc
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+	"divlab/internal/vmem"
+)
+
+// Options configures a TPC composite. Zero value enables nothing; use
+// DefaultOptions for the full T2+P1+C1 design.
+type Options struct {
+	EnableT2 bool
+	EnableP1 bool
+	EnableC1 bool
+	// Memory is the value memory P1 dereferences; nil disables pointer
+	// value lookups (P1 then never confirms a pattern).
+	Memory vmem.Memory
+	// Extras are existing monolithic prefetchers used as additional
+	// components (Sec. IV-E): they see only accesses from instructions
+	// T2, P1 and C1 all declined, assigned round-robin and then owned by
+	// whichever component's prefetched line the instruction hits.
+	Extras []prefetch.Component
+	// T2Config applies ablation overrides to the T2 component.
+	T2Config T2Config
+	// C1DenseLines overrides C1's dense-region threshold (0 = paper's 6).
+	C1DenseLines int
+}
+
+// DefaultOptions enables all three specialized components.
+func DefaultOptions(memory vmem.Memory) Options {
+	return Options{EnableT2: true, EnableP1: true, EnableC1: true, Memory: memory}
+}
+
+// TPC is the composite prefetcher: a hardwired coordinator steering each
+// memory instruction to T2 first, then P1, then C1 (Sec. IV-D), with
+// optional extra components behind them. T2 and P1 prefetch to L1, C1 to L2.
+type TPC struct {
+	prefetch.Base
+	t2     *T2
+	p1     *P1
+	c1     *C1
+	extras []prefetch.Component
+
+	// pcExtra assigns unrecognized PCs to extra components round-robin.
+	pcExtra map[uint64]int
+	nextRR  int
+	// pcStat measures each assigned extra's usefulness per instruction
+	// (Sec. IV-D: "expertise can be measured"); persistently useless
+	// assignments are revoked so a mismatched component cannot keep
+	// polluting on an instruction outside its expertise.
+	pcStat map[uint64]*extraStat
+	name   string
+}
+
+type extraStat struct {
+	issued uint64
+	hits   uint64
+	banned bool
+}
+
+const (
+	extraBanMinIssued = 128
+	extraBanHitRatio  = 16 // banned when hits*ratio < issued
+)
+
+// New builds a TPC composite from opts.
+func New(opts Options) *TPC {
+	t := &TPC{pcExtra: make(map[uint64]int), pcStat: make(map[uint64]*extraStat), extras: opts.Extras}
+	name := ""
+	if opts.EnableT2 {
+		t.t2 = NewT2WithConfig(opts.T2Config)
+		name += "t"
+	}
+	if opts.EnableP1 {
+		if t.t2 == nil {
+			t.t2 = NewT2WithConfig(opts.T2Config) // P1 builds on T2's SIT
+			name = "t" + name
+		}
+		t.p1 = NewP1(t.t2, opts.Memory)
+		name += "p"
+	}
+	if opts.EnableC1 {
+		if opts.C1DenseLines > 0 {
+			t.c1 = NewC1WithDensity(mem.L2, opts.C1DenseLines)
+		} else {
+			t.c1 = NewC1(mem.L2)
+		}
+		name += "c"
+	}
+	if name == "tpc" {
+		name = "tpc"
+	} else {
+		name = "tpc[" + name + "]"
+	}
+	for _, e := range opts.Extras {
+		name += "+" + e.Name()
+	}
+	t.name = name
+	return t
+}
+
+// Name implements prefetch.Component.
+func (t *TPC) Name() string { return t.name }
+
+// Children implements prefetch.Parent so every component gets its own
+// identity for line tagging and drop priorities.
+func (t *TPC) Children() []prefetch.Component {
+	var cs []prefetch.Component
+	if t.t2 != nil {
+		cs = append(cs, t.t2)
+	}
+	if t.p1 != nil {
+		cs = append(cs, t.p1)
+	}
+	if t.c1 != nil {
+		cs = append(cs, t.c1)
+	}
+	cs = append(cs, t.extras...)
+	return cs
+}
+
+// T2 returns the strided component (nil if disabled).
+func (t *TPC) T2() *T2 { return t.t2 }
+
+// P1 returns the pointer component (nil if disabled).
+func (t *TPC) P1() *P1 { return t.p1 }
+
+// C1 returns the spatial component (nil if disabled).
+func (t *TPC) C1() *C1 { return t.c1 }
+
+// Recognized reports whether any specialized component has claimed pc; the
+// complement is the region Fig. 14 studies ("what TPC does not cover").
+func (t *TPC) Recognized(pc uint64) bool {
+	if t.t2 != nil && t.t2.Handles(pc) {
+		return true
+	}
+	if t.p1 != nil && t.p1.Handles(pc) {
+		return true
+	}
+	if t.c1 != nil && t.c1.Handles(pc) {
+		return true
+	}
+	return false
+}
+
+// OnInst implements prefetch.InstObserver: the instruction stream reaches T2
+// (loop/RAS/SIT) and P1 (taint unit) unconditionally — recognizing their own
+// boundary of expertise is the components' job.
+func (t *TPC) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
+	if t.t2 != nil {
+		t.t2.OnInst(in, cycle, issue)
+	}
+	if t.p1 != nil {
+		t.p1.OnInst(in, cycle, issue)
+	}
+}
+
+// OnAccess implements prefetch.Component: the coordinator stratifies the
+// access stream. T2 sees everything (it owns activation and AMAT); C1 sees
+// accesses from instructions T2/P1 declined; extras see only what all three
+// specialized components declined.
+func (t *TPC) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	if t.t2 != nil {
+		t.t2.OnAccess(ev, issue)
+	}
+	if t.p1 != nil {
+		t.p1.OnAccess(ev, issue)
+	}
+
+	claimedT2 := t.t2 != nil && t.t2.Handles(ev.PC)
+	claimedP1 := t.p1 != nil && t.p1.Handles(ev.PC)
+
+	if t.c1 != nil && !claimedT2 && !claimedP1 {
+		// Nominate instructions T2 has definitively rejected (or that T2
+		// cannot judge because it is disabled).
+		if t.t2 == nil || t.t2.Rejected(ev.PC) {
+			t.c1.Consider(ev.PC)
+		}
+		t.c1.OnAccess(ev, issue)
+	}
+
+	if len(t.extras) == 0 {
+		return
+	}
+	if t.Recognized(ev.PC) {
+		return // filtered: another component owns this instruction
+	}
+	// Ownership learning: a demand hit on a line an extra prefetched hands
+	// the instruction to that extra and counts toward its measured
+	// usefulness.
+	st := t.pcStat[ev.PC]
+	if st == nil {
+		st = &extraStat{}
+		t.pcStat[ev.PC] = st
+	}
+	if ev.PrefetchHitL1 || ev.PrefetchHitL2 {
+		owner := ev.OwnerL1
+		if !ev.PrefetchHitL1 {
+			owner = ev.OwnerL2
+		}
+		for k, e := range t.extras {
+			if b, ok := e.(interface{ ID() int }); ok && b.ID() == owner {
+				t.pcExtra[ev.PC] = k
+				st.hits++
+				break
+			}
+		}
+	}
+	if st.banned {
+		return // measured expertise says no component handles this well
+	}
+	k, ok := t.pcExtra[ev.PC]
+	if !ok {
+		k = t.nextRR % len(t.extras)
+		t.nextRR++
+		t.pcExtra[ev.PC] = k
+	}
+	t.extras[k].OnAccess(ev, func(r prefetch.Request) {
+		st.issued++
+		issue(r)
+	})
+	if st.issued >= extraBanMinIssued && st.hits*extraBanHitRatio < st.issued {
+		st.banned = true
+	}
+	// Extras that snoop instructions would also be fed here, but none of
+	// the monolithic baselines do.
+}
+
+// Reset implements prefetch.Component.
+func (t *TPC) Reset() {
+	if t.t2 != nil {
+		t.t2.Reset()
+	}
+	if t.p1 != nil {
+		t.p1.Reset()
+	}
+	if t.c1 != nil {
+		t.c1.Reset()
+	}
+	for _, e := range t.extras {
+		e.Reset()
+	}
+	t.pcExtra = make(map[uint64]int)
+	t.pcStat = make(map[uint64]*extraStat)
+	t.nextRR = 0
+}
+
+// StorageBits implements prefetch.Component: the sum of the enabled
+// components (Table II: TPC = T2 + P1 + C1 = 4.57 KB).
+func (t *TPC) StorageBits() int {
+	n := 0
+	for _, c := range t.Children() {
+		n += c.StorageBits()
+	}
+	return n
+}

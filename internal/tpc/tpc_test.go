@@ -1,0 +1,210 @@
+package tpc
+
+import (
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+	"divlab/internal/vmem"
+)
+
+func TestNewOptions(t *testing.T) {
+	full := New(DefaultOptions(vmem.Empty{}))
+	if full.T2() == nil || full.P1() == nil || full.C1() == nil {
+		t.Fatal("DefaultOptions must enable all three components")
+	}
+	if full.Name() != "tpc" {
+		t.Errorf("Name = %q", full.Name())
+	}
+	t2only := New(Options{EnableT2: true})
+	if t2only.P1() != nil || t2only.C1() != nil {
+		t.Error("T2-only must not build P1/C1")
+	}
+	// P1 requires T2: it is built implicitly.
+	p1only := New(Options{EnableP1: true})
+	if p1only.T2() == nil || p1only.P1() == nil {
+		t.Error("P1 implies T2")
+	}
+}
+
+func TestChildrenAndStorage(t *testing.T) {
+	c := New(DefaultOptions(vmem.Empty{}))
+	if len(c.Children()) != 3 {
+		t.Fatalf("Children = %d", len(c.Children()))
+	}
+	sum := 0
+	for _, ch := range c.Children() {
+		sum += ch.StorageBits()
+	}
+	if c.StorageBits() != sum {
+		t.Error("composite storage must be the sum of components")
+	}
+	names := prefetch.AssignIDs(c, 1)
+	// tpc + t2 + p1 + c1 get ids.
+	if len(names) != 4 {
+		t.Errorf("AssignIDs gave %d ids", len(names))
+	}
+}
+
+func TestCoordinatorStratifiesStrided(t *testing.T) {
+	// A strided instruction is claimed by T2; C1 must never see it as a
+	// candidate, and its prefetches carry T2's identity to L1.
+	c := New(DefaultOptions(vmem.Empty{}))
+	prefetch.AssignIDs(c, 1)
+	var got []prefetch.Request
+	issue := func(r prefetch.Request) { got = append(got, r) }
+
+	cycle := uint64(0)
+	base := uint64(1 << 28)
+	for i := 0; i < 60; i++ {
+		addr := base + uint64(i)*64
+		ev := mem.Event{PC: 0x400, Addr: addr, LineAddr: addr, MissL1: true, MemLat: 200}
+		c.OnAccess(&ev, issue)
+		ld := trace.Inst{PC: 0x400, Kind: trace.Load, Addr: addr, Dst: 5, Src1: 4}
+		br := trace.Inst{PC: 0x440, Kind: trace.Branch, Taken: true, Target: 0x3f0}
+		c.OnInst(&ld, cycle, issue)
+		c.OnInst(&br, cycle+2, issue)
+		cycle += 4
+	}
+	if !c.Recognized(0x400) {
+		t.Fatal("strided instruction not recognized")
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetches")
+	}
+	for _, r := range got {
+		if r.Owner != c.T2().ID() {
+			t.Fatalf("prefetch owner %d, want T2 (%d)", r.Owner, c.T2().ID())
+		}
+		if r.Dest != mem.L1 {
+			t.Errorf("T2 prefetches must go to L1")
+		}
+	}
+	if c.C1().imIndex(0x400) >= 0 || c.C1().Decided(0x400) {
+		t.Error("C1 must not monitor an instruction T2 claimed")
+	}
+}
+
+func TestCoordinatorHandsRejectedToC1(t *testing.T) {
+	c := New(DefaultOptions(vmem.Empty{}))
+	prefetch.AssignIDs(c, 1)
+	var got []prefetch.Request
+	issue := func(r prefetch.Request) { got = append(got, r) }
+
+	// Irregular dense-region accesses: T2 rejects, P1 fails (no vmem
+	// mapping), C1 decides dense and issues region prefetches to L2.
+	cycle := uint64(0)
+	visit := func(regionBase uint64) {
+		for j := 0; j < 10; j++ {
+			addr := regionBase + uint64((j*7)%16)*64
+			ev := mem.Event{PC: 0x500, Addr: addr, LineAddr: addr, MissL1: true, MemLat: 200}
+			c.OnAccess(&ev, issue)
+			ld := trace.Inst{PC: 0x500, Kind: trace.Load, Addr: addr, Dst: 6, Src1: 6}
+			c.OnInst(&ld, cycle, issue)
+			cycle += 3
+		}
+	}
+	for r := uint64(0); r < 40; r++ {
+		visit((1 << 30) + (r*2654435761%1024)*1024)
+	}
+	if !c.C1().Handles(0x500) {
+		t.Fatal("C1 must claim the dense-region instruction")
+	}
+	foundL2 := false
+	for _, r := range got {
+		if r.Owner == c.C1().ID() {
+			if r.Dest != mem.L2 {
+				t.Fatal("C1 prefetches must target L2")
+			}
+			foundL2 = true
+		}
+	}
+	if !foundL2 {
+		t.Error("no C1 region prefetches observed")
+	}
+}
+
+// fakeExtra records which PCs' events reached it.
+type fakeExtra struct {
+	prefetch.Base
+	label string
+	pcs   map[uint64]int
+}
+
+func newFakeExtra(label string) *fakeExtra {
+	return &fakeExtra{label: label, pcs: map[uint64]int{}}
+}
+func (f *fakeExtra) Name() string { return f.label }
+func (f *fakeExtra) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	f.pcs[ev.PC]++
+	issue(f.Req(ev.LineAddr+64, mem.L1, 2))
+}
+func (f *fakeExtra) Reset()           { f.pcs = map[uint64]int{} }
+func (f *fakeExtra) StorageBits() int { return 1 }
+
+func TestExtrasRoundRobinAndFiltering(t *testing.T) {
+	e1, e2 := newFakeExtra("x1"), newFakeExtra("x2")
+	opts := DefaultOptions(vmem.Empty{})
+	opts.Extras = []prefetch.Component{e1, e2}
+	c := New(opts)
+	prefetch.AssignIDs(c, 1)
+	issue := func(prefetch.Request) {}
+
+	// Two unrecognized PCs: round-robin assigns one to each extra, and the
+	// assignment is sticky.
+	for i := 0; i < 10; i++ {
+		for _, pc := range []uint64{0x900, 0x904} {
+			addr := uint64(1<<31) + uint64(i)*8192 + pc
+			ev := mem.Event{PC: pc, Addr: addr, LineAddr: addr &^ 63, MissL1: true}
+			c.OnAccess(&ev, issue)
+		}
+	}
+	if len(e1.pcs) != 1 || len(e2.pcs) != 1 {
+		t.Fatalf("round-robin split broken: e1=%v e2=%v", e1.pcs, e2.pcs)
+	}
+	if e1.pcs[0x900]+e1.pcs[0x904] != 10 || e2.pcs[0x900]+e2.pcs[0x904] != 10 {
+		t.Errorf("sticky assignment broken: e1=%v e2=%v", e1.pcs, e2.pcs)
+	}
+}
+
+func TestExtrasOwnershipByPrefetchHit(t *testing.T) {
+	e1, e2 := newFakeExtra("x1"), newFakeExtra("x2")
+	opts := DefaultOptions(vmem.Empty{})
+	opts.Extras = []prefetch.Component{e1, e2}
+	c := New(opts)
+	prefetch.AssignIDs(c, 1)
+	issue := func(prefetch.Request) {}
+
+	// A demand hit on a line e2 prefetched reassigns the PC to e2.
+	ev := mem.Event{PC: 0x910, Addr: 1 << 31, LineAddr: 1 << 31, PrefetchHitL1: true, OwnerL1: e2.ID()}
+	c.OnAccess(&ev, issue)
+	ev2 := mem.Event{PC: 0x910, Addr: (1 << 31) + 4096, LineAddr: (1 << 31) + 4096, MissL1: true}
+	c.OnAccess(&ev2, issue)
+	if e2.pcs[0x910] == 0 {
+		t.Error("prefetch-hit ownership did not steer the PC to e2")
+	}
+	if e1.pcs[0x910] != 0 {
+		t.Error("e1 should never have seen the PC after e2 claimed it")
+	}
+}
+
+func TestCompositeName(t *testing.T) {
+	opts := Options{EnableT2: true, EnableC1: true}
+	c := New(opts)
+	if c.Name() != "tpc[tc]" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestCompositeReset(t *testing.T) {
+	c := New(DefaultOptions(vmem.Empty{}))
+	prefetch.AssignIDs(c, 1)
+	issue := func(prefetch.Request) {}
+	ev := mem.Event{PC: 0x400, Addr: 1 << 28, LineAddr: 1 << 28, MissL1: true}
+	c.OnAccess(&ev, issue)
+	c.Reset()
+	if c.T2().StateOf(0x400) != stUnknown {
+		t.Error("Reset must propagate to components")
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+// Source produces a dynamic instruction stream. Next fills in and reports
+// whether an instruction was produced; false means the stream is exhausted.
+// Implementations are single-consumer and deterministic for a fixed seed.
+type Source interface {
+	Next(in *Inst) bool
+}
+
+// SliceSource replays a pre-built instruction slice; useful in tests.
+type SliceSource struct {
+	Insts []Inst
+	pos   int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(in *Inst) bool {
+	if s.pos >= len(s.Insts) {
+		return false
+	}
+	*in = s.Insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Limit caps a Source at n instructions.
+type Limit struct {
+	Src Source
+	N   uint64
+	cnt uint64
+}
+
+// Next implements Source.
+func (l *Limit) Next(in *Inst) bool {
+	if l.cnt >= l.N {
+		return false
+	}
+	if !l.Src.Next(in) {
+		return false
+	}
+	l.cnt++
+	return true
+}

@@ -1,0 +1,71 @@
+// Package vmem provides the value memory backing pointer-based data
+// structures. Pointer-chain prefetching computes A(n+1) = M[A(n) + delta], so
+// both the workload generator (which walks the structure) and the P1
+// prefetcher (which dereferences speculatively) need a shared, functional
+// view of memory contents. Only pointer words are stored; bulk array data
+// never needs values, so the store stays small even for large footprints.
+package vmem
+
+// Memory is a read-only view of pointer words in the simulated address space.
+type Memory interface {
+	// Value returns the 8-byte word at addr and whether it is mapped.
+	Value(addr uint64) (uint64, bool)
+}
+
+// Sparse is a word-granular sparse memory. The zero value is empty and ready
+// to use. It is not safe for concurrent mutation.
+type Sparse struct {
+	words map[uint64]uint64
+}
+
+// NewSparse returns an empty sparse memory with room for sizeHint words.
+func NewSparse(sizeHint int) *Sparse {
+	return &Sparse{words: make(map[uint64]uint64, sizeHint)}
+}
+
+// Store writes an 8-byte word at addr (addr is used as given; no alignment
+// is enforced so generators can place pointers at arbitrary offsets).
+func (m *Sparse) Store(addr, value uint64) {
+	if m.words == nil {
+		m.words = make(map[uint64]uint64)
+	}
+	m.words[addr] = value
+}
+
+// Value implements Memory.
+func (m *Sparse) Value(addr uint64) (uint64, bool) {
+	v, ok := m.words[addr]
+	return v, ok
+}
+
+// Len returns the number of mapped words.
+func (m *Sparse) Len() int { return len(m.words) }
+
+// Empty is a Memory with no mapped words.
+type Empty struct{}
+
+// Value implements Memory; it always reports unmapped.
+func (Empty) Value(uint64) (uint64, bool) { return 0, false }
+
+// Union reads from the first memory that maps the address. It lets a mix
+// workload combine the pointer structures of its constituent phases.
+type Union []Memory
+
+// Value implements Memory.
+func (u Union) Value(addr uint64) (uint64, bool) {
+	for _, m := range u {
+		if v, ok := m.Value(addr); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Words returns a copy of all mapped pointer words (for trace capture).
+func (m *Sparse) Words() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for a, v := range m.words {
+		out[a] = v
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseStoreLoad(t *testing.T) {
+	m := NewSparse(4)
+	m.Store(0x1000, 42)
+	if v, ok := m.Value(0x1000); !ok || v != 42 {
+		t.Errorf("Value = %d,%v", v, ok)
+	}
+	if _, ok := m.Value(0x1008); ok {
+		t.Error("unmapped address must report !ok")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestSparseZeroValue(t *testing.T) {
+	var m Sparse
+	m.Store(8, 9)
+	if v, ok := m.Value(8); !ok || v != 9 {
+		t.Error("zero-value Sparse must be usable after Store")
+	}
+}
+
+func TestSparseOverwrite(t *testing.T) {
+	m := NewSparse(0)
+	m.Store(8, 1)
+	m.Store(8, 2)
+	if v, _ := m.Value(8); v != 2 {
+		t.Errorf("overwrite failed: %d", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", m.Len())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if _, ok := (Empty{}).Value(123); ok {
+		t.Error("Empty must map nothing")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := NewSparse(0), NewSparse(0)
+	a.Store(1, 10)
+	b.Store(1, 20) // shadowed by a
+	b.Store(2, 30)
+	u := Union{a, b}
+	if v, _ := u.Value(1); v != 10 {
+		t.Errorf("union must read first memory: got %d", v)
+	}
+	if v, _ := u.Value(2); v != 30 {
+		t.Errorf("union must fall through: got %d", v)
+	}
+	if _, ok := u.Value(3); ok {
+		t.Error("unmapped in all members must report !ok")
+	}
+}
+
+// Property: a stored word is always read back exactly.
+func TestSparseRoundTrip(t *testing.T) {
+	m := NewSparse(0)
+	f := func(addr, val uint64) bool {
+		m.Store(addr, val)
+		v, ok := m.Value(addr)
+		return ok && v == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

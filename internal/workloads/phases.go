@@ -1,0 +1,652 @@
+package workloads
+
+import "divlab/internal/trace"
+
+// ---------------------------------------------------------------------------
+// Canonical strided streams (LHF).
+
+type streamArr struct {
+	base   uint64
+	stride uint64
+	length uint64 // bytes; index wraps
+}
+
+// streamPhase emits an inner loop reading one element from each array per
+// iteration — the canonical strided stream T2 targets.
+type streamPhase struct {
+	arrays       []streamArr
+	pcBase       uint64
+	reg          trace.Reg
+	alus         int
+	iters        uint64
+	iter         uint64
+	pos          uint64 // persists across passes: streams keep advancing
+	mispredEvery uint64
+	r            *rng
+}
+
+func (b *builder) stream(nArrays int, strideBytes, arrBytes, iters uint64, alus int) *streamPhase {
+	base, pc, reg, r := b.slot()
+	p := &streamPhase{pcBase: pc, reg: reg, alus: alus, iters: iters, r: r}
+	for i := 0; i < nArrays; i++ {
+		a := streamArr{base: base + uint64(i)*(arrBytes+4096), stride: strideBytes, length: arrBytes}
+		p.arrays = append(p.arrays, a)
+		b.classify(a.base, a.base+arrBytes, LHF)
+	}
+	return p
+}
+
+func (p *streamPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	// i++
+	q.alu(pc, p.reg, p.reg, 0, 1)
+	pc += 4
+	for k, a := range p.arrays {
+		addr := a.base + (p.pos*a.stride)%a.length
+		q.load(pc, addr, p.reg+1+trace.Reg(k%3), p.reg)
+		pc += 4
+	}
+	for k := 0; k < p.alus; k++ {
+		q.alu(pc, p.reg+4, p.reg+1, p.reg+4, 1)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	mis := last
+	if p.mispredEvery > 0 && p.iter%p.mispredEvery == p.mispredEvery-1 {
+		mis = true
+	}
+	q.loopBranch(pc, p.pcBase, !last, mis)
+	p.iter++
+	p.pos++
+	return true
+}
+
+func (p *streamPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Pointer chains (Sec. IV-B2 pattern).
+
+// chasePhase walks a circular linked list: each iteration loads the next
+// pointer through a self-dependent load. Sequential layout yields a strided
+// (LHF) chain; random layout yields the classic hard pointer chase (HHF).
+type chasePhase struct {
+	pcBase uint64
+	reg    trace.Reg
+	off    uint64
+	alus   int
+	iters  uint64
+	iter   uint64
+	nodes  []uint64
+	pos    uint64
+	// divergeEvery > 0 makes the walk skip a node every k iterations
+	// (control flow inside the loop body), the situation Sec. IV-B2's
+	// correction mechanism exists for.
+	divergeEvery uint64
+}
+
+// chaseDiv is chase with a divergence interval (0 = deterministic walk).
+func (b *builder) chaseDiv(nNodes int, nodeStride uint64, off uint64, random bool, iters uint64, alus int, divergeEvery uint64) *chasePhase {
+	p := b.chase(nNodes, nodeStride, off, random, iters, alus)
+	p.divergeEvery = divergeEvery
+	return p
+}
+
+func (b *builder) chase(nNodes int, nodeStride uint64, off uint64, random bool, iters uint64, alus int) *chasePhase {
+	base, pc, reg, r := b.slot()
+	p := &chasePhase{pcBase: pc, reg: reg, off: off, alus: alus, iters: iters}
+	order := make([]uint64, nNodes)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	if random {
+		for i := nNodes - 1; i > 0; i-- {
+			j := r.intn(uint64(i + 1))
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	p.nodes = make([]uint64, nNodes)
+	for i := range p.nodes {
+		p.nodes[i] = base + order[i]*nodeStride
+	}
+	for i := range p.nodes {
+		next := p.nodes[(i+1)%nNodes]
+		b.mem.Store(p.nodes[i]+off, next)
+	}
+	cat := HHF
+	if !random {
+		cat = LHF
+	}
+	b.classify(base, base+uint64(nNodes)*nodeStride, cat)
+	return p
+}
+
+func (p *chasePhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	if p.divergeEvery > 0 && p.iter%p.divergeEvery == p.divergeEvery-1 {
+		p.pos++ // branchy iteration skipped a node
+	}
+	cur := p.nodes[p.pos%uint64(len(p.nodes))]
+	// p = p->next: self-dependent load.
+	q.load(pc, cur+p.off, p.reg, p.reg)
+	pc += 4
+	for k := 0; k < p.alus; k++ {
+		q.alu(pc, p.reg+1, p.reg, p.reg+1, 1)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *chasePhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Arrays of pointers (Sec. IV-B1 pattern).
+
+// aopPhase reads a strided pointer array and dereferences each element:
+// load i is canonical strided, load j is value-dependent with a constant
+// offset — exactly P1's first target.
+type aopPhase struct {
+	pcBase   uint64
+	reg      trace.Reg
+	arrBase  uint64
+	n        uint64
+	off      uint64
+	pointees []uint64
+	alus     int
+	iters    uint64
+	iter     uint64
+	pos      uint64
+}
+
+func (b *builder) aop(n int, off uint64, iters uint64, alus int) *aopPhase {
+	base, pc, reg, r := b.slot()
+	heap := base + uint64(n)*8 + (1 << 20)
+	p := &aopPhase{pcBase: pc, reg: reg, arrBase: base, n: uint64(n), off: off, alus: alus, iters: iters}
+	p.pointees = make([]uint64, n)
+	heapSlots := uint64(n) * 4
+	for i := 0; i < n; i++ {
+		p.pointees[i] = heap + r.intn(heapSlots)*64
+		b.mem.Store(base+uint64(i)*8, p.pointees[i])
+	}
+	b.classify(base, base+uint64(n)*8, LHF)
+	b.classify(heap, heap+heapSlots*64, HHF)
+	return p
+}
+
+func (p *aopPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	i := p.pos % p.n
+	q.alu(pc, p.reg, p.reg, 0, 1) // i++
+	pc += 4
+	// load i: ptr = a[i] (strided).
+	q.load(pc, p.arrBase+i*8, p.reg+1, p.reg)
+	pc += 4
+	// load j: v = *(ptr + off) (value-dependent).
+	q.load(pc, p.pointees[i]+p.off, p.reg+2, p.reg+1)
+	pc += 4
+	for k := 0; k < p.alus; k++ {
+		q.alu(pc, p.reg+3, p.reg+2, p.reg+3, 1)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *aopPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Dense spatial regions (Sec. IV-C pattern, MHF).
+
+// regionPhase visits regions of the working set in a scrambled order and
+// touches `touch` of each region's 16 lines in an irregular within-region
+// order: no stable stride exists, but spatial locality is high — C1's
+// target. The within-region walk is serially data-dependent (each touched
+// line determines the next, as in hash-bucket probing or B-tree node
+// scans), so without a region prefetch the touches cannot overlap.
+type regionPhase struct {
+	pcOuter  uint64
+	pcInner  uint64
+	reg      trace.Reg
+	base     uint64
+	nRegions uint64
+	touch    int
+	iters    uint64
+	iter     uint64
+	r        *rng
+	visit    uint64
+}
+
+func (b *builder) region(nRegions uint64, touch int, iters uint64) *regionPhase {
+	base, pc, reg, r := b.slot()
+	p := &regionPhase{pcOuter: pc, pcInner: pc + 0x100, reg: reg, base: base,
+		nRegions: nRegions, touch: touch, iters: iters, r: r}
+	cat := MHF
+	if touch <= 6 {
+		cat = HHF // sparse regions are not C1 material
+	}
+	b.classify(base, base+nRegions*1024, cat)
+	return p
+}
+
+func (p *regionPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	// Pick the next region via a multiplicative walk: irregular order, every
+	// region visited.
+	region := (p.visit * 2654435761) % p.nRegions
+	p.visit++
+	regionBase := p.base + region*1024
+
+	// Outer-loop bookkeeping.
+	q.alu(p.pcOuter, p.reg, p.reg, 0, 1)
+
+	// Inner loop: touch lines in a scrambled order with one static load PC.
+	// Each load's address register is the previous load's destination, so
+	// the walk serializes unless the region was prefetched.
+	start := p.r.intn(16)
+	for j := 0; j < p.touch; j++ {
+		line := (start + uint64(j)*7) % 16 // co-prime scramble
+		q.alu(p.pcInner, p.reg+1, p.reg+2, 0, 1)
+		q.load(p.pcInner+4, regionBase+line*64, p.reg+2, p.reg+1)
+		q.alu(p.pcInner+8, p.reg+3, p.reg+2, p.reg+3, 1)
+		q.alu(p.pcInner+12, p.reg+4, p.reg+3, p.reg+4, 1)
+		lastInner := j == p.touch-1
+		q.loopBranch(p.pcInner+16, p.pcInner, !lastInner, false)
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(p.pcOuter+0x200, p.pcOuter, !last, last)
+	p.iter++
+	return true
+}
+
+func (p *regionPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Random updates (GUPS, HHF).
+
+type gupsPhase struct {
+	pcBase uint64
+	reg    trace.Reg
+	base   uint64
+	size   uint64
+	iters  uint64
+	iter   uint64
+	store  bool
+	r      *rng
+}
+
+func (b *builder) gups(tableBytes, iters uint64, withStore bool) *gupsPhase {
+	base, pc, reg, r := b.slot()
+	p := &gupsPhase{pcBase: pc, reg: reg, base: base, size: tableBytes, iters: iters, store: withStore, r: r}
+	b.classify(base, base+tableBytes, HHF)
+	return p
+}
+
+func (p *gupsPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	addr := p.base + p.r.intn(p.size/8)*8
+	for k := 0; k < 6; k++ {
+		q.alu(pc, p.reg, p.reg, 0, 2) // hash rounds
+		pc += 4
+	}
+	q.load(pc, addr, p.reg+1, p.reg)
+	pc += 4
+	if p.store {
+		q.alu(pc, p.reg+2, p.reg+1, 0, 1)
+		pc += 4
+		q.store(pc, addr, p.reg+2)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.iter++
+	return true
+}
+
+func (p *gupsPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Sparse gathers (CSR / SpMV style).
+
+// gatherPhase walks rows of a synthetic CSR matrix: strided row/column-index
+// loads plus a gather from the x vector. A banded matrix keeps gathers near
+// the diagonal (MHF); a random one scatters them (HHF).
+type gatherPhase struct {
+	pcBase  uint64
+	reg     trace.Reg
+	rowBase uint64
+	colBase uint64
+	xBase   uint64
+	xSlots  uint64
+	nnz     int
+	band    uint64 // 0 = random
+	rows    uint64
+	iters   uint64
+	iter    uint64
+	row     uint64
+	r       *rng
+}
+
+func (b *builder) gather(rows uint64, nnz int, band uint64, xSlots uint64, iters uint64) *gatherPhase {
+	base, pc, reg, r := b.slot()
+	p := &gatherPhase{pcBase: pc, reg: reg, rows: rows, nnz: nnz, band: band, iters: iters, r: r}
+	p.rowBase = base
+	p.colBase = base + rows*8 + 4096
+	p.xBase = p.colBase + rows*uint64(nnz)*8 + 4096
+	p.xSlots = xSlots
+	b.classify(p.rowBase, p.colBase, LHF)
+	b.classify(p.colBase, p.xBase, LHF)
+	cat := HHF
+	if band > 0 && band <= 64 {
+		cat = MHF
+	}
+	b.classify(p.xBase, p.xBase+xSlots*8, cat)
+	return p
+}
+
+func (p *gatherPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	row := p.row % p.rows
+	pc := p.pcBase
+	q.alu(pc, p.reg, p.reg, 0, 1)
+	pc += 4
+	q.load(pc, p.rowBase+row*8, p.reg+1, p.reg) // row pointer
+	pc += 4
+	inner := pc
+	for j := 0; j < p.nnz; j++ {
+		q.load(inner, p.colBase+(row*uint64(p.nnz)+uint64(j))*8, p.reg+2, p.reg) // col index
+		var col uint64
+		if p.band > 0 {
+			scaled := row * p.xSlots / p.rows
+			col = (scaled + p.r.intn(2*p.band+1)) % p.xSlots
+		} else {
+			col = p.r.intn(p.xSlots)
+		}
+		q.load(inner+4, p.xBase+col*8, p.reg+3, p.reg+2) // gather x[col]
+		q.alu(inner+8, p.reg+4, p.reg+3, p.reg+4, 3)     // multiply-accumulate
+		q.alu(inner+12, p.reg+5, p.reg+4, p.reg+5, 1)
+		q.alu(inner+16, p.reg+5, p.reg+5, 0, 1)
+		lastInner := j == p.nnz-1
+		q.loopBranch(inner+20, inner, !lastInner, false)
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc+0x200, p.pcBase, !last, last)
+	p.row++
+	p.iter++
+	return true
+}
+
+func (p *gatherPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Stencils (LHF, multiple parallel streams + store stream).
+
+type stencilPhase struct {
+	pcBase  uint64
+	reg     trace.Reg
+	inBase  uint64
+	outBase uint64
+	width   uint64 // row length in elements
+	length  uint64 // total elements
+	iters   uint64
+	iter    uint64
+	pos     uint64
+}
+
+func (b *builder) stencil(width, elems, iters uint64) *stencilPhase {
+	base, pc, reg, _ := b.slot()
+	p := &stencilPhase{pcBase: pc, reg: reg, inBase: base, outBase: base + elems*8 + 4096,
+		width: width, length: elems, iters: iters, pos: width}
+	b.classify(base, base+elems*8, LHF)
+	b.classify(p.outBase, p.outBase+elems*8, LHF)
+	return p
+}
+
+func (p *stencilPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	i := p.width + (p.pos % (p.length - 2*p.width))
+	pc := p.pcBase
+	q.alu(pc, p.reg, p.reg, 0, 1)
+	pc += 4
+	q.load(pc, p.inBase+(i-p.width)*8, p.reg+1, p.reg)
+	pc += 4
+	q.load(pc, p.inBase+i*8, p.reg+2, p.reg)
+	pc += 4
+	q.load(pc, p.inBase+(i+p.width)*8, p.reg+3, p.reg)
+	pc += 4
+	q.alu(pc, p.reg+4, p.reg+1, p.reg+2, 3)
+	pc += 4
+	q.alu(pc, p.reg+4, p.reg+4, p.reg+3, 3)
+	pc += 4
+	for k := 0; k < 8; k++ {
+		q.alu(pc, p.reg+5, p.reg+4, p.reg+5, 1)
+		pc += 4
+	}
+	q.store(pc, p.outBase+i*8, p.reg+4)
+	pc += 4
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *stencilPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Histogram (strided keys + random bucket updates).
+
+type histPhase struct {
+	pcBase   uint64
+	reg      trace.Reg
+	keyBase  uint64
+	keyLen   uint64
+	bktBase  uint64
+	bktSlots uint64
+	iters    uint64
+	iter     uint64
+	pos      uint64
+	r        *rng
+}
+
+func (b *builder) hist(keyBytes, bktSlots, iters uint64) *histPhase {
+	base, pc, reg, r := b.slot()
+	p := &histPhase{pcBase: pc, reg: reg, keyBase: base, keyLen: keyBytes,
+		bktBase: base + keyBytes + 4096, bktSlots: bktSlots, iters: iters, r: r}
+	b.classify(base, base+keyBytes, LHF)
+	b.classify(p.bktBase, p.bktBase+bktSlots*8, HHF)
+	return p
+}
+
+func (p *histPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	q.alu(pc, p.reg, p.reg, 0, 1)
+	pc += 4
+	q.load(pc, p.keyBase+(p.pos*8)%p.keyLen, p.reg+1, p.reg) // strided key
+	pc += 4
+	for k := 0; k < 6; k++ {
+		q.alu(pc, p.reg+2, p.reg+1, 0, 2) // hash rounds
+		pc += 4
+	}
+	bkt := p.bktBase + p.r.intn(p.bktSlots)*8
+	q.load(pc, bkt, p.reg+3, p.reg+2)
+	pc += 4
+	q.store(pc, bkt, p.reg+3)
+	pc += 4
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *histPhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Large-stride sweep (transpose / FT style; still canonical per-PC stride).
+
+type transposePhase struct {
+	pcBase uint64
+	reg    trace.Reg
+	base   uint64
+	stride uint64
+	length uint64
+	iters  uint64
+	iter   uint64
+	pos    uint64
+}
+
+func (b *builder) transpose(strideBytes, totalBytes, iters uint64) *transposePhase {
+	base, pc, reg, _ := b.slot()
+	p := &transposePhase{pcBase: pc, reg: reg, base: base, stride: strideBytes, length: totalBytes, iters: iters}
+	b.classify(base, base+totalBytes, LHF)
+	return p
+}
+
+func (p *transposePhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	q.alu(pc, p.reg, p.reg, 0, 1)
+	pc += 4
+	q.load(pc, p.base+(p.pos*p.stride)%p.length, p.reg+1, p.reg)
+	pc += 4
+	for k := 0; k < 18; k++ {
+		q.alu(pc, p.reg+2, p.reg+1, p.reg+2, 1)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *transposePhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Compute-bound kernel with a resident buffer (STARBENCH md5 style).
+
+type computePhase struct {
+	pcBase uint64
+	reg    trace.Reg
+	base   uint64
+	length uint64
+	alus   int
+	iters  uint64
+	iter   uint64
+	pos    uint64
+}
+
+func (b *builder) compute(bufBytes uint64, alus int, iters uint64) *computePhase {
+	base, pc, reg, _ := b.slot()
+	p := &computePhase{pcBase: pc, reg: reg, base: base, length: bufBytes, alus: alus, iters: iters}
+	b.classify(base, base+bufBytes, LHF)
+	return p
+}
+
+func (p *computePhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	pc := p.pcBase
+	q.load(pc, p.base+(p.pos*8)%p.length, p.reg+1, p.reg)
+	pc += 4
+	for k := 0; k < p.alus; k++ {
+		// Dependent chain: models the serial mixing rounds.
+		q.alu(pc, p.reg+2, p.reg+1, p.reg+2, 2)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *computePhase) reset() { p.iter = 0 }
+
+// ---------------------------------------------------------------------------
+// Streams accessed through call sites (exercises mPC = PC xor RAS-top).
+
+// callStreamPhase reads two different strided streams through the *same*
+// static load PC inside a tiny accessor function called from two sites —
+// the object-oriented pattern Sec. IV-A2's call-site disambiguation exists
+// for. Without the RAS xor, the shared PC sees alternating deltas and never
+// stabilizes.
+type callStreamPhase struct {
+	pcBase uint64
+	alus   int
+	reg    trace.Reg
+	funcPC uint64
+	baseA  uint64
+	baseB  uint64
+	stride uint64
+	length uint64
+	iters  uint64
+	iter   uint64
+	pos    uint64
+}
+
+func (b *builder) callStream(strideBytes, arrBytes, iters uint64, alus int) *callStreamPhase {
+	base, pc, reg, _ := b.slot()
+	p := &callStreamPhase{pcBase: pc, reg: reg, funcPC: pc + 0x800, alus: alus,
+		baseA: base, baseB: base + arrBytes + 4096, stride: strideBytes, length: arrBytes, iters: iters}
+	b.classify(p.baseA, p.baseA+arrBytes, LHF)
+	b.classify(p.baseB, p.baseB+arrBytes, LHF)
+	return p
+}
+
+func (p *callStreamPhase) fill(q *emitq) bool {
+	if p.iter >= p.iters {
+		return false
+	}
+	off := (p.pos * p.stride) % p.length
+	// Call site 1 -> accessor loads stream A.
+	q.call(p.pcBase, p.funcPC)
+	q.load(p.funcPC, p.baseA+off, p.reg+1, p.reg)
+	q.ret(p.funcPC+4, p.pcBase+4)
+	// Call site 2 -> same accessor PC loads stream B.
+	q.call(p.pcBase+8, p.funcPC)
+	q.load(p.funcPC, p.baseB+off, p.reg+2, p.reg)
+	q.ret(p.funcPC+4, p.pcBase+12)
+	pc := p.pcBase + 16
+	for k := 0; k < p.alus; k++ {
+		q.alu(pc, p.reg+3, p.reg+1, p.reg+3, 1)
+		pc += 4
+	}
+	last := p.iter == p.iters-1
+	q.loopBranch(pc, p.pcBase, !last, last)
+	p.pos++
+	p.iter++
+	return true
+}
+
+func (p *callStreamPhase) reset() { p.iter = 0 }

@@ -1,0 +1,232 @@
+package workloads
+
+import (
+	"testing"
+
+	"divlab/internal/trace"
+)
+
+// drain pulls up to n instructions from one phase via a builder instance.
+func drain(b *builder, n int) []trace.Inst {
+	inst := b.build()
+	out := make([]trace.Inst, 0, n)
+	var in trace.Inst
+	for i := 0; i < n; i++ {
+		if !inst.Next(&in) {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func loadsOf(insts []trace.Inst) []trace.Inst {
+	var out []trace.Inst
+	for _, in := range insts {
+		if in.Kind == trace.Load {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func TestStreamPhaseStride(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.stream(1, 64, 1<<20, 100, 2))
+	loads := loadsOf(drain(b, 2000))
+	if len(loads) < 100 {
+		t.Fatalf("too few loads: %d", len(loads))
+	}
+	for i := 1; i < len(loads); i++ {
+		if loads[i].Addr-loads[i-1].Addr != 64 {
+			t.Fatalf("stream delta %d at %d", loads[i].Addr-loads[i-1].Addr, i)
+		}
+	}
+}
+
+func TestStreamPhaseAdvancesAcrossPasses(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.stream(1, 64, 1<<24, 10, 0)) // 10 iters per pass
+	loads := loadsOf(drain(b, 400))
+	// Addresses must keep increasing through pass resets (no rewind).
+	for i := 1; i < len(loads); i++ {
+		if loads[i].Addr <= loads[i-1].Addr {
+			t.Fatalf("stream rewound at load %d", i)
+		}
+	}
+}
+
+func TestChasePhaseSelfDependent(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.chase(256, 64, 8, true, 1000, 2))
+	insts := drain(b, 1000)
+	loads := loadsOf(insts)
+	if len(loads) == 0 {
+		t.Fatal("no loads")
+	}
+	for _, ld := range loads {
+		if ld.Dst == 0 || ld.Dst != ld.Src1 {
+			t.Fatal("chase load must be self-dependent (Dst == Src1)")
+		}
+	}
+	// Circularity: after 256 iterations the walk revisits the first node.
+	if loads[0].Addr == 0 {
+		t.Fatal("bad address")
+	}
+}
+
+func TestAopPhaseDependency(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.aop(512, 16, 1000, 1))
+	insts := drain(b, 3000)
+	vm := b.build().Memory()
+	var lastPtrDst trace.Reg
+	var lastPtrVal uint64
+	checked := 0
+	for _, in := range insts {
+		if in.Kind != trace.Load {
+			continue
+		}
+		if in.Src1 != 0 && in.Src1 == lastPtrDst && lastPtrVal != 0 {
+			// Dependent load: its address = pointer value + 16.
+			if in.Addr != lastPtrVal+16 {
+				t.Fatalf("dependent address %#x, want %#x", in.Addr, lastPtrVal+16)
+			}
+			checked++
+			lastPtrDst = 0
+			continue
+		}
+		// Pointer-array load: value memory must hold the pointee.
+		if v, ok := vm.Value(in.Addr); ok {
+			lastPtrDst = in.Dst
+			lastPtrVal = v
+		}
+	}
+	if checked < 100 {
+		t.Errorf("dependency verified only %d times", checked)
+	}
+}
+
+func TestRegionPhaseLocality(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.region(64, 10, 50))
+	insts := drain(b, 5000)
+	loads := loadsOf(insts)
+	if len(loads) < 100 {
+		t.Fatal("too few loads")
+	}
+	// Consecutive runs of 10 loads share a 1 KB region.
+	for i := 0; i+9 < len(loads); i += 10 {
+		r := loads[i].Addr / 1024
+		distinct := map[uint64]bool{}
+		for j := 0; j < 10; j++ {
+			if loads[i+j].Addr/1024 != r {
+				t.Fatalf("visit %d left its region", i/10)
+			}
+			distinct[loads[i+j].Addr/64] = true
+		}
+		if len(distinct) != 10 {
+			t.Fatalf("visit touched %d distinct lines, want 10", len(distinct))
+		}
+	}
+	// Serial data dependence within the visit.
+	for i := 1; i < 20; i++ {
+		if loads[i].Src1 == 0 {
+			t.Fatal("region walk must be data-dependent")
+		}
+	}
+}
+
+func TestGupsPhaseSpread(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.gups(1<<22, 2000, true))
+	loads := loadsOf(drain(b, 10_000))
+	distinct := map[uint64]bool{}
+	for _, ld := range loads {
+		distinct[ld.Addr/64] = true
+	}
+	if len(distinct) < len(loads)/2 {
+		t.Errorf("GUPS accesses not spread: %d distinct of %d", len(distinct), len(loads))
+	}
+}
+
+func TestGatherPhaseBandLocality(t *testing.T) {
+	mkSpread := func(band uint64) float64 {
+		b := newBuilder(1)
+		b.add(b.gather(1024, 4, band, 1<<18, 200))
+		inst := b.build()
+		// The x-gather loads are the ones outside the LHF-classified
+		// rowptr/colidx arrays.
+		var gathers []uint64
+		var in trace.Inst
+		for i := 0; i < 20_000; i++ {
+			if !inst.Next(&in) {
+				break
+			}
+			if in.Kind == trace.Load && inst.Classify(in.Addr&^63) != LHF {
+				gathers = append(gathers, in.Addr)
+			}
+		}
+		if len(gathers) < 100 {
+			t.Fatalf("too few gathers: %d", len(gathers))
+		}
+		// Mean absolute delta between consecutive gathers, in lines.
+		var sum float64
+		for i := 1; i < len(gathers); i++ {
+			d := int64(gathers[i]) - int64(gathers[i-1])
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d) / 64
+		}
+		return sum / float64(len(gathers)-1)
+	}
+	banded := mkSpread(16)
+	random := mkSpread(0)
+	if banded*4 > random {
+		t.Errorf("banded gathers (%.0f lines apart) must be far more local than random (%.0f)", banded, random)
+	}
+}
+
+func TestCallStreamUsesRAS(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.callStream(64, 1<<20, 100, 4))
+	insts := drain(b, 2000)
+	calls, rets, loads := 0, 0, 0
+	var loadPCs = map[uint64]bool{}
+	for _, in := range insts {
+		switch {
+		case in.IsCall:
+			calls++
+		case in.IsRet:
+			rets++
+		case in.Kind == trace.Load:
+			loads++
+			loadPCs[in.PC] = true
+		}
+	}
+	if calls == 0 || calls != rets {
+		t.Errorf("calls=%d rets=%d", calls, rets)
+	}
+	if len(loadPCs) != 1 {
+		t.Errorf("accessor loads must share one static PC, got %d", len(loadPCs))
+	}
+	if loads != calls {
+		t.Errorf("one load per call: loads=%d calls=%d", loads, calls)
+	}
+}
+
+func TestPhaseRotation(t *testing.T) {
+	b := newBuilder(1)
+	b.add(b.stream(1, 64, 1<<20, 5, 0))
+	b.add(b.gups(1<<20, 5, false))
+	insts := drain(b, 600)
+	// Both phases' PC ranges must appear.
+	seen := map[uint64]bool{}
+	for _, in := range insts {
+		seen[in.PC&^0xFFF] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("phase rotation broken: PC bases %v", seen)
+	}
+}

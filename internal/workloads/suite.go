@@ -1,0 +1,203 @@
+package workloads
+
+// This file defines the benchmark suites. The SPEC-like suite has 21
+// applications (matching the paper's 21-benchmark SPEC figure) composed of
+// the access-pattern phases in phases.go; the CRONO-, STARBENCH- and
+// NPB-like suites model the paper's additional workloads (Sec. V-A). Sizes
+// are scaled so working sets exceed the 64 KB L1 and usually the 256 KB L2.
+
+const (
+	kib = uint64(1) << 10
+	mib = uint64(1) << 20
+)
+
+func app(name, suite string, build func(b *builder)) Workload {
+	return Workload{Name: name, Suite: suite, New: func(seed uint64) Instance {
+		b := newBuilder(seed)
+		build(b)
+		return b.build()
+	}}
+}
+
+// SPEC returns the 21-application SPEC-CPU2006-like suite.
+func SPEC() []Workload {
+	return []Workload{
+		app("stream.pure", "spec", func(b *builder) {
+			b.add(b.stream(2, 64, 4*mib, 4000, 24))
+		}),
+		app("stream.multi", "spec", func(b *builder) {
+			b.add(b.stream(4, 64, 2*mib, 4000, 64))
+		}),
+		app("stream.dense", "spec", func(b *builder) {
+			b.add(b.stream(2, 8, 8*mib, 6000, 4))
+		}),
+		app("stream.wide", "spec", func(b *builder) {
+			b.add(b.stream(3, 192, 6*mib, 4000, 52))
+		}),
+		app("stencil.1d", "spec", func(b *builder) {
+			b.add(b.stencil(512, 1*mib, 4000))
+		}),
+		app("calls.oo", "spec", func(b *builder) {
+			b.add(b.callStream(64, 4*mib, 4000, 26))
+		}),
+		app("chase.seq", "spec", func(b *builder) {
+			b.add(b.chase(6144, 64, 8, false, 4000, 16))
+		}),
+		app("chase.rand", "spec", func(b *builder) {
+			b.add(b.chaseDiv(4096, 64, 8, true, 3000, 20, 16))
+		}),
+		app("chase.deep", "spec", func(b *builder) {
+			b.add(b.chaseDiv(16384, 64, 8, true, 3000, 24, 8))
+		}),
+		app("aop.rand", "spec", func(b *builder) {
+			b.add(b.aop(65536, 16, 3000, 12))
+		}),
+		app("region.hot", "spec", func(b *builder) {
+			b.add(b.region(8192, 10, 400))
+		}),
+		app("region.full", "spec", func(b *builder) {
+			b.add(b.region(4096, 14, 400))
+		}),
+		app("region.sparse", "spec", func(b *builder) {
+			b.add(b.region(8192, 5, 600))
+		}),
+		app("gups.large", "spec", func(b *builder) {
+			b.add(b.gups(16*mib, 3000, true))
+		}),
+		app("gather.band", "spec", func(b *builder) {
+			b.add(b.gather(4096, 8, 32, 2*mib/8, 400))
+		}),
+		app("gather.rand", "spec", func(b *builder) {
+			b.add(b.gather(4096, 8, 0, 4*mib/8, 400))
+		}),
+		app("hist.mix", "spec", func(b *builder) {
+			b.add(b.hist(4*mib, 2*mib/8, 4000))
+		}),
+		app("transpose.col", "spec", func(b *builder) {
+			b.add(b.transpose(4160, 16*mib, 5000))
+		}),
+		app("resident.l2", "spec", func(b *builder) {
+			b.add(b.compute(128*kib, 4, 5000))
+		}),
+		app("mix.stream_gups", "spec", func(b *builder) {
+			b.add(b.stream(2, 64, 4*mib, 1500, 24))
+			b.add(b.gups(8*mib, 500, false))
+		}),
+		app("mix.phases", "spec", func(b *builder) {
+			b.add(b.stream(3, 64, 2*mib, 1000, 30))
+			b.add(b.region(4096, 10, 150))
+			b.add(b.chase(12288, 64, 8, true, 800, 8))
+		}),
+	}
+}
+
+// CRONO returns the graph-suite stand-ins: CSR traversals whose offset
+// arrays stream and whose per-vertex gathers scatter (power-law inputs) or
+// stay near-diagonal (road networks).
+func CRONO() []Workload {
+	return []Workload{
+		app("bfs.google", "crono", func(b *builder) {
+			b.add(b.gather(16384, 12, 0, 8*mib/8, 300))
+		}),
+		app("bfs.road", "crono", func(b *builder) {
+			b.add(b.gather(16384, 3, 32, 4*mib/8, 800))
+		}),
+		app("pagerank", "crono", func(b *builder) {
+			b.add(b.gather(8192, 16, 0, 8*mib/8, 200))
+			b.add(b.stream(2, 64, 4*mib, 1000, 26))
+		}),
+		app("sssp", "crono", func(b *builder) {
+			b.add(b.gather(8192, 8, 0, 8*mib/8, 300))
+			b.add(b.chase(12288, 64, 8, true, 600, 8))
+		}),
+		app("connected", "crono", func(b *builder) {
+			b.add(b.gather(8192, 6, 16, 8*mib/8, 400))
+			b.add(b.region(4096, 9, 120))
+		}),
+	}
+}
+
+// STARBENCH returns the embedded-suite stand-ins.
+func STARBENCH() []Workload {
+	return []Workload{
+		app("rotate", "star", func(b *builder) {
+			b.add(b.transpose(2112, 8*mib, 3000))
+			b.add(b.stream(1, 64, 8*mib, 2000, 20))
+		}),
+		app("rgbyuv", "star", func(b *builder) {
+			b.add(b.stream(3, 64, 4*mib, 4000, 36))
+		}),
+		app("kmeans", "star", func(b *builder) {
+			b.add(b.stream(1, 64, 8*mib, 3000, 30))
+			b.add(b.compute(32*kib, 3, 1500))
+		}),
+		app("md5", "star", func(b *builder) {
+			b.add(b.compute(64*kib, 8, 5000))
+		}),
+	}
+}
+
+// NPB returns the NAS-parallel-benchmark stand-ins.
+func NPB() []Workload {
+	return []Workload{
+		app("cg", "npb", func(b *builder) {
+			b.add(b.gather(8192, 12, 48, 4*mib/8, 300))
+		}),
+		app("mg", "npb", func(b *builder) {
+			b.add(b.stencil(256, 2*mib/8, 2000))
+			b.add(b.stencil(1024, 2*mib/8, 2000))
+		}),
+		app("ft", "npb", func(b *builder) {
+			b.add(b.transpose(8256, 16*mib, 4000))
+			b.add(b.stream(2, 64, 4*mib, 2000, 24))
+		}),
+		app("is", "npb", func(b *builder) {
+			b.add(b.hist(8*mib, 4*mib/8, 4000))
+		}),
+	}
+}
+
+// All returns every single-core workload across the four suites.
+func All() []Workload {
+	var out []Workload
+	out = append(out, SPEC()...)
+	out = append(out, CRONO()...)
+	out = append(out, STARBENCH()...)
+	out = append(out, NPB()...)
+	return out
+}
+
+// ByName finds a workload in All(); ok is false when the name is unknown.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Mix is a 4-application multicore workload drawn from the suites.
+type Mix struct {
+	Name string
+	Apps [4]Workload
+}
+
+// Mixes returns n deterministic 4-app mixes randomly drawn from all suites,
+// mirroring the paper's randomly drawn 4-thread mixes.
+func Mixes(n int, seed uint64) []Mix {
+	all := All()
+	r := newRNG(seed)
+	out := make([]Mix, 0, n)
+	for i := 0; i < n; i++ {
+		var m Mix
+		m.Name = "mix"
+		for j := 0; j < 4; j++ {
+			w := all[r.intn(uint64(len(all)))]
+			m.Apps[j] = w
+			m.Name += "." + w.Name
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"testing"
+
+	"divlab/internal/trace"
+)
+
+func TestAllSuitesPopulated(t *testing.T) {
+	if n := len(SPEC()); n != 21 {
+		t.Errorf("SPEC suite has %d apps, want 21 (paper's Fig. 8)", n)
+	}
+	if len(CRONO()) < 4 || len(STARBENCH()) < 3 || len(NPB()) < 4 {
+		t.Error("suites too small")
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if w.Name == "" || w.New == nil {
+			t.Fatalf("malformed workload %+v", w)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("stream.pure"); !ok {
+		t.Error("stream.pure missing")
+	}
+	if _, ok := ByName("no.such.app"); ok {
+		t.Error("unknown workload must report !ok")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"stream.pure", "chase.rand", "region.hot", "gather.band", "gups.large"} {
+		w, _ := ByName(name)
+		a, b := w.New(7), w.New(7)
+		var ia, ib trace.Inst
+		for i := 0; i < 5000; i++ {
+			oka, okb := a.Next(&ia), b.Next(&ib)
+			if oka != okb || ia != ib {
+				t.Fatalf("%s: diverged at instruction %d: %+v vs %+v", name, i, ia, ib)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	w, _ := ByName("gups.large")
+	a, b := w.New(1), w.New(2)
+	var ia, ib trace.Inst
+	same := true
+	for i := 0; i < 2000 && same; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia.Addr != ib.Addr {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical random access streams")
+	}
+}
+
+func TestEveryWorkloadEmits(t *testing.T) {
+	for _, w := range All() {
+		inst := w.New(3)
+		var in trace.Inst
+		loads, branches := 0, 0
+		for i := 0; i < 3000; i++ {
+			if !inst.Next(&in) {
+				t.Fatalf("%s: stream ended at %d (must be endless)", w.Name, i)
+			}
+			switch in.Kind {
+			case trace.Load, trace.Store:
+				if in.Addr == 0 {
+					t.Fatalf("%s: memory instruction with zero address", w.Name)
+				}
+				loads++
+			case trace.Branch:
+				branches++
+			}
+		}
+		if loads == 0 {
+			t.Errorf("%s: no memory instructions", w.Name)
+		}
+		if branches == 0 {
+			t.Errorf("%s: no branches (loop hardware needs them)", w.Name)
+		}
+	}
+}
+
+func TestClassificationCoversTouchedLines(t *testing.T) {
+	// Most memory traffic must fall in explicitly classified ranges; the
+	// HHF default should be the exception, not the rule, for stream apps.
+	w, _ := ByName("stream.pure")
+	inst := w.New(3)
+	var in trace.Inst
+	lhf, other := 0, 0
+	for i := 0; i < 5000; i++ {
+		inst.Next(&in)
+		if !in.IsMem() {
+			continue
+		}
+		if inst.Classify(in.Addr&^63) == LHF {
+			lhf++
+		} else {
+			other++
+		}
+	}
+	if lhf == 0 || lhf < other {
+		t.Errorf("stream.pure classification: lhf=%d other=%d", lhf, other)
+	}
+}
+
+func TestChaseMemoryConsistent(t *testing.T) {
+	// Property: for the chase workload, each load's value (per vmem) is the
+	// base address of a later load — the chain invariant P1 relies on.
+	w, _ := ByName("chase.rand")
+	inst := w.New(9)
+	vm := inst.Memory()
+	var in trace.Inst
+	var prevVal uint64
+	held, broken := 0, 0
+	for i := 0; i < 60_000; i++ {
+		inst.Next(&in)
+		if in.Kind != trace.Load {
+			continue
+		}
+		if prevVal != 0 {
+			// The current load's address = previous value + offset(8),
+			// except at the occasional divergence iteration.
+			if in.Addr == prevVal+8 {
+				held++
+			} else {
+				broken++
+			}
+		}
+		v, ok := vm.Value(in.Addr)
+		if !ok {
+			t.Fatalf("chain pointer at %#x not mapped", in.Addr)
+		}
+		prevVal = v
+	}
+	if held < 1000 || broken > held/8 {
+		t.Errorf("chain invariant: held=%d broken=%d", held, broken)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if LHF.String() != "LHF" || MHF.String() != "MHF" || HHF.String() != "HHF" || Category(9).String() != "?" {
+		t.Error("Category.String broken")
+	}
+}
+
+func TestMixesDeterministic(t *testing.T) {
+	a := Mixes(4, 5)
+	b := Mixes(4, 5)
+	if len(a) != 4 {
+		t.Fatalf("Mixes returned %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Error("mixes must be deterministic per seed")
+		}
+	}
+	c := Mixes(4, 6)
+	same := true
+	for i := range a {
+		if a[i].Name != c[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds must draw different mixes")
+	}
+}
+
+func TestInstanceMemoryNeverNil(t *testing.T) {
+	for _, w := range All() {
+		if w.New(1).Memory() == nil {
+			t.Errorf("%s: Memory() returned nil", w.Name)
+		}
+	}
+}
