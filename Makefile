@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test short race bench
+
+# ci is what .github/workflows/ci.yml runs: vet, build, and the race-enabled
+# test suite — the race detector is the correctness backstop for the
+# internal/runner worker pool.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# short skips the simulation-heavy tests (cross-worker equivalence sweep,
+# full matrix smoke) for a fast edit-compile loop.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

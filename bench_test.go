@@ -4,6 +4,10 @@
 // headline quantity as a custom metric so `go test -bench . -benchmem`
 // doubles as the reproduction harness. Full-size reports come from
 // `go run ./cmd/tpcsim -exp <name>`.
+//
+// Every iteration gets a fresh runner.Engine so the memoized run cache never
+// carries results across iterations: ns/op measures the real simulation
+// work of one experiment (with intra-experiment dedup, as in production).
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 
 	"divlab/internal/dram"
 	"divlab/internal/exp"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -24,6 +29,7 @@ func runExp(b *testing.B, name string) {
 	b.Helper()
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
+		o.Engine = runner.New()
 		if err := exp.Run(name, io.Discard, o); err != nil {
 			b.Fatal(err)
 		}
@@ -41,22 +47,37 @@ func BenchmarkFig14(b *testing.B)  { runExp(b, "fig14") }
 func BenchmarkFig15(b *testing.B)  { runExp(b, "fig15") }
 func BenchmarkFig16(b *testing.B)  { runExp(b, "fig16") }
 
+// fig8Jobs builds the Fig. 8 (app × prefetcher) matrix with the leading
+// baseline column.
+func fig8Jobs(o exp.Options, pfs []sim.Named) []runner.Job {
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Seed = o.Seed
+	var jobs []runner.Job
+	for _, w := range workloads.SPEC() {
+		jobs = append(jobs, runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg})
+		for _, p := range pfs {
+			jobs = append(jobs, runner.Job{Workload: w, Prefetcher: p, Config: cfg})
+		}
+	}
+	return jobs
+}
+
 // BenchmarkFig8 additionally reports the headline geomean speedups.
 func BenchmarkFig8(b *testing.B) {
 	o := benchOptions()
 	pfs := sim.AllEvaluated()
+	cols := len(pfs) + 1
 	var tpcG, bestMono float64
 	for i := 0; i < b.N; i++ {
-		cfg := sim.DefaultConfig(o.Insts)
-		cfg.Seed = o.Seed
+		res := runner.New().RunBatch(fig8Jobs(o, pfs))
 		per := make(map[string][]float64)
-		for _, w := range workloads.SPEC() {
-			base := sim.RunSingle(w, nil, cfg)
-			for _, p := range pfs {
-				r := sim.RunSingle(w, p.Factory, cfg)
-				if base.IPC() > 0 {
-					per[p.Name] = append(per[p.Name], r.IPC()/base.IPC())
-				}
+		for a := 0; a < len(res); a += cols {
+			base := res[a]
+			if base.IPC() == 0 {
+				continue
+			}
+			for j, p := range pfs {
+				per[p.Name] = append(per[p.Name], res[a+1+j].IPC()/base.IPC())
 			}
 		}
 		tpcG, bestMono = 0, 0
@@ -83,17 +104,25 @@ func BenchmarkDropPolicy(b *testing.B) {
 	tpcN := sim.TPCFull()
 	var gain float64
 	for i := 0; i < b.N; i++ {
+		eng := runner.New()
 		mixes := workloads.Mixes(o.MixCount, o.Seed+77)
-		var rnd, pri []float64
+		cfg := sim.DefaultConfig(o.Insts)
+		cfg.Cores = 4
+		cfg.Seed = o.Seed
+		cfg.DropPolicy = dram.DropRandomPrefetch
+		cfgPri := cfg
+		cfgPri.DropPolicy = dram.DropLowPriorityPrefetch
+		var jobs []runner.MultiJob
 		for _, mix := range mixes {
-			cfg := sim.DefaultConfig(o.Insts)
-			cfg.Cores = 4
-			cfg.Seed = o.Seed
-			cfg.DropPolicy = dram.DropRandomPrefetch
-			base := sim.RunMulti(mix, nil, cfg)
-			r1 := sim.RunMulti(mix, tpcN.Factory, cfg)
-			cfg.DropPolicy = dram.DropLowPriorityPrefetch
-			r2 := sim.RunMulti(mix, tpcN.Factory, cfg)
+			jobs = append(jobs,
+				runner.MultiJob{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg},
+				runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfg},
+				runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfgPri})
+		}
+		res := eng.RunMultiBatch(jobs)
+		var rnd, pri []float64
+		for mi := range mixes {
+			base := res[3*mi]
 			ws := func(rs []*sim.Result) float64 {
 				s := 0.0
 				for k := range rs {
@@ -103,8 +132,8 @@ func BenchmarkDropPolicy(b *testing.B) {
 				}
 				return s / float64(len(rs))
 			}
-			rnd = append(rnd, ws(r1))
-			pri = append(pri, ws(r2))
+			rnd = append(rnd, ws(res[3*mi+1]))
+			pri = append(pri, ws(res[3*mi+2]))
 		}
 		gr, gp := stats.Geomean(rnd), stats.Geomean(pri)
 		if gr > 0 {
@@ -112,6 +141,29 @@ func BenchmarkDropPolicy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*gain, "drop-policy-gain-%")
+}
+
+// BenchmarkParallelMatrix measures the engine itself on the Fig. 8 matrix:
+// one batch of unique simulations fanned out across the worker pool, then
+// the same batch again served from the run cache (the fig8→fig9 reuse
+// pattern in exp.RunAll). Reports executed simulations per second and the
+// overall cache-hit rate.
+func BenchmarkParallelMatrix(b *testing.B) {
+	o := benchOptions()
+	jobs := fig8Jobs(o, sim.AllEvaluated())
+	var eng *runner.Engine
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng = runner.New()
+		eng.RunBatch(jobs)
+		eng.RunBatch(jobs)
+	}
+	b.StopTimer()
+	hits, misses := eng.Stats()
+	b.ReportMetric(float64(misses)*float64(b.N)/b.Elapsed().Seconds(), "sims/sec")
+	b.ReportMetric(eng.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(hits+misses), "jobs/op")
+	b.ReportMetric(float64(eng.Workers()), "workers")
 }
 
 // BenchmarkSimulator measures raw simulation throughput (insts/sec) of the

@@ -5,6 +5,11 @@
 //
 //	sweep -what t2margin
 //	sweep -what destination -insts 200000
+//	sweep -what degree -j 8
+//
+// Sweeps run on the parallel engine in internal/runner: every sweep point's
+// suite goes out as one batch, and the shared run cache simulates the
+// no-prefetch baseline once per configuration instead of once per point.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"divlab/internal/mem"
 	"divlab/internal/prefetch"
 	"divlab/internal/prefetchers"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -25,8 +31,12 @@ func main() {
 	var (
 		what  = flag.String("what", "degree", "sweep: degree | spp-threshold | bop | destination | mshr-apps")
 		insts = flag.Uint64("insts", 150_000, "instructions per run")
+		jobs  = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, or TPCSIM_WORKERS)")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		runner.Default().SetWorkers(*jobs)
+	}
 
 	switch *what {
 	case "degree":
@@ -44,13 +54,22 @@ func main() {
 }
 
 // geomeanSpeedup runs pf over the SPEC-like suite and returns the geomean
-// speedup over no-prefetch.
-func geomeanSpeedup(factory sim.Factory, insts uint64) float64 {
+// speedup over no-prefetch. The sweep-point name is the run-cache identity,
+// so every distinct configuration must get a distinct name; the baseline
+// runs carry the same key at every point and are simulated only once.
+func geomeanSpeedup(pf sim.Named, insts uint64) float64 {
 	cfg := sim.DefaultConfig(insts)
+	apps := workloads.SPEC()
+	jobs := make([]runner.Job, 0, 2*len(apps))
+	for _, w := range apps {
+		jobs = append(jobs,
+			runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg},
+			runner.Job{Workload: w, Prefetcher: pf, Config: cfg})
+	}
+	res := runner.Default().RunBatch(jobs)
 	var xs []float64
-	for _, w := range workloads.SPEC() {
-		base := sim.RunSingle(w, nil, cfg)
-		r := sim.RunSingle(w, factory, cfg)
+	for i := 0; i < len(jobs); i += 2 {
+		base, r := res[i], res[i+1]
 		if base.IPC() > 0 {
 			xs = append(xs, r.IPC()/base.IPC())
 		}
@@ -63,13 +82,19 @@ func sweepDegree(insts uint64) {
 	fmt.Fprintln(tw, "prefetcher\tdegree\tgeomean speedup")
 	for _, deg := range []int{1, 2, 4, 8} {
 		d := deg
-		fmt.Fprintf(tw, "stride\t%d\t%.3f\n", d,
-			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewStride(mem.L1, 256, d) }, insts))
+		pf := sim.Named{
+			Name:    fmt.Sprintf("sweep:stride-deg=%d", d),
+			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewStride(mem.L1, 256, d) },
+		}
+		fmt.Fprintf(tw, "stride\t%d\t%.3f\n", d, geomeanSpeedup(pf, insts))
 	}
 	for _, deg := range []int{1, 2, 4, 8} {
 		d := deg
-		fmt.Fprintf(tw, "ampm\t%d\t%.3f\n", d,
-			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewAMPM(mem.L1, 16, d) }, insts))
+		pf := sim.Named{
+			Name:    fmt.Sprintf("sweep:ampm-deg=%d", d),
+			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewAMPM(mem.L1, 16, d) },
+		}
+		fmt.Fprintf(tw, "ampm\t%d\t%.3f\n", d, geomeanSpeedup(pf, insts))
 	}
 	tw.Flush()
 }
@@ -79,8 +104,11 @@ func sweepSPP(insts uint64) {
 	fmt.Fprintln(tw, "path-confidence threshold\tgeomean speedup")
 	for _, th := range []int{10, 25, 50, 75} {
 		t := th
-		fmt.Fprintf(tw, "%d%%\t%.3f\n", t,
-			geomeanSpeedup(func(workloads.Instance) prefetch.Component { return prefetchers.NewSPP(mem.L1, t, 8) }, insts))
+		pf := sim.Named{
+			Name:    fmt.Sprintf("sweep:spp-th=%d", t),
+			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewSPP(mem.L1, t, 8) },
+		}
+		fmt.Fprintf(tw, "%d%%\t%.3f\n", t, geomeanSpeedup(pf, insts))
 	}
 	tw.Flush()
 }
@@ -98,8 +126,11 @@ func sweepDestination(insts uint64) {
 	} {
 		for _, lvl := range []mem.Level{mem.L1, mem.L2} {
 			mk, l := p.mk, lvl
-			fmt.Fprintf(tw, "%s\t%s\t%.3f\n", p.name, l,
-				geomeanSpeedup(func(workloads.Instance) prefetch.Component { return mk(l) }, insts))
+			pf := sim.Named{
+				Name:    fmt.Sprintf("sweep:%s-dest=%s", p.name, l),
+				Factory: func(workloads.Instance) prefetch.Component { return mk(l) },
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\n", p.name, l, geomeanSpeedup(pf, insts))
 		}
 	}
 	tw.Flush()
@@ -107,10 +138,16 @@ func sweepDestination(insts uint64) {
 
 func perAppMPKI(insts uint64) {
 	cfg := sim.DefaultConfig(insts)
+	apps := workloads.All()
+	jobs := make([]runner.Job, 0, len(apps))
+	for _, w := range apps {
+		jobs = append(jobs, runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg})
+	}
+	res := runner.Default().RunBatch(jobs)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tsuite\tIPC\tL1 MPKI\tL2 misses\ttraffic lines")
-	for _, w := range workloads.All() {
-		r := sim.RunSingle(w, nil, cfg)
+	for i, w := range apps {
+		r := res[i]
 		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%d\t%d\n", w.Name, w.Suite, r.IPC(), r.MPKI(), r.L2Misses, r.Traffic)
 	}
 	tw.Flush()

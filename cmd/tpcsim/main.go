@@ -4,7 +4,13 @@
 //	tpcsim -list
 //	tpcsim -exp fig8
 //	tpcsim -exp all -insts 500000
+//	tpcsim -exp all -j 8
 //	tpcsim -workload chase.rand -prefetcher tpc
+//
+// Experiments run on the parallel engine in internal/runner: -j bounds the
+// worker pool (default GOMAXPROCS or $TPCSIM_WORKERS) and a memoized run
+// cache shares the no-prefetch baseline across experiments. Reports are
+// byte-identical at any -j.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload/controller seed")
 		mixes    = flag.Int("mixes", 8, "number of 4-core mixes for multicore experiments")
 		useBPred = flag.Bool("bpred", false, "use the TAGE + loop predictor instead of workload mispredict flags (single-workload mode)")
+		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, or TPCSIM_WORKERS)")
 	)
 	flag.Parse()
 
@@ -41,7 +48,7 @@ func main() {
 			fmt.Printf("  %-16s (%s)\n", w.Name, w.Suite)
 		}
 	case *expName != "":
-		o := exp.Options{Insts: *insts, Seed: *seed, MixCount: *mixes}
+		o := exp.Options{Insts: *insts, Seed: *seed, MixCount: *mixes, Workers: *jobs}
 		var err error
 		if *expName == "all" {
 			err = exp.RunAll(os.Stdout, o)

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"divlab/internal/prefetch"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/tpc"
@@ -17,14 +18,15 @@ func init() {
 }
 
 // tpcVariant builds a TPC with overridden component configs (c1Dense 0
-// keeps the paper's threshold).
-func tpcVariant(t2cfg tpc.T2Config, c1Dense int) sim.Factory {
-	return func(inst workloads.Instance) prefetch.Component {
+// keeps the paper's threshold). The name is the variant's cache identity:
+// every distinct configuration must get a distinct name.
+func tpcVariant(name string, t2cfg tpc.T2Config, c1Dense int) sim.Named {
+	return sim.Named{Name: name, Factory: func(inst workloads.Instance) prefetch.Component {
 		opts := tpc.DefaultOptions(inst.Memory())
 		opts.T2Config = t2cfg
 		opts.C1DenseLines = c1Dense
 		return tpc.New(opts)
-	}
+	}}
 }
 
 func ablation(w io.Writer, o Options) error {
@@ -37,20 +39,22 @@ func ablation(w io.Writer, o Options) error {
 	// sequential regions T2 loses — division of labor at work — so the
 	// isolated component is the honest comparison.)
 	oo := []workloads.Workload{mustWorkload("calls.oo"), mustWorkload("stream.pure")}
-	t2Only := func(t2cfg tpc.T2Config) sim.Factory {
-		return func(inst workloads.Instance) prefetch.Component {
+	t2Only := func(name string, t2cfg tpc.T2Config) sim.Named {
+		return sim.Named{Name: name, Factory: func(inst workloads.Instance) prefetch.Component {
 			return tpc.New(tpc.Options{EnableT2: true, Memory: inst.Memory(), T2Config: t2cfg})
-		}
+		}}
 	}
-	base := tpcVariant(tpc.T2Config{}, 0)
-	fmt.Fprintf(tw, "T2 with mPC (paper)\tcalls.oo,stream.pure\t%.3f\n", geoSpeedup(oo, t2Only(tpc.T2Config{}), o))
-	fmt.Fprintf(tw, "T2 without mPC\tcalls.oo,stream.pure\t%.3f\n", geoSpeedup(oo, t2Only(tpc.T2Config{DisableMPC: true}), o))
+	base := tpcVariant("ablation:tpc-paper", tpc.T2Config{}, 0)
+	fmt.Fprintf(tw, "T2 with mPC (paper)\tcalls.oo,stream.pure\t%.3f\n",
+		geoSpeedup(oo, t2Only("ablation:t2-mpc", tpc.T2Config{}), o))
+	fmt.Fprintf(tw, "T2 without mPC\tcalls.oo,stream.pure\t%.3f\n",
+		geoSpeedup(oo, t2Only("ablation:t2-nompc", tpc.T2Config{DisableMPC: true}), o))
 
 	// 2) Adaptive vs fixed prefetch distance, judged on stream workloads.
 	streams := []workloads.Workload{mustWorkload("stream.pure"), mustWorkload("stream.multi"), mustWorkload("stencil.1d")}
 	fmt.Fprintf(tw, "T2 adaptive d=(AMAT+m)/Titer (paper)\tstreams\t%.3f\n", geoSpeedup(streams, base, o))
 	for _, d := range []int64{2, 8, 32} {
-		f := tpcVariant(tpc.T2Config{FixedDistance: d}, 0)
+		f := tpcVariant(fmt.Sprintf("ablation:tpc-d=%d", d), tpc.T2Config{FixedDistance: d}, 0)
 		fmt.Fprintf(tw, "T2 fixed d=%d\tstreams\t%.3f\n", d, geoSpeedup(streams, f, o))
 	}
 
@@ -58,7 +62,7 @@ func ablation(w io.Writer, o Options) error {
 	// sparse regions (waste), too high rejects genuinely dense ones.
 	regions := []workloads.Workload{mustWorkload("region.hot"), mustWorkload("region.sparse")}
 	for _, dense := range []int{3, 6, 12} {
-		f := tpcVariant(tpc.T2Config{}, dense)
+		f := tpcVariant(fmt.Sprintf("ablation:tpc-c1dense=%d", dense), tpc.T2Config{}, dense)
 		label := fmt.Sprintf("C1 dense > %d/16 lines", dense)
 		if dense == 6 {
 			label += " (paper)"
@@ -76,13 +80,19 @@ func mustWorkload(name string) workloads.Workload {
 	return w
 }
 
-func geoSpeedup(apps []workloads.Workload, f sim.Factory, o Options) float64 {
+func geoSpeedup(apps []workloads.Workload, pf sim.Named, o Options) float64 {
 	cfg := sim.DefaultConfig(o.Insts)
 	cfg.Seed = o.Seed
-	var xs []float64
+	jobs := make([]runner.Job, 0, 2*len(apps))
 	for _, w := range apps {
-		base := sim.RunSingle(w, nil, cfg)
-		r := sim.RunSingle(w, f, cfg)
+		jobs = append(jobs,
+			runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg},
+			runner.Job{Workload: w, Prefetcher: pf, Config: cfg})
+	}
+	res := o.engine().RunBatch(jobs)
+	var xs []float64
+	for i := 0; i < len(jobs); i += 2 {
+		base, r := res[i], res[i+1]
 		if base.IPC() > 0 {
 			xs = append(xs, r.IPC()/base.IPC())
 		}

@@ -8,6 +8,7 @@ import (
 	"divlab/internal/mem"
 	"divlab/internal/metrics"
 	"divlab/internal/prefetch"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -25,6 +26,8 @@ var fig14Extras = []string{"vldp", "spp", "fdp", "sms"}
 func fig14(w io.Writer, o Options) error {
 	// For each app: footprint (baseline), TPC-alone attempts (defines the
 	// uncovered region), the extra alone, and the extra as a TPC component.
+	// The baseline and TPC runs are shared across all four extras by the
+	// run cache; the whole study goes out as one batch.
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "prefetcher\tmode\tscope(uncovered region)\teff.accuracy(region)\tprefetches")
 
@@ -32,22 +35,33 @@ func fig14(w io.Writer, o Options) error {
 	cfg.Seed = o.Seed
 	cfg.CollectFootprint = true
 	tpcN := sim.TPCFull()
+	apps := workloads.SPEC()
 
+	var jobs []runner.Job
 	for _, name := range fig14Extras {
 		extra, _ := sim.ByName(name)
 		comp := sim.TPCWith(extra)
+		for _, wl := range apps {
+			jobs = append(jobs,
+				runner.Job{Workload: wl, Prefetcher: sim.Baseline(), Config: cfg},
+				runner.Job{Workload: wl, Prefetcher: tpcN, Config: cfg},
+				runner.Job{Workload: wl, Prefetcher: extra, Config: cfg},
+				runner.Job{Workload: wl, Prefetcher: comp, Config: cfg})
+		}
+	}
+	res := o.engine().RunBatch(jobs)
+
+	idx := 0
+	for _, name := range fig14Extras {
 		var aloneScope, aloneAcc, aloneW []float64
 		var compScope, compAcc, compW []float64
-		for _, wl := range workloads.SPEC() {
-			base := sim.RunSingle(wl, nil, cfg)
-			tpcRun := sim.RunSingle(wl, tpcN.Factory, cfg)
+		for range apps {
+			base, tpcRun, alone, asComp := res[idx], res[idx+1], res[idx+2], res[idx+3]
+			idx += 4
 			region := metrics.Uncovered(base, tpcRun)
 			if len(region) == 0 {
 				continue
 			}
-			alone := sim.RunSingle(wl, extra.Factory, cfg)
-			asComp := sim.RunSingle(wl, comp.Factory, cfg)
-
 			ra := metrics.Pair{Base: base, PF: alone}.InRegion(region)
 			rc := metrics.Pair{Base: base, PF: asComp}.InRegion(region)
 			if ra.Prefetches > 0 {
@@ -83,21 +97,33 @@ func fig15(w io.Writer, o Options) error {
 	cfg := sim.DefaultConfig(o.Insts)
 	cfg.Seed = o.Seed
 	tpcN := sim.TPCFull()
+	apps := workloads.SPEC()
 
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "extra\tmode\tavg vs tpc\tmin\tmax")
+	var jobs []runner.Job
 	for _, name := range fig14Extras {
 		extra, _ := sim.ByName(name)
 		comp := sim.TPCWith(extra)
 		shunt := sim.ShuntWith(extra)
+		for _, wl := range apps {
+			jobs = append(jobs,
+				runner.Job{Workload: wl, Prefetcher: tpcN, Config: cfg},
+				runner.Job{Workload: wl, Prefetcher: comp, Config: cfg},
+				runner.Job{Workload: wl, Prefetcher: shunt, Config: cfg})
+		}
+	}
+	res := o.engine().RunBatch(jobs)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "extra\tmode\tavg vs tpc\tmin\tmax")
+	idx := 0
+	for _, name := range fig14Extras {
 		var compRel, shuntRel []float64
-		for _, wl := range workloads.SPEC() {
-			tpcRun := sim.RunSingle(wl, tpcN.Factory, cfg)
+		for range apps {
+			tpcRun, c, s := res[idx], res[idx+1], res[idx+2]
+			idx += 3
 			if tpcRun.IPC() == 0 {
 				continue
 			}
-			c := sim.RunSingle(wl, comp.Factory, cfg)
-			s := sim.RunSingle(wl, shunt.Factory, cfg)
 			compRel = append(compRel, c.IPC()/tpcRun.IPC())
 			shuntRel = append(shuntRel, s.IPC()/tpcRun.IPC())
 		}
@@ -130,22 +156,38 @@ func fig16(w io.Writer, o Options) error {
 		}},
 	}
 
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "prefetcher\tdest\tavg speedup\tmin\tmax")
+	baseCfg := sim.DefaultConfig(o.Insts)
+	baseCfg.Seed = o.Seed
+
+	var jobs []runner.Job
 	for _, p := range pfs {
 		for _, d := range dests {
-			override := d.override
+			cfg := baseCfg
+			tag := d.name
+			cfg.DestOverride = d.override
 			if p.Name == "tpc" && d.name == "stratified" {
 				// TPC's components already stratify; no oracle needed.
-				override = nil
+				cfg.DestOverride = nil
+				tag = ""
 			}
-			var rel []float64
 			for _, wl := range apps {
-				cfg := sim.DefaultConfig(o.Insts)
-				cfg.Seed = o.Seed
-				base := sim.RunSingle(wl, nil, cfg)
-				cfg.DestOverride = override
-				r := sim.RunSingle(wl, p.Factory, cfg)
+				jobs = append(jobs,
+					runner.Job{Workload: wl, Prefetcher: sim.Baseline(), Config: baseCfg},
+					runner.Job{Workload: wl, Prefetcher: p, Config: cfg, DestTag: tag})
+			}
+		}
+	}
+	res := o.engine().RunBatch(jobs)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "prefetcher\tdest\tavg speedup\tmin\tmax")
+	idx := 0
+	for _, p := range pfs {
+		for _, d := range dests {
+			var rel []float64
+			for range apps {
+				base, r := res[idx], res[idx+1]
+				idx += 2
 				if base.IPC() > 0 {
 					rel = append(rel, r.IPC()/base.IPC())
 				}

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"divlab/internal/metrics"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -24,6 +25,24 @@ type Options struct {
 	Seed uint64
 	// MixCount is the number of 4-core mixes for multicore experiments.
 	MixCount int
+	// Workers bounds the engine's worker pool (0 keeps the engine's
+	// default: TPCSIM_WORKERS or GOMAXPROCS).
+	Workers int
+	// Engine overrides the process-wide shared run cache; tests use private
+	// engines so worker counts and hit rates can be observed in isolation.
+	Engine *runner.Engine
+}
+
+// engine resolves the run engine for these options.
+func (o Options) engine() *runner.Engine {
+	e := o.Engine
+	if e == nil {
+		e = runner.Default()
+	}
+	if o.Workers > 0 {
+		e.SetWorkers(o.Workers)
+	}
+	return e
 }
 
 // DefaultOptions returns the full-size configuration used by cmd/tpcsim.
@@ -106,17 +125,30 @@ func (a *appRun) pair(name string) metrics.Pair {
 }
 
 // runMatrix simulates every app under the baseline and every prefetcher.
+// The whole (app × prefetcher) matrix is submitted as one engine batch:
+// independent cells run in parallel, repeated cells (the baseline, above
+// all) come out of the run cache, and results keep matrix order.
 func runMatrix(apps []workloads.Workload, pfs []sim.Named, o Options, footprint bool) []*appRun {
-	out := make([]*appRun, 0, len(apps))
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Seed = o.Seed
+	cfg.CollectFootprint = footprint
+	cols := len(pfs) + 1
+	jobs := make([]runner.Job, 0, len(apps)*cols)
 	for _, w := range apps {
-		cfg := sim.DefaultConfig(o.Insts)
-		cfg.Seed = o.Seed
-		cfg.CollectFootprint = footprint
+		jobs = append(jobs, runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg})
+		for _, p := range pfs {
+			jobs = append(jobs, runner.Job{Workload: w, Prefetcher: p, Config: cfg})
+		}
+	}
+	res := o.engine().RunBatch(jobs)
+
+	out := make([]*appRun, 0, len(apps))
+	for i, w := range apps {
 		ar := &appRun{W: w, PF: make(map[string]*sim.Result, len(pfs))}
 		ar.Classify = w.New(o.Seed).Classify
-		ar.Base = sim.RunSingle(w, nil, cfg)
-		for _, p := range pfs {
-			ar.PF[p.Name] = sim.RunSingle(w, p.Factory, cfg)
+		ar.Base = res[i*cols]
+		for j, p := range pfs {
+			ar.PF[p.Name] = res[i*cols+1+j]
 		}
 		out = append(out, ar)
 	}

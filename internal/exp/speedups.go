@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"divlab/internal/dram"
+	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -109,17 +110,27 @@ func runSuiteGeomeans(apps []workloads.Workload, pfs []sim.Named, o Options) map
 
 // runMixes returns, per prefetcher, the geomean over mixes of the mean
 // per-core relative IPC (weighted-speedup analogue against the shared
-// no-prefetch baseline).
+// no-prefetch baseline). All (mix × prefetcher) runs go out as one batch.
 func runMixes(pfs []sim.Named, o Options) map[string]float64 {
 	mixes := workloads.Mixes(o.MixCount, o.Seed+77)
 	cfg := sim.DefaultConfig(o.Insts)
 	cfg.Cores = 4
 	cfg.Seed = o.Seed
-	perPF := make(map[string][]float64)
+	cols := len(pfs) + 1
+	jobs := make([]runner.MultiJob, 0, len(mixes)*cols)
 	for _, mix := range mixes {
-		base := sim.RunMulti(mix, nil, cfg)
+		jobs = append(jobs, runner.MultiJob{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg})
 		for _, p := range pfs {
-			rs := sim.RunMulti(mix, p.Factory, cfg)
+			jobs = append(jobs, runner.MultiJob{Mix: mix, Prefetcher: p, Config: cfg})
+		}
+	}
+	res := o.engine().RunMultiBatch(jobs)
+
+	perPF := make(map[string][]float64)
+	for mi := range mixes {
+		base := res[mi*cols]
+		for j, p := range pfs {
+			rs := res[mi*cols+1+j]
 			ws := 0.0
 			for i := range rs {
 				if b := base[i].IPC(); b > 0 {
@@ -183,18 +194,25 @@ func fig11(w io.Writer, o Options) error {
 func dropPolicy(w io.Writer, o Options) error {
 	tpcN := sim.TPCFull()
 	mixes := workloads.Mixes(o.MixCount, o.Seed+77)
-	var rnd, lowpri []float64
+	cfg := sim.DefaultConfig(o.Insts)
+	cfg.Cores = 4
+	cfg.Seed = o.Seed
+	cfgPri := cfg
+	cfgPri.DropPolicy = dram.DropLowPriorityPrefetch
+	cfg.DropPolicy = dram.DropRandomPrefetch
+
+	jobs := make([]runner.MultiJob, 0, 3*len(mixes))
 	for _, mix := range mixes {
-		cfg := sim.DefaultConfig(o.Insts)
-		cfg.Cores = 4
-		cfg.Seed = o.Seed
+		jobs = append(jobs,
+			runner.MultiJob{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg},
+			runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfg},
+			runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfgPri})
+	}
+	res := o.engine().RunMultiBatch(jobs)
 
-		cfg.DropPolicy = dram.DropRandomPrefetch
-		base := sim.RunMulti(mix, nil, cfg)
-		r1 := sim.RunMulti(mix, tpcN.Factory, cfg)
-		cfg.DropPolicy = dram.DropLowPriorityPrefetch
-		r2 := sim.RunMulti(mix, tpcN.Factory, cfg)
-
+	var rnd, lowpri []float64
+	for mi := range mixes {
+		base := res[3*mi]
 		ws := func(rs []*sim.Result) float64 {
 			s := 0.0
 			for i := range rs {
@@ -204,8 +222,8 @@ func dropPolicy(w io.Writer, o Options) error {
 			}
 			return s / float64(len(rs))
 		}
-		rnd = append(rnd, ws(r1))
-		lowpri = append(lowpri, ws(r2))
+		rnd = append(rnd, ws(res[3*mi+1]))
+		lowpri = append(lowpri, ws(res[3*mi+2]))
 	}
 	gr, gl := stats.Geomean(rnd), stats.Geomean(lowpri)
 	fmt.Fprintf(w, "tpc weighted speedup, random prefetch drop:       %.3f\n", gr)

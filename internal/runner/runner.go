@@ -1,0 +1,313 @@
+// Package runner is the parallel experiment engine: a worker-pool executor
+// that fans out independent simulations (sim.RunSingle / sim.RunMulti jobs)
+// across GOMAXPROCS goroutines, plus a memoized run cache so the same
+// (workload, prefetcher, config) point is simulated exactly once per process
+// no matter how many experiments ask for it. Every simulation is a pure
+// function of its key — workload instances, the memory system and all
+// per-run state are constructed fresh inside sim — so results are shared by
+// pointer and must be treated as read-only by consumers (the metrics layer
+// already is).
+//
+// Determinism: batch results are returned in job order regardless of
+// completion order, and each run's randomness is derived from its seed, so a
+// report generated through the engine is byte-identical to the serial path
+// at any worker count.
+package runner
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"divlab/internal/cpu"
+	"divlab/internal/dram"
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+// EnvWorkers is the environment variable consulted for the default worker
+// count (cmd flags and WithWorkers take precedence).
+const EnvWorkers = "TPCSIM_WORKERS"
+
+// coreKey is the comparable subset of cpu.Params. The Pred field is an
+// interface and cannot be keyed; configs that install a predictor directly
+// (rather than via Config.UseBPred) are treated as uncacheable.
+type coreKey struct {
+	Width          int
+	ROB            int
+	FrontendDepth  uint64
+	MispredPenalty uint64
+	StorePorts     bool
+}
+
+// Key identifies one deterministic simulation for memoization. Prefetcher
+// identity is the registry name: callers that invent factories (sweeps,
+// ablation variants) must give each distinct configuration a distinct name.
+type Key struct {
+	Workload   string // workload name, or mix name for multicore runs
+	Prefetcher string
+	Multi      bool
+	Seed       uint64
+	Insts      uint64
+	Cores      int
+	Drop       dram.DropPolicy
+	Footprint  bool
+	UseBPred   bool
+	DestTag    string // names a DestOverride policy; "" means none
+	Params     coreKey
+}
+
+// entry is one cache slot. The first claimant simulates and closes done;
+// later claimants block on done and read the filled result.
+type entry struct {
+	done   chan struct{}
+	single *sim.Result
+	multi  []*sim.Result
+}
+
+// Engine runs simulation jobs on a bounded worker pool with a memoized run
+// cache. The zero value is not usable; construct with New.
+type Engine struct {
+	workers atomic.Int64
+
+	mu    sync.Mutex
+	cache map[Key]*entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	skips  atomic.Uint64 // uncacheable runs
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the pool at n goroutines (n <= 0 keeps the default).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers.Store(int64(n))
+		}
+	}
+}
+
+// New builds an engine. The default worker count is TPCSIM_WORKERS when set,
+// otherwise GOMAXPROCS.
+func New(opts ...Option) *Engine {
+	e := &Engine{cache: make(map[Key]*entry)}
+	w := runtime.GOMAXPROCS(0)
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			w = n
+		}
+	}
+	e.workers.Store(int64(w))
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide shared engine. Sharing it across
+// experiments is what lets the no-prefetch baseline be simulated once per
+// configuration instead of once per experiment.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New() })
+	return defaultEngine
+}
+
+// Workers reports the current pool bound.
+func (e *Engine) Workers() int { return int(e.workers.Load()) }
+
+// SetWorkers rebounds the pool (n <= 0 is ignored). Safe to call
+// concurrently; in-flight batches keep their launch-time bound.
+func (e *Engine) SetWorkers(n int) {
+	if n > 0 {
+		e.workers.Store(int64(n))
+	}
+}
+
+// Stats reports cache hits and misses (a miss is an executed simulation;
+// uncacheable runs count as misses).
+func (e *Engine) Stats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load() + e.skips.Load()
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any job ran.
+func (e *Engine) HitRate() float64 {
+	h, m := e.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Job is one single-core simulation request.
+type Job struct {
+	Workload   workloads.Workload
+	Prefetcher sim.Named
+	Config     sim.Config
+	// DestTag names Config.DestOverride for the cache key. Jobs with an
+	// override and no tag bypass the cache (a func cannot be keyed).
+	DestTag string
+}
+
+// MultiJob is one multicore (4-app mix) simulation request.
+type MultiJob struct {
+	Mix        workloads.Mix
+	Prefetcher sim.Named
+	Config     sim.Config
+}
+
+// normalize applies sim's own defaulting so equivalent configs share a key.
+func normalize(cfg sim.Config, multi bool) sim.Config {
+	if multi {
+		if cfg.Cores <= 0 || cfg.Cores > 4 {
+			cfg.Cores = 4
+		}
+	} else if cfg.Cores == 0 {
+		cfg.Cores = 1
+	}
+	if cfg.CoreParams.Width == 0 {
+		cfg.CoreParams = cpu.DefaultParams()
+	}
+	return cfg
+}
+
+// keyFor builds the memo key; ok is false when the config is uncacheable
+// (unnamed DestOverride or a directly-installed branch predictor).
+func keyFor(workload, pf string, multi bool, cfg sim.Config, destTag string) (Key, bool) {
+	if cfg.DestOverride != nil && destTag == "" {
+		return Key{}, false
+	}
+	if cfg.CoreParams.Pred != nil {
+		return Key{}, false
+	}
+	p := cfg.CoreParams
+	return Key{
+		Workload:   workload,
+		Prefetcher: pf,
+		Multi:      multi,
+		Seed:       cfg.Seed,
+		Insts:      cfg.Insts,
+		Cores:      cfg.Cores,
+		Drop:       cfg.DropPolicy,
+		Footprint:  cfg.CollectFootprint,
+		UseBPred:   cfg.UseBPred,
+		DestTag:    destTag,
+		Params: coreKey{
+			Width:          p.Width,
+			ROB:            p.ROB,
+			FrontendDepth:  p.FrontendDepth,
+			MispredPenalty: p.MispredPenalty,
+			StorePorts:     p.StorePorts,
+		},
+	}, true
+}
+
+// claim returns the cache entry for k and whether the caller owns it (owner
+// must simulate, fill the entry and close done).
+func (e *Engine) claim(k Key) (ent *entry, owner bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.cache[k]; ok {
+		return ent, false
+	}
+	ent = &entry{done: make(chan struct{})}
+	e.cache[k] = ent
+	return ent, true
+}
+
+// Single runs (or returns the memoized result of) one single-core job.
+func (e *Engine) Single(j Job) *sim.Result {
+	cfg := normalize(j.Config, false)
+	k, cacheable := keyFor(j.Workload.Name, j.Prefetcher.Name, false, cfg, j.DestTag)
+	if !cacheable {
+		e.skips.Add(1)
+		return sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+	}
+	ent, owner := e.claim(k)
+	if owner {
+		e.misses.Add(1)
+		defer close(ent.done)
+		ent.single = sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+	} else {
+		e.hits.Add(1)
+		<-ent.done
+	}
+	return ent.single
+}
+
+// Multi runs (or returns the memoized result of) one multicore job. The
+// returned slice and its results are shared — read-only.
+func (e *Engine) Multi(j MultiJob) []*sim.Result {
+	cfg := normalize(j.Config, true)
+	k, cacheable := keyFor(j.Mix.Name, j.Prefetcher.Name, true, cfg, "")
+	if !cacheable {
+		e.skips.Add(1)
+		return sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+	}
+	ent, owner := e.claim(k)
+	if owner {
+		e.misses.Add(1)
+		defer close(ent.done)
+		ent.multi = sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+	} else {
+		e.hits.Add(1)
+		<-ent.done
+	}
+	return ent.multi
+}
+
+// RunBatch executes the jobs on the pool and returns results in job order.
+// Duplicate keys within a batch simulate once.
+func (e *Engine) RunBatch(jobs []Job) []*sim.Result {
+	out := make([]*sim.Result, len(jobs))
+	e.forEach(len(jobs), func(i int) { out[i] = e.Single(jobs[i]) })
+	return out
+}
+
+// RunMultiBatch is RunBatch for multicore jobs.
+func (e *Engine) RunMultiBatch(jobs []MultiJob) [][]*sim.Result {
+	out := make([][]*sim.Result, len(jobs))
+	e.forEach(len(jobs), func(i int) { out[i] = e.Multi(jobs[i]) })
+	return out
+}
+
+// forEach applies f to 0..n-1 on the worker pool. A worker that blocks on a
+// cache entry owned by another worker makes progress as soon as the owner
+// finishes; owners never wait, so the pool cannot deadlock.
+func (e *Engine) forEach(n int, f func(int)) {
+	w := e.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+func testJob(t *testing.T, workload, pf string, insts uint64) Job {
+	t.Helper()
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		t.Fatalf("unknown workload %q", workload)
+	}
+	p, ok := sim.ByName(pf)
+	if !ok {
+		t.Fatalf("unknown prefetcher %q", pf)
+	}
+	return Job{Workload: w, Prefetcher: p, Config: sim.DefaultConfig(insts)}
+}
+
+func TestSingleMemoizes(t *testing.T) {
+	e := New(WithWorkers(2))
+	j := testJob(t, "stream.pure", "tpc", 20_000)
+	a := e.Single(j)
+	b := e.Single(j)
+	if a != b {
+		t.Error("same key must return the cached result pointer")
+	}
+	hits, misses := e.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if e.HitRate() != 0.5 {
+		t.Errorf("hit rate %.2f, want 0.50", e.HitRate())
+	}
+}
+
+func TestDistinctKeysDistinctRuns(t *testing.T) {
+	e := New(WithWorkers(1))
+	a := testJob(t, "stream.pure", "tpc", 20_000)
+	b := a
+	b.Config.Seed = 2
+	c := a
+	c.Config.CollectFootprint = true
+	if e.Single(a) == e.Single(b) || e.Single(a) == e.Single(c) {
+		t.Error("different seed/footprint must not share cache slots")
+	}
+	if hits, misses := e.Stats(); misses != 3 || hits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+}
+
+func TestBatchOrderAndDedup(t *testing.T) {
+	e := New(WithWorkers(4))
+	names := []string{"stream.pure", "chase.seq", "region.hot"}
+	var jobs []Job
+	for _, n := range names {
+		jobs = append(jobs, testJob(t, n, "none", 15_000), testJob(t, n, "tpc", 15_000))
+	}
+	// Duplicate the whole batch: the second half must dedupe onto the first.
+	jobs = append(jobs, jobs...)
+	res := e.RunBatch(jobs)
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(res), len(jobs))
+	}
+	for i := range res {
+		if res[i] == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if res[i] != res[(i+6)%12] {
+			t.Errorf("duplicate job %d not served from cache", i)
+		}
+	}
+	if _, misses := e.Stats(); misses != 6 {
+		t.Errorf("misses=%d, want 6 unique simulations", misses)
+	}
+	// Order: job i's result must equal a direct serial run.
+	direct := sim.RunSingle(jobs[1].Workload, jobs[1].Prefetcher.Factory, jobs[1].Config)
+	if res[1].Core.Cycles != direct.Core.Cycles || res[1].L1Misses != direct.L1Misses {
+		t.Error("batch result out of order or diverged from serial run")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	names := []string{"stream.pure", "chase.rand", "mix.phases", "gups.large"}
+	var jobs []Job
+	for _, n := range names {
+		jobs = append(jobs, testJob(t, n, "none", 15_000), testJob(t, n, "ampm", 15_000))
+	}
+	serial := New(WithWorkers(1)).RunBatch(jobs)
+	parallel := New(WithWorkers(8)).RunBatch(jobs)
+	for i := range jobs {
+		s, p := serial[i], parallel[i]
+		if s.Core != p.Core || s.L1Misses != p.L1Misses || s.L2Misses != p.L2Misses ||
+			s.Traffic != p.Traffic || s.Issued != p.Issued || s.Filtered != p.Filtered {
+			t.Errorf("job %d diverged between workers=1 and workers=8: %+v vs %+v", i, s.Core, p.Core)
+		}
+	}
+}
+
+func TestUncacheableDestOverride(t *testing.T) {
+	e := New(WithWorkers(1))
+	j := testJob(t, "stream.pure", "tpc", 15_000)
+	j.Config.DestOverride = func(prefetch.Request, workloads.Category) mem.Level { return mem.L2 }
+	if e.Single(j) == e.Single(j) {
+		t.Error("unnamed DestOverride must bypass the cache")
+	}
+	if hits, _ := e.Stats(); hits != 0 {
+		t.Errorf("uncacheable runs must not count as hits, got %d", hits)
+	}
+
+	// A tagged override is cacheable.
+	j.DestTag = "L2"
+	if e.Single(j) != e.Single(j) {
+		t.Error("tagged DestOverride must memoize")
+	}
+}
+
+func TestMultiBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multicore runs are long")
+	}
+	e := New(WithWorkers(4))
+	mix := workloads.Mixes(1, 3)[0]
+	tpc, _ := sim.ByName("tpc")
+	cfg := sim.DefaultConfig(15_000)
+	cfg.Cores = 4
+	jobs := []MultiJob{
+		{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg},
+		{Mix: mix, Prefetcher: tpc, Config: cfg},
+		{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg}, // dupe of job 0
+	}
+	res := e.RunMultiBatch(jobs)
+	if len(res) != 3 || len(res[0]) != 4 {
+		t.Fatalf("bad shape: %d batches, %d cores", len(res), len(res[0]))
+	}
+	if res[0][0] != res[2][0] {
+		t.Error("duplicate multi job not served from cache")
+	}
+	for i, r := range res[0] {
+		if r.Core.Insts != cfg.Insts {
+			t.Errorf("core %d retired %d of %d", i, r.Core.Insts, cfg.Insts)
+		}
+		if r.DRAM.Lines() == 0 {
+			t.Errorf("core %d DRAM stats empty", i)
+		}
+	}
+}
+
+func TestConcurrentSingleCallers(t *testing.T) {
+	// Many goroutines hammering the same key must produce one simulation.
+	e := New(WithWorkers(4))
+	j := testJob(t, "resident.l2", "none", 10_000)
+	var wg sync.WaitGroup
+	results := make([]*sim.Result, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Single(j)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers saw different results for one key")
+		}
+	}
+	if _, misses := e.Stats(); misses != 1 {
+		t.Errorf("misses=%d, want exactly 1", misses)
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	e := New(WithWorkers(3))
+	if e.Workers() != 3 {
+		t.Errorf("Workers()=%d, want 3", e.Workers())
+	}
+	e.SetWorkers(0) // ignored
+	if e.Workers() != 3 {
+		t.Error("SetWorkers(0) must be a no-op")
+	}
+	e.SetWorkers(7)
+	if e.Workers() != 7 {
+		t.Errorf("Workers()=%d, want 7", e.Workers())
+	}
+	if New().Workers() < 1 {
+		t.Error("default worker count must be at least 1")
+	}
+}

@@ -361,6 +361,7 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 	for i := range results {
 		results[i].Traffic = sys.Mem.Stats.Lines()
 		results[i].Dropped = sys.Mem.Stats.DroppedPrefetches
+		results[i].DRAM = sys.Mem.Stats
 	}
 	return results
 }

@@ -81,6 +81,14 @@ func TestMultiCoreSharing(t *testing.T) {
 		if r.Core.Insts != cfg.Insts {
 			t.Errorf("core %d retired %d", i, r.Core.Insts)
 		}
+		// RunMulti must expose the shared controller's stats like RunSingle
+		// and RunTrace do; the system-wide line count is the Traffic figure.
+		if r.DRAM.Lines() == 0 {
+			t.Errorf("core %d DRAM stats not populated", i)
+		}
+		if r.DRAM.Lines() != r.Traffic {
+			t.Errorf("core %d DRAM lines %d != Traffic %d", i, r.DRAM.Lines(), r.Traffic)
+		}
 	}
 	// Contention check: the same app alone must be at least as fast as in
 	// the mix (shared L3/DRAM can only hurt).
