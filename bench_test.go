@@ -30,7 +30,7 @@ func runExp(b *testing.B, name string) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		o.Engine = runner.New()
-		if err := exp.Run(name, io.Discard, o); err != nil {
+		if err := exp.Run(name, exp.TextSink(io.Discard), o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,15 +10,24 @@
 // Sweeps run on the parallel engine in internal/runner: every sweep point's
 // suite goes out as one batch, and the shared run cache simulates the
 // no-prefetch baseline once per configuration instead of once per point.
+//
+// Like tpcsim, -json moves the text table to stderr and emits one validated
+// divlab.exp/v1 report on stdout, -progress keeps a live counter line on
+// stderr, and -pprof serves net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"divlab/internal/mem"
+	"divlab/internal/obs"
 	"divlab/internal/prefetch"
 	"divlab/internal/prefetchers"
 	"divlab/internal/runner"
@@ -29,27 +38,62 @@ import (
 
 func main() {
 	var (
-		what  = flag.String("what", "degree", "sweep: degree | spp-threshold | bop | destination | mshr-apps")
-		insts = flag.Uint64("insts", 150_000, "instructions per run")
-		jobs  = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, or TPCSIM_WORKERS)")
+		what      = flag.String("what", "degree", "sweep: degree | spp-threshold | bop | destination | mshr-apps")
+		insts     = flag.Uint64("insts", 150_000, "instructions per run")
+		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, or TPCSIM_WORKERS)")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report (schema "+obs.SchemaVersion+") on stdout; text moves to stderr")
+		progress  = flag.Bool("progress", false, "live progress line (runs, cache hits, sims/sec) on stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *jobs > 0 {
 		runner.Default().SetWorkers(*jobs)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: pprof:", err)
+			}
+		}()
+	}
+	if *progress {
+		p := obs.NewProgress()
+		runner.Default().SetProgress(p)
+		stop := p.Start(os.Stderr, 500*time.Millisecond)
+		defer stop()
+	}
 
+	textW := io.Writer(os.Stdout)
+	var rep *obs.Report
+	row := func(obs.Row) {}
+	if *jsonOut {
+		textW = os.Stderr
+		rep = obs.NewReport("sweep:"+*what, "parameter sweep", obs.RunConfig{Insts: *insts, Workers: *jobs})
+		row = func(r obs.Row) { rep.AddRow(r) }
+	}
+
+	var err error
 	switch *what {
 	case "degree":
-		sweepDegree(*insts)
+		err = sweepDegree(textW, row, *insts)
 	case "spp-threshold":
-		sweepSPP(*insts)
+		err = sweepSPP(textW, row, *insts)
 	case "destination":
-		sweepDestination(*insts)
+		err = sweepDestination(textW, row, *insts)
 	case "mshr-apps":
-		perAppMPKI(*insts)
+		err = perAppMPKI(textW, row, *insts)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown -what %q\n", *what)
 		os.Exit(2)
+	}
+	if err == nil && rep != nil {
+		if err = rep.Validate(); err == nil {
+			err = obs.EncodeReports(os.Stdout, []*obs.Report{rep})
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
 	}
 }
 
@@ -77,8 +121,8 @@ func geomeanSpeedup(pf sim.Named, insts uint64) float64 {
 	return stats.Geomean(xs)
 }
 
-func sweepDegree(insts uint64) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func sweepDegree(w io.Writer, row func(obs.Row), insts uint64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "prefetcher\tdegree\tgeomean speedup")
 	for _, deg := range []int{1, 2, 4, 8} {
 		d := deg
@@ -86,7 +130,9 @@ func sweepDegree(insts uint64) {
 			Name:    fmt.Sprintf("sweep:stride-deg=%d", d),
 			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewStride(mem.L1, 256, d) },
 		}
-		fmt.Fprintf(tw, "stride\t%d\t%.3f\n", d, geomeanSpeedup(pf, insts))
+		g := geomeanSpeedup(pf, insts)
+		fmt.Fprintf(tw, "stride\t%d\t%.3f\n", d, g)
+		row(obs.Row{Prefetcher: "stride", Variant: fmt.Sprintf("degree=%d", d), Metric: "speedup_geomean", Value: g})
 	}
 	for _, deg := range []int{1, 2, 4, 8} {
 		d := deg
@@ -94,13 +140,15 @@ func sweepDegree(insts uint64) {
 			Name:    fmt.Sprintf("sweep:ampm-deg=%d", d),
 			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewAMPM(mem.L1, 16, d) },
 		}
-		fmt.Fprintf(tw, "ampm\t%d\t%.3f\n", d, geomeanSpeedup(pf, insts))
+		g := geomeanSpeedup(pf, insts)
+		fmt.Fprintf(tw, "ampm\t%d\t%.3f\n", d, g)
+		row(obs.Row{Prefetcher: "ampm", Variant: fmt.Sprintf("degree=%d", d), Metric: "speedup_geomean", Value: g})
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
-func sweepSPP(insts uint64) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func sweepSPP(w io.Writer, row func(obs.Row), insts uint64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "path-confidence threshold\tgeomean speedup")
 	for _, th := range []int{10, 25, 50, 75} {
 		t := th
@@ -108,13 +156,15 @@ func sweepSPP(insts uint64) {
 			Name:    fmt.Sprintf("sweep:spp-th=%d", t),
 			Factory: func(workloads.Instance) prefetch.Component { return prefetchers.NewSPP(mem.L1, t, 8) },
 		}
-		fmt.Fprintf(tw, "%d%%\t%.3f\n", t, geomeanSpeedup(pf, insts))
+		g := geomeanSpeedup(pf, insts)
+		fmt.Fprintf(tw, "%d%%\t%.3f\n", t, g)
+		row(obs.Row{Prefetcher: "spp", Variant: fmt.Sprintf("threshold=%d", t), Metric: "speedup_geomean", Value: g})
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
-func sweepDestination(insts uint64) {
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func sweepDestination(w io.Writer, row func(obs.Row), insts uint64) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "prefetcher\tdest\tgeomean speedup")
 	for _, p := range []struct {
 		name string
@@ -130,13 +180,15 @@ func sweepDestination(insts uint64) {
 				Name:    fmt.Sprintf("sweep:%s-dest=%s", p.name, l),
 				Factory: func(workloads.Instance) prefetch.Component { return mk(l) },
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%.3f\n", p.name, l, geomeanSpeedup(pf, insts))
+			g := geomeanSpeedup(pf, insts)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\n", p.name, l, g)
+			row(obs.Row{Prefetcher: p.name, Variant: l.String(), Metric: "speedup_geomean", Value: g})
 		}
 	}
-	tw.Flush()
+	return tw.Flush()
 }
 
-func perAppMPKI(insts uint64) {
+func perAppMPKI(w io.Writer, row func(obs.Row), insts uint64) error {
 	cfg := sim.DefaultConfig(insts)
 	apps := workloads.All()
 	jobs := make([]runner.Job, 0, len(apps))
@@ -144,11 +196,13 @@ func perAppMPKI(insts uint64) {
 		jobs = append(jobs, runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg})
 	}
 	res := runner.Default().RunBatch(jobs)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tsuite\tIPC\tL1 MPKI\tL2 misses\ttraffic lines")
 	for i, w := range apps {
 		r := res[i]
 		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%d\t%d\n", w.Name, w.Suite, r.IPC(), r.MPKI(), r.L2Misses, r.Traffic)
+		row(obs.Row{Workload: w.Name, Metric: "ipc", Value: r.IPC()})
+		row(obs.Row{Workload: w.Name, Metric: "l1_mpki", Value: r.MPKI()})
 	}
-	tw.Flush()
+	return tw.Flush()
 }

@@ -84,9 +84,9 @@ func doReplay(path, pfName string) error {
 	base := sim.RunTrace(ft, nil, cfg)
 	fmt.Printf("baseline: IPC=%.3f misses=%d traffic=%d\n", base.IPC(), base.L1Misses, base.Traffic)
 	if pfName != "none" {
-		n, ok := sim.ByName(pfName)
-		if !ok {
-			return fmt.Errorf("unknown prefetcher %q", pfName)
+		n, err := sim.ByName(pfName)
+		if err != nil {
+			return err
 		}
 		r := sim.RunTrace(ft, n.Factory, cfg)
 		fmt.Printf("%s: IPC=%.3f speedup=%.3f misses=%d issued=%d traffic=%d\n",

@@ -22,9 +22,9 @@ func main() {
 	fmt.Printf("%-8s IPC=%.3f  misses=%d\n", "none", base.IPC(), base.L1Misses)
 
 	for _, name := range []string{"t2", "t2+p1", "tpc", "bop", "sms"} {
-		n, ok := sim.ByName(name)
-		if !ok {
-			log.Fatalf("prefetcher %s not found", name)
+		n, err := sim.ByName(name)
+		if err != nil {
+			log.Fatal(err)
 		}
 		r := sim.RunSingle(w, n.Factory, cfg)
 		fmt.Printf("%-8s IPC=%.3f  misses=%d  issued=%d  speedup=%.2fx\n",

@@ -2,9 +2,9 @@ package exp
 
 import (
 	"fmt"
-	"io"
 	"text/tabwriter"
 
+	"divlab/internal/obs"
 	"divlab/internal/prefetch"
 	"divlab/internal/runner"
 	"divlab/internal/sim"
@@ -29,9 +29,14 @@ func tpcVariant(name string, t2cfg tpc.T2Config, c1Dense int) sim.Named {
 	}}
 }
 
-func ablation(w io.Writer, o Options) error {
+func ablation(w *Sink, o Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "ablation\tworkloads\tgeomean speedup")
+
+	emit := func(label, wlset string, v float64) {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\n", label, wlset, v)
+		w.Row(obs.Row{Workload: wlset, Variant: label, Metric: "speedup_geomean", Value: v})
+	}
 
 	// 1) Call-site disambiguation (mPC): judged on T2 *alone* with the
 	// workload written for it — two streams through one accessor PC. (In
@@ -45,17 +50,17 @@ func ablation(w io.Writer, o Options) error {
 		}}
 	}
 	base := tpcVariant("ablation:tpc-paper", tpc.T2Config{}, 0)
-	fmt.Fprintf(tw, "T2 with mPC (paper)\tcalls.oo,stream.pure\t%.3f\n",
+	emit("T2 with mPC (paper)", "calls.oo,stream.pure",
 		geoSpeedup(oo, t2Only("ablation:t2-mpc", tpc.T2Config{}), o))
-	fmt.Fprintf(tw, "T2 without mPC\tcalls.oo,stream.pure\t%.3f\n",
+	emit("T2 without mPC", "calls.oo,stream.pure",
 		geoSpeedup(oo, t2Only("ablation:t2-nompc", tpc.T2Config{DisableMPC: true}), o))
 
 	// 2) Adaptive vs fixed prefetch distance, judged on stream workloads.
 	streams := []workloads.Workload{mustWorkload("stream.pure"), mustWorkload("stream.multi"), mustWorkload("stencil.1d")}
-	fmt.Fprintf(tw, "T2 adaptive d=(AMAT+m)/Titer (paper)\tstreams\t%.3f\n", geoSpeedup(streams, base, o))
+	emit("T2 adaptive d=(AMAT+m)/Titer (paper)", "streams", geoSpeedup(streams, base, o))
 	for _, d := range []int64{2, 8, 32} {
 		f := tpcVariant(fmt.Sprintf("ablation:tpc-d=%d", d), tpc.T2Config{FixedDistance: d}, 0)
-		fmt.Fprintf(tw, "T2 fixed d=%d\tstreams\t%.3f\n", d, geoSpeedup(streams, f, o))
+		emit(fmt.Sprintf("T2 fixed d=%d", d), "streams", geoSpeedup(streams, f, o))
 	}
 
 	// 3) C1 density threshold, judged on region workloads: too low admits
@@ -67,7 +72,7 @@ func ablation(w io.Writer, o Options) error {
 		if dense == 6 {
 			label += " (paper)"
 		}
-		fmt.Fprintf(tw, "%s\tregions\t%.3f\n", label, geoSpeedup(regions, f, o))
+		emit(label, "regions", geoSpeedup(regions, f, o))
 	}
 	return tw.Flush()
 }

@@ -2,11 +2,11 @@ package exp
 
 import (
 	"fmt"
-	"io"
 	"text/tabwriter"
 
 	"divlab/internal/mem"
 	"divlab/internal/metrics"
+	"divlab/internal/obs"
 	"divlab/internal/prefetch"
 	"divlab/internal/runner"
 	"divlab/internal/sim"
@@ -23,7 +23,7 @@ func init() {
 // fig14Extras are the existing prefetchers studied as components.
 var fig14Extras = []string{"vldp", "spp", "fdp", "sms"}
 
-func fig14(w io.Writer, o Options) error {
+func fig14(w *Sink, o Options) error {
 	// For each app: footprint (baseline), TPC-alone attempts (defines the
 	// uncovered region), the extra alone, and the extra as a TPC component.
 	// The baseline and TPC runs are shared across all four extras by the
@@ -75,12 +75,23 @@ func fig14(w io.Writer, o Options) error {
 				compW = append(compW, float64(rc.Prefetches))
 			}
 		}
+		modes := []struct {
+			variant    string
+			scope, acc float64
+			prefetches float64
+		}{
+			{"alone", stats.WeightedMean(aloneScope, aloneW), stats.WeightedMean(aloneAcc, aloneW), sum(aloneW)},
+			{"as-component", stats.WeightedMean(compScope, compW), stats.WeightedMean(compAcc, compW), sum(compW)},
+		}
 		fmt.Fprintf(tw, "%s\talone\t%s\t%s\t%.0f\n", name,
-			pct(stats.WeightedMean(aloneScope, aloneW)),
-			pct(stats.WeightedMean(aloneAcc, aloneW)), sum(aloneW))
+			pct(modes[0].scope), pct(modes[0].acc), modes[0].prefetches)
 		fmt.Fprintf(tw, "%s\tas TPC component\t%s\t%s\t%.0f\n", name,
-			pct(stats.WeightedMean(compScope, compW)),
-			pct(stats.WeightedMean(compAcc, compW)), sum(compW))
+			pct(modes[1].scope), pct(modes[1].acc), modes[1].prefetches)
+		for _, m := range modes {
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "scope_region", Value: m.scope})
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "eff_accuracy_region", Value: m.acc})
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "prefetches", Value: m.prefetches})
+		}
 	}
 	return tw.Flush()
 }
@@ -93,7 +104,7 @@ func sum(xs []float64) float64 {
 	return s
 }
 
-func fig15(w io.Writer, o Options) error {
+func fig15(w *Sink, o Options) error {
 	cfg := sim.DefaultConfig(o.Insts)
 	cfg.Seed = o.Seed
 	tpcN := sim.TPCFull()
@@ -127,15 +138,22 @@ func fig15(w io.Writer, o Options) error {
 			compRel = append(compRel, c.IPC()/tpcRun.IPC())
 			shuntRel = append(shuntRel, s.IPC()/tpcRun.IPC())
 		}
-		lo, hi := stats.MinMax(compRel)
-		fmt.Fprintf(tw, "%s\tcomposite\t%.3f\t%.3f\t%.3f\n", name, stats.Geomean(compRel), lo, hi)
-		lo, hi = stats.MinMax(shuntRel)
-		fmt.Fprintf(tw, "%s\tshunt\t%.3f\t%.3f\t%.3f\n", name, stats.Geomean(shuntRel), lo, hi)
+		for _, m := range []struct {
+			variant string
+			rel     []float64
+		}{{"composite", compRel}, {"shunt", shuntRel}} {
+			lo, hi := stats.MinMax(m.rel)
+			g := stats.Geomean(m.rel)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\n", name, m.variant, g, lo, hi)
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "rel_speedup_geomean", Value: g})
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "rel_speedup_min", Value: lo})
+			w.Row(obs.Row{Prefetcher: name, Variant: m.variant, Metric: "rel_speedup_max", Value: hi})
+		}
 	}
 	return tw.Flush()
 }
 
-func fig16(w io.Writer, o Options) error {
+func fig16(w *Sink, o Options) error {
 	pfs := evaluatedSet()
 	apps := workloads.SPEC()
 
@@ -193,7 +211,11 @@ func fig16(w io.Writer, o Options) error {
 				}
 			}
 			lo, hi := stats.MinMax(rel)
-			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\n", p.Name, d.name, stats.Geomean(rel), lo, hi)
+			g := stats.Geomean(rel)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\n", p.Name, d.name, g, lo, hi)
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: d.name, Metric: "speedup_geomean", Value: g})
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: d.name, Metric: "speedup_min", Value: lo})
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: d.name, Metric: "speedup_max", Value: hi})
 		}
 	}
 	return tw.Flush()

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"divlab/internal/metrics"
+	"divlab/internal/obs"
 	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
@@ -28,9 +29,18 @@ type Options struct {
 	// Workers bounds the engine's worker pool (0 keeps the engine's
 	// default: TPCSIM_WORKERS or GOMAXPROCS).
 	Workers int
+	// Lifecycle turns on ground-truth prefetch-lifecycle tracing for
+	// single-core matrix runs; experiments then attach per-run counter
+	// blocks to the structured report. Traced runs bypass the run cache.
+	Lifecycle bool
 	// Engine overrides the process-wide shared run cache; tests use private
 	// engines so worker counts and hit rates can be observed in isolation.
 	Engine *runner.Engine
+}
+
+// runConfig captures the options in the structured report.
+func (o Options) runConfig() obs.RunConfig {
+	return obs.RunConfig{Insts: o.Insts, Seed: o.Seed, Mixes: o.MixCount, Workers: o.Workers}
 }
 
 // engine resolves the run engine for these options.
@@ -51,8 +61,99 @@ func DefaultOptions() Options { return Options{Insts: 300_000, Seed: 1, MixCount
 // QuickOptions returns a reduced configuration for benchmarks and tests.
 func QuickOptions() Options { return Options{Insts: 80_000, Seed: 1, MixCount: 2} }
 
-// Func runs one experiment, writing its report to w.
-type Func func(w io.Writer, o Options) error
+// Sink receives an experiment's output: human-readable text on W, and —
+// when structured output is enabled — machine-readable rows collected into
+// one obs.Report per experiment.
+type Sink struct {
+	// W receives the text report. Never nil for sinks built through
+	// NewSink/TextSink.
+	W io.Writer
+	// Reports collects one finished report per experiment run through this
+	// sink (structured sinks only).
+	Reports []*obs.Report
+
+	structured bool
+	cur        *obs.Report // experiment currently running
+}
+
+// NewSink builds a sink writing text to w; structured additionally collects
+// an obs.Report per experiment into Reports.
+func NewSink(w io.Writer, structured bool) *Sink {
+	return &Sink{W: w, structured: structured}
+}
+
+// TextSink is a text-only sink (the pre-redesign behaviour).
+func TextSink(w io.Writer) *Sink { return NewSink(w, false) }
+
+// Write lets experiments treat the sink as the text stream itself.
+func (s *Sink) Write(p []byte) (int, error) { return s.W.Write(p) }
+
+// Row records one structured data row (no-op on text-only sinks).
+func (s *Sink) Row(r obs.Row) {
+	if s.cur != nil {
+		s.cur.AddRow(r)
+	}
+}
+
+// Aggregate records one structured aggregate row.
+func (s *Sink) Aggregate(r obs.Row) {
+	if s.cur != nil {
+		s.cur.AddAggregate(r)
+	}
+}
+
+// Lifecycle records one run's ground-truth counter block.
+func (s *Sink) Lifecycle(b obs.LifecycleBlock) {
+	if s.cur != nil {
+		s.cur.AddLifecycle(b)
+	}
+}
+
+// lifecycleFrom flattens a traced run into the report (no-op when the run
+// was not traced or the sink is text-only).
+func (s *Sink) lifecycleFrom(workload, prefetcher string, r *sim.Result) {
+	if s.cur == nil || r == nil || r.Lifecycle == nil {
+		return
+	}
+	lc := r.Lifecycle
+	b := obs.LifecycleBlock{Workload: workload, Prefetcher: prefetcher, Total: lc.Totals().Flatten()}
+	for id := 0; id <= lc.Owners(); id++ {
+		c := lc.Counts(id)
+		if (c == obs.OwnerCounts{}) {
+			continue
+		}
+		b.PerOwner = append(b.PerOwner, obs.OwnerLifecycle{
+			Owner: id, Name: r.Names[id], LifecycleCounts: c.Flatten(),
+		})
+	}
+	s.Lifecycle(b)
+}
+
+// begin/end bracket one experiment's structured collection.
+func (s *Sink) begin(name, desc string, o Options) {
+	if s.structured {
+		s.cur = obs.NewReport(name, desc, o.runConfig())
+	}
+}
+
+func (s *Sink) end(err error) error {
+	if s.cur == nil {
+		return err
+	}
+	r := s.cur
+	s.cur = nil
+	if err != nil {
+		return err
+	}
+	if verr := r.Validate(); verr != nil {
+		return verr
+	}
+	s.Reports = append(s.Reports, r)
+	return nil
+}
+
+// Func runs one experiment, writing its report to the sink.
+type Func func(s *Sink, o Options) error
 
 // entry pairs an experiment with its description for the registry listing.
 type entry struct {
@@ -86,24 +187,34 @@ func Describe(name string) string {
 	return ""
 }
 
-// Run executes the named experiment.
-func Run(name string, w io.Writer, o Options) error {
+// aliases maps convenience names onto registered experiments (resolved in
+// Run, not registered, so "all" does not run the target twice).
+var aliases = map[string]string{"speedups": "fig8"}
+
+// Run executes the named experiment, collecting a structured report when
+// the sink asks for one.
+func Run(name string, s *Sink, o Options) error {
+	if target, ok := aliases[name]; ok {
+		name = target
+	}
 	for _, e := range registry {
 		if e.name == name {
-			return e.fn(w, o)
+			s.begin(e.name, e.desc, o)
+			return s.end(e.fn(s, o))
 		}
 	}
 	return fmt.Errorf("exp: unknown experiment %q (known: %v)", name, Names())
 }
 
 // RunAll executes every registered experiment in order.
-func RunAll(w io.Writer, o Options) error {
+func RunAll(s *Sink, o Options) error {
 	for _, e := range registry {
-		fmt.Fprintf(w, "==== %s: %s ====\n", e.name, e.desc)
-		if err := e.fn(w, o); err != nil {
+		fmt.Fprintf(s, "==== %s: %s ====\n", e.name, e.desc)
+		s.begin(e.name, e.desc, o)
+		if err := s.end(e.fn(s, o)); err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(s)
 	}
 	return nil
 }
@@ -132,6 +243,7 @@ func runMatrix(apps []workloads.Workload, pfs []sim.Named, o Options, footprint 
 	cfg := sim.DefaultConfig(o.Insts)
 	cfg.Seed = o.Seed
 	cfg.CollectFootprint = footprint
+	cfg.TraceLifecycle = o.Lifecycle
 	cols := len(pfs) + 1
 	jobs := make([]runner.Job, 0, len(apps)*cols)
 	for _, w := range apps {

@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := Run("nope", new(bytes.Buffer), QuickOptions()); err == nil {
+	if err := Run("nope", TextSink(new(bytes.Buffer)), QuickOptions()); err == nil {
 		t.Error("unknown experiment must error")
 	}
 }
@@ -35,7 +35,7 @@ func tinyOptions() Options { return Options{Insts: 15_000, Seed: 1, MixCount: 1}
 func TestTablesRun(t *testing.T) {
 	for _, name := range []string{"table1", "table2"} {
 		var buf bytes.Buffer
-		if err := Run(name, &buf, tinyOptions()); err != nil {
+		if err := Run(name, TextSink(&buf), tinyOptions()); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -46,7 +46,7 @@ func TestTablesRun(t *testing.T) {
 
 func TestTable2ListsAllPrefetchers(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("table2", &buf, tinyOptions()); err != nil {
+	if err := Run("table2", TextSink(&buf), tinyOptions()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -62,7 +62,7 @@ func TestFig9Runs(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	var buf bytes.Buffer
-	if err := Run("fig9", &buf, tinyOptions()); err != nil {
+	if err := Run("fig9", TextSink(&buf), tinyOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "tpc") {
@@ -75,7 +75,7 @@ func TestFig1Runs(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	var buf bytes.Buffer
-	if err := Run("fig1", &buf, tinyOptions()); err != nil {
+	if err := Run("fig1", TextSink(&buf), tinyOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "GLOBAL") {
@@ -88,7 +88,7 @@ func TestDropPolicyRuns(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	var buf bytes.Buffer
-	if err := Run("droppolicy", &buf, tinyOptions()); err != nil {
+	if err := Run("droppolicy", TextSink(&buf), tinyOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "low-priority") {

@@ -22,7 +22,7 @@ func TestParallelReportByteIdentical(t *testing.T) {
 	var missCounts [2]uint64
 	for i, workers := range []int{1, 8} {
 		o.Engine = runner.New(runner.WithWorkers(workers))
-		if err := Run("fig8", &fig8Reports[i], o); err != nil {
+		if err := Run("fig8", TextSink(&fig8Reports[i]), o); err != nil {
 			t.Fatalf("fig8 at workers=%d: %v", workers, err)
 		}
 		hits, misses := o.Engine.Stats()
@@ -33,7 +33,7 @@ func TestParallelReportByteIdentical(t *testing.T) {
 		// fig9 reuses fig8's exact matrix: it must be served entirely from
 		// the cache (the "baseline simulated once per configuration, not
 		// once per experiment" guarantee).
-		if err := Run("fig9", &fig9Reports[i], o); err != nil {
+		if err := Run("fig9", TextSink(&fig9Reports[i]), o); err != nil {
 			t.Fatalf("fig9 at workers=%d: %v", workers, err)
 		}
 		if _, after := o.Engine.Stats(); after != misses {
@@ -60,7 +60,7 @@ func TestSmallExperimentsParallel(t *testing.T) {
 	o.Engine = runner.New(runner.WithWorkers(4))
 	for _, name := range []string{"table2", "ablation"} {
 		var buf bytes.Buffer
-		if err := Run(name, &buf, o); err != nil {
+		if err := Run(name, TextSink(&buf), o); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {

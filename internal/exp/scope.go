@@ -2,9 +2,9 @@ package exp
 
 import (
 	"fmt"
-	"io"
 	"text/tabwriter"
 
+	"divlab/internal/obs"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
 	"divlab/internal/workloads"
@@ -21,16 +21,12 @@ func init() {
 func pickNamed(names ...string) []sim.Named {
 	out := make([]sim.Named, 0, len(names))
 	for _, n := range names {
-		p, ok := sim.ByName(n)
-		if !ok {
-			panic("exp: unknown prefetcher " + n)
-		}
-		out = append(out, p)
+		out = append(out, sim.MustByName(n))
 	}
 	return out
 }
 
-func fig1(w io.Writer, o Options) error {
+func fig1(w *Sink, o Options) error {
 	pfs := pickNamed("ampm", "bop", "sms")
 	runs := runMatrix(workloads.SPEC(), pfs, o, true)
 
@@ -45,6 +41,8 @@ func fig1(w io.Writer, o Options) error {
 		for _, r := range runs {
 			pr := r.pair(p.Name)
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", p.Name, r.W.Name, pct(pr.Scope()), pct(pr.EffAccuracyL1()))
+			w.Row(obs.Row{Workload: r.W.Name, Prefetcher: p.Name, Metric: "scope", Value: pr.Scope()})
+			w.Row(obs.Row{Workload: r.W.Name, Prefetcher: p.Name, Metric: "eff_accuracy_l1", Value: pr.EffAccuracyL1()})
 			for line, wgt := range r.Base.MissL1Lines {
 				total += uint64(wgt)
 				if _, ok := pr.PF.Attempted[line]; ok {
@@ -62,6 +60,8 @@ func fig1(w io.Writer, o Options) error {
 			gAcc = float64(avoided) / float64(issued)
 		}
 		fmt.Fprintf(tw, "%s\tGLOBAL\t%s\t%s\n", p.Name, pct(gScope), pct(gAcc))
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "scope_global", Value: gScope})
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "eff_accuracy_global", Value: gAcc})
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -92,7 +92,7 @@ func fig1(w io.Writer, o Options) error {
 	return nil
 }
 
-func fig10(w io.Writer, o Options) error {
+func fig10(w *Sink, o Options) error {
 	pfs := evaluatedSet()
 	runs := runMatrix(workloads.SPEC(), pfs, o, true)
 
@@ -107,11 +107,15 @@ func fig10(w io.Writer, o Options) error {
 			sc, ac := pr.Scope(), pr.EffAccuracyL1()
 			wgt := float64(pr.PF.Issued)
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n", p.Name, r.W.Name, pct(sc), pct(ac), pr.PF.Issued)
+			w.Row(obs.Row{Workload: r.W.Name, Prefetcher: p.Name, Metric: "scope", Value: sc})
+			w.Row(obs.Row{Workload: r.W.Name, Prefetcher: p.Name, Metric: "eff_accuracy_l1", Value: ac})
 			scopes, accs, weights = append(scopes, sc), append(accs, ac), append(weights, wgt)
 		}
 		ws := stats.WeightedMean(scopes, weights)
 		wa := stats.WeightedMean(accs, weights)
 		fmt.Fprintf(tw, "%s\tAVERAGE\t%s\t%s\t\n", p.Name, pct(ws), pct(wa))
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "scope_wmean", Value: ws})
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "eff_accuracy_wmean", Value: wa})
 		sums = append(sums, summary{ws, wa})
 	}
 	if err := tw.Flush(); err != nil {
@@ -124,6 +128,8 @@ func fig10(w io.Writer, o Options) error {
 	}
 	a, b := stats.Linreg(xs, ys)
 	fmt.Fprintf(w, "scope->accuracy regression over prefetcher averages: acc = %.3f %+.3f*scope\n", a, b)
+	w.Aggregate(obs.Row{Metric: "regression_intercept", Value: a})
+	w.Aggregate(obs.Row{Metric: "regression_slope", Value: b})
 	// One scatter panel per prefetcher, as in the paper's figure.
 	for i, p := range pfs {
 		sp := &scatter{title: p.Name + " (o = app, * = weighted average)", xlab: "scope", ylab: "eff. accuracy", yLo: -0.2}
@@ -137,7 +143,7 @@ func fig10(w io.Writer, o Options) error {
 	return nil
 }
 
-func fig12(w io.Writer, o Options) error {
+func fig12(w *Sink, o Options) error {
 	pfs := append(evaluatedSet(), pickNamed("t2", "t2+p1")...)
 	runs := runMatrix(workloads.SPEC(), pfs, o, true)
 
@@ -155,17 +161,26 @@ func fig12(w io.Writer, o Options) error {
 			c2 = append(c2, pr.CoverageL2())
 			wgt = append(wgt, float64(r.Base.L1Misses))
 		}
+		vals := []struct {
+			metric string
+			v      float64
+		}{
+			{"scope_wmean", stats.WeightedMean(scopes, wgt)},
+			{"eff_accuracy_l1_wmean", stats.WeightedMean(a1, wgt)},
+			{"coverage_l1_wmean", stats.WeightedMean(c1, wgt)},
+			{"eff_accuracy_l2_wmean", stats.WeightedMean(a2, wgt)},
+			{"coverage_l2_wmean", stats.WeightedMean(c2, wgt)},
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", name,
-			pct(stats.WeightedMean(scopes, wgt)),
-			pct(stats.WeightedMean(a1, wgt)),
-			pct(stats.WeightedMean(c1, wgt)),
-			pct(stats.WeightedMean(a2, wgt)),
-			pct(stats.WeightedMean(c2, wgt)))
+			pct(vals[0].v), pct(vals[1].v), pct(vals[2].v), pct(vals[3].v), pct(vals[4].v))
+		for _, m := range vals {
+			w.Aggregate(obs.Row{Prefetcher: name, Metric: m.metric, Value: m.v})
+		}
 	}
 	return tw.Flush()
 }
 
-func fig13(w io.Writer, o Options) error {
+func fig13(w *Sink, o Options) error {
 	pfs := append(evaluatedSet(), pickNamed("t2", "t2+p1")...)
 	runs := runMatrix(workloads.SPEC(), pfs, o, true)
 
@@ -197,10 +212,14 @@ func fig13(w io.Writer, o Options) error {
 			if totPrefetch > 0 {
 				share = float64(catCnt[c]) / float64(totPrefetch)
 			}
+			cs := stats.WeightedMean(catScope[c], catWgt[c])
+			ca := stats.WeightedMean(catAcc[c], catWgt[c])
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", p.Name, workloads.Category(c),
-				pct(stats.WeightedMean(catScope[c], catWgt[c])),
-				pct(stats.WeightedMean(catAcc[c], catWgt[c])),
-				pct(share))
+				pct(cs), pct(ca), pct(share))
+			cat := workloads.Category(c).String()
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: cat, Metric: "scope_wmean", Value: cs})
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: cat, Metric: "eff_accuracy_wmean", Value: ca})
+			w.Row(obs.Row{Prefetcher: p.Name, Variant: cat, Metric: "prefetch_share", Value: share})
 		}
 	}
 	return tw.Flush()

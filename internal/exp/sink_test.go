@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"divlab/internal/obs"
+	"divlab/internal/runner"
+)
+
+// TestStructuredSinkCollectsReports: a structured Run must emit both the
+// text report and one validated obs.Report with rows and aggregates.
+func TestStructuredSinkCollectsReports(t *testing.T) {
+	o := tinyOptions()
+	o.Engine = runner.New(runner.WithWorkers(2))
+	var text bytes.Buffer
+	s := NewSink(&text, true)
+	if err := Run("table2", s, o); err != nil {
+		t.Fatal(err)
+	}
+	if text.Len() == 0 {
+		t.Error("structured sink must still write the text report")
+	}
+	if len(s.Reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(s.Reports))
+	}
+	r := s.Reports[0]
+	if r.Experiment != "table2" || r.Schema != obs.SchemaVersion {
+		t.Errorf("report header wrong: %+v", r)
+	}
+	if len(r.Rows) == 0 {
+		t.Error("table2 must emit storage_kb rows")
+	}
+	for _, row := range r.Rows {
+		if row.Metric != "storage_kb" || row.Value <= 0 {
+			t.Errorf("bad table2 row: %+v", row)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStructuredLifecycleBlocks: with Options.Lifecycle on, fig8 must attach
+// per-run ground-truth counter blocks that pass validation (conservation and
+// per-owner sums).
+func TestStructuredLifecycleBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := tinyOptions()
+	o.Lifecycle = true
+	o.Engine = runner.New(runner.WithWorkers(4))
+	s := NewSink(new(bytes.Buffer), true)
+	if err := Run("speedups", s, o); err != nil { // alias → fig8
+		t.Fatal(err)
+	}
+	if len(s.Reports) != 1 || s.Reports[0].Experiment != "fig8" {
+		t.Fatalf("speedups alias must resolve to one fig8 report, got %+v", s.Reports)
+	}
+	r := s.Reports[0]
+	if len(r.Lifecycle) == 0 {
+		t.Fatal("lifecycle tracing on but no lifecycle blocks in the report")
+	}
+	attempted := uint64(0)
+	for _, b := range r.Lifecycle {
+		attempted += b.Total.Attempted
+	}
+	if attempted == 0 {
+		t.Error("no prefetcher attempted anything across the fig8 matrix")
+	}
+	// Validate() re-checks conservation on the flattened JSON shapes.
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+	// And the whole array must round-trip through the wire format.
+	var buf bytes.Buffer
+	if err := obs.EncodeReports(&buf, s.Reports); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.DecodeReports(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Experiment != "fig8" || len(back[0].Lifecycle) != len(r.Lifecycle) {
+		t.Error("wire round trip lost report content")
+	}
+}
+
+// TestTextSinkCollectsNothing: text-only sinks must not accumulate reports
+// (rows are dropped at the sink, not buffered).
+func TestTextSinkCollectsNothing(t *testing.T) {
+	o := tinyOptions()
+	o.Engine = runner.New(runner.WithWorkers(2))
+	s := TextSink(new(bytes.Buffer))
+	if err := Run("table2", s, o); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reports) != 0 {
+		t.Errorf("text sink accumulated %d reports", len(s.Reports))
+	}
+}
+
+// TestRunAllStructured exercises every registered experiment through one
+// structured sink at tiny scale, so each experiment's row emission is
+// validated (metric presence, conservation) — not just fig8's.
+func TestRunAllStructured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	o := tinyOptions()
+	o.Lifecycle = true
+	o.Engine = runner.New(runner.WithWorkers(4))
+	s := NewSink(new(bytes.Buffer), true)
+	if err := RunAll(s, o); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reports) != len(Names()) {
+		t.Fatalf("got %d reports for %d experiments", len(s.Reports), len(Names()))
+	}
+	withRows := 0
+	for _, r := range s.Reports {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Experiment, err)
+		}
+		if len(r.Rows)+len(r.Aggregates) > 0 {
+			withRows++
+		}
+	}
+	// Every experiment except the static table1 emits structured data.
+	if want := len(Names()) - 1; withRows < want {
+		t.Errorf("only %d of %d experiments emitted structured rows", withRows, want)
+	}
+}

@@ -2,10 +2,10 @@ package exp
 
 import (
 	"fmt"
-	"io"
 	"text/tabwriter"
 
 	"divlab/internal/dram"
+	"divlab/internal/obs"
 	"divlab/internal/runner"
 	"divlab/internal/sim"
 	"divlab/internal/stats"
@@ -20,7 +20,7 @@ func init() {
 	register("droppolicy", "memory-controller drop policy: random vs low-priority prefetch drop, 4-core (Sec. V-C1)", dropPolicy)
 }
 
-func table1(w io.Writer, o Options) error {
+func table1(w *Sink, o Options) error {
 	fmt.Fprintln(w, "Core:  1-4 cores, OoO (analytical), 4-wide, 192 ROB, 15-cycle branch miss penalty")
 	fmt.Fprintln(w, "L1D:   64KB 4-way, 64B lines, 3 cycles, 32 MSHRs, LRU")
 	fmt.Fprintln(w, "L2:    256KB 8-way, 9 cycles, 32 MSHRs, LRU (private)")
@@ -33,7 +33,7 @@ func table1(w io.Writer, o Options) error {
 // evaluatedSet is the Fig. 8 lineup: seven monolithic prefetchers plus TPC.
 func evaluatedSet() []sim.Named { return sim.AllEvaluated() }
 
-func fig8(w io.Writer, o Options) error {
+func fig8(w *Sink, o Options) error {
 	pfs := evaluatedSet()
 	runs := runMatrix(workloads.SPEC(), pfs, o, false)
 
@@ -46,7 +46,10 @@ func fig8(w io.Writer, o Options) error {
 	for _, r := range runs {
 		fmt.Fprintf(tw, "%s", r.W.Name)
 		for _, p := range pfs {
-			fmt.Fprintf(tw, "\t%.3f", r.pair(p.Name).Speedup())
+			sp := r.pair(p.Name).Speedup()
+			fmt.Fprintf(tw, "\t%.3f", sp)
+			w.Row(obs.Row{Workload: r.W.Name, Prefetcher: p.Name, Metric: "speedup", Value: sp})
+			w.lifecycleFrom(r.W.Name, p.Name, r.PF[p.Name])
 		}
 		fmt.Fprintln(tw)
 	}
@@ -58,6 +61,7 @@ func fig8(w io.Writer, o Options) error {
 			best, bestName = g, p.Name
 		}
 		fmt.Fprintf(tw, "\t%.3f", g)
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "speedup_geomean", Value: g})
 	}
 	fmt.Fprintln(tw)
 	if err := tw.Flush(); err != nil {
@@ -78,10 +82,11 @@ func fig8(w io.Writer, o Options) error {
 	}
 	fmt.Fprintf(w, "best geomean: %s (%.3f); tpc is the best prefetcher on %d of %d benchmarks\n",
 		bestName, best, tpcWins, len(runs))
+	w.Aggregate(obs.Row{Prefetcher: "tpc", Metric: "best_on_benchmarks", Value: float64(tpcWins)})
 	return nil
 }
 
-func fig9(w io.Writer, o Options) error {
+func fig9(w *Sink, o Options) error {
 	pfs := evaluatedSet()
 	runs := runMatrix(workloads.SPEC(), pfs, o, false)
 
@@ -93,7 +98,11 @@ func fig9(w io.Writer, o Options) error {
 			xs = append(xs, r.pair(p.Name).TrafficNorm())
 		}
 		lo, hi := stats.MinMax(xs)
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", p.Name, stats.Geomean(xs), lo, hi)
+		g := stats.Geomean(xs)
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", p.Name, g, lo, hi)
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "traffic_norm_geomean", Value: g})
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "traffic_norm_min", Value: lo})
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "traffic_norm_max", Value: hi})
 	}
 	return tw.Flush()
 }
@@ -147,7 +156,7 @@ func runMixes(pfs []sim.Named, o Options) map[string]float64 {
 	return out
 }
 
-func fig11(w io.Writer, o Options) error {
+func fig11(w *Sink, o Options) error {
 	pfs := evaluatedSet()
 	suites := []struct {
 		name string
@@ -172,6 +181,7 @@ func fig11(w io.Writer, o Options) error {
 		fmt.Fprintf(tw, "%s", s.name)
 		for _, p := range pfs {
 			fmt.Fprintf(tw, "\t%.3f", g[p.Name])
+			w.Row(obs.Row{Workload: s.name, Prefetcher: p.Name, Metric: "speedup_geomean", Value: g[p.Name]})
 			all[p.Name] = append(all[p.Name], g[p.Name])
 		}
 		fmt.Fprintln(tw)
@@ -180,18 +190,21 @@ func fig11(w io.Writer, o Options) error {
 	fmt.Fprintf(tw, "mixes(4-core)")
 	for _, p := range pfs {
 		fmt.Fprintf(tw, "\t%.3f", gm[p.Name])
+		w.Row(obs.Row{Workload: "mixes4", Prefetcher: p.Name, Metric: "speedup_geomean", Value: gm[p.Name]})
 		all[p.Name] = append(all[p.Name], gm[p.Name])
 	}
 	fmt.Fprintln(tw)
 	fmt.Fprintf(tw, "overall")
 	for _, p := range pfs {
-		fmt.Fprintf(tw, "\t%.3f", stats.Geomean(all[p.Name]))
+		g := stats.Geomean(all[p.Name])
+		fmt.Fprintf(tw, "\t%.3f", g)
+		w.Aggregate(obs.Row{Prefetcher: p.Name, Metric: "speedup_geomean", Value: g})
 	}
 	fmt.Fprintln(tw)
 	return tw.Flush()
 }
 
-func dropPolicy(w io.Writer, o Options) error {
+func dropPolicy(w *Sink, o Options) error {
 	tpcN := sim.TPCFull()
 	mixes := workloads.Mixes(o.MixCount, o.Seed+77)
 	cfg := sim.DefaultConfig(o.Insts)
@@ -228,8 +241,11 @@ func dropPolicy(w io.Writer, o Options) error {
 	gr, gl := stats.Geomean(rnd), stats.Geomean(lowpri)
 	fmt.Fprintf(w, "tpc weighted speedup, random prefetch drop:       %.3f\n", gr)
 	fmt.Fprintf(w, "tpc weighted speedup, low-priority (C1) drop:     %.3f\n", gl)
+	w.Aggregate(obs.Row{Prefetcher: "tpc", Variant: "drop-random", Metric: "weighted_speedup_geomean", Value: gr})
+	w.Aggregate(obs.Row{Prefetcher: "tpc", Variant: "drop-lowpri", Metric: "weighted_speedup_geomean", Value: gl})
 	if gr > 0 {
 		fmt.Fprintf(w, "gain from priority-aware dropping:                %+.1f%%\n", 100*(gl/gr-1))
+		w.Aggregate(obs.Row{Prefetcher: "tpc", Metric: "lowpri_drop_gain", Value: gl/gr - 1})
 	}
 	return nil
 }

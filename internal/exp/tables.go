@@ -2,9 +2,9 @@ package exp
 
 import (
 	"fmt"
-	"io"
 	"text/tabwriter"
 
+	"divlab/internal/obs"
 	"divlab/internal/sim"
 	"divlab/internal/workloads"
 )
@@ -19,7 +19,7 @@ var paperKB = map[string]float64{
 	"sms": 12, "ampm": 4, "t2": 2.3, "t2+p1": 3.37, "tpc": 4.57,
 }
 
-func table2(w io.Writer, o Options) error {
+func table2(w *Sink, o Options) error {
 	// Instantiate each configuration against a dummy workload so composite
 	// designs can size their components.
 	dummy := workloads.SPEC()[0].New(o.Seed)
@@ -28,9 +28,9 @@ func table2(w io.Writer, o Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "prefetcher\tthis repo (KB)\tpaper Table II (KB)")
 	for _, n := range names {
-		p, ok := sim.ByName(n)
-		if !ok {
-			return fmt.Errorf("table2: unknown prefetcher %s", n)
+		p, err := sim.ByName(n)
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
 		}
 		bits := p.Factory(dummy).StorageBits()
 		paper := "-"
@@ -38,6 +38,7 @@ func table2(w io.Writer, o Options) error {
 			paper = fmt.Sprintf("%.2f", v)
 		}
 		fmt.Fprintf(tw, "%s\t%.2f\t%s\n", n, float64(bits)/8192, paper)
+		w.Row(obs.Row{Prefetcher: n, Metric: "storage_kb", Value: float64(bits) / 8192})
 	}
 	return tw.Flush()
 }

@@ -8,6 +8,7 @@ package mem
 import (
 	"divlab/internal/cache"
 	"divlab/internal/dram"
+	"divlab/internal/obs"
 )
 
 // Level names a destination/observation point in the hierarchy.
@@ -124,6 +125,11 @@ type Hierarchy struct {
 
 	Stats Stats
 
+	// Trace, when non-nil, receives the lifecycle fate of every prefetch
+	// request (and of every prefetched line's first use or untouched
+	// eviction). The hot path pays one nil check per event when disabled.
+	Trace *obs.Lifecycle
+
 	// amat is an exponentially weighted average of demand-load latency,
 	// in 1/64ths of a cycle for fixed-point stability.
 	amat uint64
@@ -178,6 +184,20 @@ func (h *Hierarchy) Reset() {
 	h.now = 0
 }
 
+// traceEvict reports an untouched prefetched line displaced at a level.
+func (h *Hierarchy) traceEvict(level Level, ev cache.Eviction, at uint64) {
+	if h.Trace != nil && ev.Prefetched {
+		h.Trace.Record(obs.FateEvictedUntouched, ev.Owner, int(level), ev.LineAddr, at)
+	}
+}
+
+// traceHit reports the first demand use of a prefetched line at a level.
+func (h *Hierarchy) traceHit(level Level, owner int, lineAddr, at uint64) {
+	if h.Trace != nil {
+		h.Trace.Record(obs.FateDemandHit, owner, int(level), lineAddr, at)
+	}
+}
+
 // writeback sends a dirty eviction to the next level down.
 func (h *Hierarchy) writeback(from Level, ev cache.Eviction, at uint64) {
 	if !ev.Valid || !ev.Dirty {
@@ -192,6 +212,7 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, at uint64) {
 		}
 		// Non-inclusive victim fill into L2.
 		ev2 := h.L2.Fill(ev.LineAddr, at, false, cache.NoOwner)
+		h.traceEvict(L2, ev2, at)
 		h.L2.MarkDirty(ev.LineAddr)
 		h.writeback(L2, ev2, at)
 	case L2:
@@ -200,6 +221,7 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, at uint64) {
 			return
 		}
 		ev3 := h.sys.L3.Fill(ev.LineAddr, at, false, cache.NoOwner)
+		h.traceEvict(L3, ev3, at)
 		h.sys.L3.MarkDirty(ev.LineAddr)
 		h.writeback(L3, ev3, at)
 	case L3:
@@ -237,6 +259,7 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 		if r.WasPrefetched {
 			ev.PrefetchHitL1 = true
 			ev.OwnerL1 = r.Owner
+			h.traceHit(L1, r.Owner, lineAddr, at)
 		}
 		if store {
 			h.L1D.MarkDirty(lineAddr)
@@ -264,6 +287,7 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 	ev.MemLat = h.memLat >> 6
 
 	evict := h.L1D.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	h.traceEvict(L1, evict, readyAt)
 	h.writeback(L1, evict, readyAt)
 	if store {
 		h.L1D.MarkDirty(lineAddr)
@@ -281,6 +305,7 @@ func (h *Hierarchy) lookupL2(lineAddr, at uint64, ev *Event) uint64 {
 		if r.WasPrefetched {
 			ev.PrefetchHitL2 = true
 			ev.OwnerL2 = r.Owner
+			h.traceHit(L2, r.Owner, lineAddr, at)
 		}
 		return l2lat + r.ExtraWait
 	}
@@ -290,19 +315,28 @@ func (h *Hierarchy) lookupL2(lineAddr, at uint64, ev *Event) uint64 {
 	ev.MissL2 = true
 
 	adm := admit(h.L2.MSHR(), at)
-	below := h.lookupL3(lineAddr, adm+l2lat, false, 0)
+	below := h.lookupL3(lineAddr, adm+l2lat, false, cache.NoOwner, 0)
 	readyAt := adm + l2lat + below
 	h.L2.MSHR().Allocate(lineAddr, adm, readyAt, false)
 	evict := h.L2.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	h.traceEvict(L2, evict, readyAt)
 	h.writeback(L2, evict, readyAt)
 	return readyAt - at
 }
 
 // lookupL3 resolves a miss below L2; prefetch marks droppable DRAM requests.
-func (h *Hierarchy) lookupL3(lineAddr, at uint64, prefetch bool, priority int) uint64 {
+// owner is the prefetching component when the L3 is the prefetch's own
+// destination (cache.NoOwner for demand fetches and for intermediate fills
+// of prefetches destined further up, which are not lifecycle occurrences).
+func (h *Hierarchy) lookupL3(lineAddr, at uint64, prefetch bool, owner, priority int) uint64 {
 	l3 := h.sys.L3
 	l3lat := l3.Config().LatCycles
 	if r := l3.Lookup(lineAddr, at); r.Hit {
+		if r.WasPrefetched {
+			// First use of an L3-destined prefetch (by a demand fetch or
+			// by another prefetch passing through).
+			h.traceHit(L3, r.Owner, lineAddr, at)
+		}
 		return l3lat + r.ExtraWait
 	}
 	if readyAt, ok := l3.MSHR().Pending(lineAddr, at); ok {
@@ -312,26 +346,35 @@ func (h *Hierarchy) lookupL3(lineAddr, at uint64, prefetch bool, priority int) u
 	if prefetch {
 		// Prefetches never wait for an MSHR; they are shed instead.
 		if l3.MSHR().Full(h.nowOrLater(at)) {
-			return dropLatSentinel
+			return dropMSHRSentinel
 		}
 		adm = at
 	} else {
 		adm = admit(l3.MSHR(), at)
 	}
-	dlat, dropped := h.sys.Mem.Access(dram.Request{LineAddr: lineAddr, Prefetch: prefetch, Priority: priority}, adm+l3lat)
+	dlat, dropped := h.sys.Mem.Access(dram.Request{LineAddr: lineAddr, Prefetch: prefetch, Owner: owner, Priority: priority}, adm+l3lat)
 	if dropped {
 		// Only prefetches are droppable; signal with a sentinel the caller
 		// understands (Prefetch checks dropped separately).
-		return dropLatSentinel
+		return dropDRAMSentinel
 	}
 	readyAt := adm + l3lat + dlat
 	l3.MSHR().Allocate(lineAddr, adm, readyAt, prefetch)
-	evict := l3.Fill(lineAddr, readyAt, false, cache.NoOwner)
+	evict := l3.Fill(lineAddr, readyAt, prefetch && owner != cache.NoOwner, owner)
+	h.traceEvict(L3, evict, readyAt)
 	h.writeback(L3, evict, readyAt)
 	return readyAt - at
 }
 
-const dropLatSentinel = ^uint64(0)
+// Drop sentinels distinguish why a prefetch was shed on its fetch path; any
+// real latency is astronomically smaller.
+const (
+	dropDRAMSentinel = ^uint64(0) - 1
+	dropMSHRSentinel = ^uint64(0)
+)
+
+// isDrop reports whether a latency value is a drop sentinel.
+func isDrop(lat uint64) bool { return lat >= dropDRAMSentinel }
 
 // Prefetch attempts to bring lineAddr into dest at cycle `at` on behalf of
 // component `owner`. It returns whether a fetch was actually generated
@@ -347,7 +390,27 @@ func (h *Hierarchy) nowOrLater(at uint64) uint64 {
 	return at
 }
 
+// traceFate reports a pre-install lifecycle fate (attempted/deduped/dropped).
+func (h *Hierarchy) traceFate(f obs.Fate, owner int, dest Level, lineAddr, at uint64) {
+	if h.Trace != nil {
+		h.Trace.Record(f, owner, int(dest), lineAddr, at)
+	}
+}
+
+// traceDrop maps a drop sentinel to its lifecycle fate.
+func (h *Hierarchy) traceDrop(lat uint64, owner int, dest Level, lineAddr, at uint64) {
+	if h.Trace == nil {
+		return
+	}
+	f := obs.FateDroppedMSHR
+	if lat == dropDRAMSentinel {
+		f = obs.FateDroppedDRAM
+	}
+	h.Trace.Record(f, owner, int(dest), lineAddr, at)
+}
+
 func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, at uint64) bool {
+	h.traceFate(obs.FateAttempted, owner, dest, lineAddr, at)
 	// Redundancy filter: already resident at (or above) the destination,
 	// or already being fetched.
 	// A redundant prefetch still signals expected reuse: refresh LRU state
@@ -357,10 +420,12 @@ func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, a
 		if h.L1D.Contains(lineAddr) {
 			h.L1D.Touch(lineAddr)
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 		if _, ok := h.L1D.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 	case L2:
@@ -368,20 +433,24 @@ func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, a
 			h.L1D.Touch(lineAddr)
 			h.L2.Touch(lineAddr)
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 		if _, ok := h.L2.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 	case L3:
 		if h.sys.L3.Contains(lineAddr) {
 			h.sys.L3.Touch(lineAddr)
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 		if _, ok := h.sys.L3.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
 			h.Stats.PrefetchesFiltered++
+			h.traceFate(obs.FateDeduped, owner, dest, lineAddr, at)
 			return false
 		}
 	}
@@ -393,23 +462,33 @@ func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, a
 		// do not compete with demand misses for L1 MSHRs; their concurrency
 		// is bounded below by the L2/L3 MSHRs and the DRAM queue.
 		below := h.prefetchIntoL2Path(lineAddr, at, owner, priority)
-		if below == dropLatSentinel {
+		if isDrop(below) {
+			h.traceDrop(below, owner, dest, lineAddr, at)
 			return false
 		}
 		readyAt := at + h.L1D.Config().LatCycles + below
 		h.updateMemLat(readyAt - at)
 		evict := h.L1D.Fill(lineAddr, readyAt, true, owner)
+		if h.Trace != nil {
+			h.Trace.Record(obs.FateInstalled, owner, int(L1), lineAddr, at)
+		}
+		h.traceEvict(L1, evict, readyAt)
 		h.writeback(L1, evict, readyAt)
 	case L2:
 		l := h.prefetchL2(lineAddr, at, owner, priority)
-		if l == dropLatSentinel {
+		if isDrop(l) {
+			h.traceDrop(l, owner, dest, lineAddr, at)
 			return false
 		}
 		h.updateMemLat(l)
 	case L3:
-		l := h.lookupL3(lineAddr, at, true, priority)
-		if l == dropLatSentinel {
+		l := h.lookupL3(lineAddr, at, true, owner, priority)
+		if isDrop(l) {
+			h.traceDrop(l, owner, dest, lineAddr, at)
 			return false
+		}
+		if h.Trace != nil {
+			h.Trace.Record(obs.FateInstalled, owner, int(L3), lineAddr, at)
 		}
 	}
 	h.Stats.PrefetchesIssued++
@@ -431,15 +510,19 @@ func (h *Hierarchy) prefetchIntoL2Path(lineAddr, at uint64, owner, priority int)
 		return (readyAt - at) + l2lat
 	}
 	if h.L2.MSHR().Full(h.nowOrLater(at)) {
-		return dropLatSentinel
+		return dropMSHRSentinel
 	}
-	below := h.lookupL3(lineAddr, at+l2lat, true, priority)
-	if below == dropLatSentinel {
-		return dropLatSentinel
+	// The L2 copy left along an L1-destined fill path is a shadow, not the
+	// prefetch's own occurrence: pass NoOwner down to L3 and let the live
+	// map ignore its later hit/eviction events.
+	below := h.lookupL3(lineAddr, at+l2lat, true, cache.NoOwner, priority)
+	if isDrop(below) {
+		return below
 	}
 	readyAt := at + l2lat + below
 	h.L2.MSHR().Allocate(lineAddr, at, readyAt, true)
 	evict := h.L2.Fill(lineAddr, readyAt, true, owner)
+	h.traceEvict(L2, evict, readyAt)
 	h.writeback(L2, evict, readyAt)
 	return readyAt - at
 }
@@ -448,15 +531,19 @@ func (h *Hierarchy) prefetchIntoL2Path(lineAddr, at uint64, owner, priority int)
 func (h *Hierarchy) prefetchL2(lineAddr, at uint64, owner, priority int) uint64 {
 	l2lat := h.L2.Config().LatCycles
 	if h.L2.MSHR().Full(h.nowOrLater(at)) {
-		return dropLatSentinel
+		return dropMSHRSentinel
 	}
-	below := h.lookupL3(lineAddr, at+l2lat, true, priority)
-	if below == dropLatSentinel {
-		return dropLatSentinel
+	below := h.lookupL3(lineAddr, at+l2lat, true, cache.NoOwner, priority)
+	if isDrop(below) {
+		return below
 	}
 	readyAt := at + l2lat + below
 	h.L2.MSHR().Allocate(lineAddr, at, readyAt, true)
 	evict := h.L2.Fill(lineAddr, readyAt, true, owner)
+	if h.Trace != nil {
+		h.Trace.Record(obs.FateInstalled, owner, int(L2), lineAddr, at)
+	}
+	h.traceEvict(L2, evict, readyAt)
 	h.writeback(L2, evict, readyAt)
 	return readyAt - at
 }

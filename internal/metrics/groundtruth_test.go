@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"divlab/internal/sim"
+	"divlab/internal/workloads"
+)
+
+// gtTolerance bounds the allowed disagreement between the paired-run
+// estimates (EffAccuracyL1, CoverageL1) and the lifecycle-traced ground
+// truth. The two are different estimators — the pair divides the *net* miss
+// delta (including pollution) by prefetches issued, the ground truth counts
+// actual first-use fates per install — so they coincide only when pollution
+// is mild. On the reference workloads they agree to ~1e-3; the tolerance is
+// deliberately loose so the test flags estimator drift, not noise.
+const gtTolerance = 0.1
+
+// TestGroundTruthMatchesPairedEstimates cross-checks the tentpole's traced
+// counters against the paper's paired-run metrics on a streaming and a
+// pointer-chasing workload.
+func TestGroundTruthMatchesPairedEstimates(t *testing.T) {
+	for _, wname := range []string{"stream.pure", "chase.rand"} {
+		w, ok := workloads.ByName(wname)
+		if !ok {
+			t.Fatalf("unknown workload %q", wname)
+		}
+		for _, spec := range []string{"tpc", "bop", "nextline:degree=2"} {
+			p := sim.MustByName(spec)
+			cfg := sim.DefaultConfig(120_000)
+			cfg.CollectFootprint = true
+			base := sim.RunSingle(w, nil, cfg)
+			cfg.TraceLifecycle = true
+			r := sim.RunSingle(w, p.Factory, cfg)
+			pair := Pair{Base: base, PF: r}
+
+			gtAcc, okA := GroundTruthAccuracyL1(r)
+			gtCov, okC := GroundTruthCoverageL1(r)
+			if !okA || !okC {
+				t.Errorf("%s/%s: ground truth unavailable (acc ok=%v, cov ok=%v)", wname, spec, okA, okC)
+				continue
+			}
+			if d := math.Abs(gtAcc - pair.EffAccuracyL1()); d > gtTolerance {
+				t.Errorf("%s/%s: accuracy ground truth %.3f vs paired estimate %.3f (|Δ|=%.3f > %.2f)",
+					wname, spec, gtAcc, pair.EffAccuracyL1(), d, gtTolerance)
+			}
+			if d := math.Abs(gtCov - pair.CoverageL1()); d > gtTolerance {
+				t.Errorf("%s/%s: coverage ground truth %.3f vs paired estimate %.3f (|Δ|=%.3f > %.2f)",
+					wname, spec, gtCov, pair.CoverageL1(), d, gtTolerance)
+			}
+			if gtAcc < 0 || gtAcc > 1 || gtCov < 0 || gtCov > 1 {
+				t.Errorf("%s/%s: ground truth out of [0,1]: acc=%.3f cov=%.3f", wname, spec, gtAcc, gtCov)
+			}
+		}
+	}
+}
+
+// TestGroundTruthUnavailable: untraced runs report ok=false, not zeros
+// masquerading as measurements.
+func TestGroundTruthUnavailable(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	r := sim.RunSingle(w, sim.MustByName("bop").Factory, sim.DefaultConfig(20_000))
+	if _, ok := GroundTruthAccuracyL1(r); ok {
+		t.Error("accuracy ground truth must be unavailable on untraced runs")
+	}
+	if _, ok := GroundTruthCoverageL1(r); ok {
+		t.Error("coverage ground truth must be unavailable on untraced runs")
+	}
+	if _, ok := GroundTruthAccuracyL1(nil); ok {
+		t.Error("nil result must be unavailable")
+	}
+}

@@ -94,6 +94,45 @@ func (p Pair) CoverageL2() float64 {
 	return float64(int64(p.Base.L2Misses)-int64(p.PF.L2Misses)) / float64(p.Base.L2Misses)
 }
 
+// GroundTruthAccuracyL1 returns the lifecycle-traced accuracy at the L1:
+// installed prefetch lines that saw a demand hit before eviction, per line
+// installed. Unlike EffAccuracyL1 — a paired estimate that divides the *net*
+// miss delta (including pollution) by prefetches issued — this is a property
+// of the traced run alone: it counts actual first-use fates and so cannot go
+// negative. Returns ok=false when the run was not traced or installed nothing
+// at the L1.
+func GroundTruthAccuracyL1(r *sim.Result) (v float64, ok bool) {
+	if r == nil || r.Lifecycle == nil {
+		return 0, false
+	}
+	t := r.Lifecycle.Totals()
+	installed := t.Installed[0]
+	if installed == 0 {
+		return 0, false
+	}
+	return float64(t.DemandHits[0]) / float64(installed), true
+}
+
+// GroundTruthCoverageL1 returns the lifecycle-traced coverage at the L1:
+// demand misses that were converted to hits by an installed prefetch, over
+// all would-be misses (hits-on-prefetched + remaining misses). EffCoverageL1
+// estimates the same quantity as the miss-count delta against a separate
+// baseline run; the ground-truth form needs no baseline but counts a line
+// once per fill rather than weighting by baseline miss frequency, so the two
+// agree only within a tolerance (see metrics tests). Returns ok=false when
+// the run was not traced or saw no L1 demand misses.
+func GroundTruthCoverageL1(r *sim.Result) (v float64, ok bool) {
+	if r == nil || r.Lifecycle == nil {
+		return 0, false
+	}
+	hits := r.Lifecycle.Totals().DemandHits[0]
+	would := hits + r.L1Misses
+	if would == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(would), true
+}
+
 // CatStats is one category's slice of the Fig. 13 analysis.
 type CatStats struct {
 	Category    workloads.Category

@@ -1,0 +1,276 @@
+// Package obs is the observability layer: ground-truth prefetch lifecycle
+// tracing, the machine-readable experiment report schema, and live progress
+// reporting for the parallel experiment engine.
+//
+// The simulator can observe what the metrics layer otherwise has to
+// *estimate* from paired baseline/prefetcher runs: every prefetch request's
+// fate is known at line granularity. Lifecycle records that fate stream —
+// attempted → deduped / dropped-at-MSHR / dropped-by-DRAM → installed →
+// first-demand-hit vs evicted-untouched — attributed to the component that
+// issued the request. The counters obey two conservation laws (see Check)
+// that tests assert across every registry prefetcher.
+//
+// The hot-path contract: a simulation with tracing disabled pays one nil
+// pointer check per event and allocates nothing.
+package obs
+
+import "fmt"
+
+// Fate enumerates the lifecycle stages of a prefetch request.
+type Fate uint8
+
+const (
+	// FateAttempted: the request reached the hierarchy (post component
+	// queue, pre redundancy filter).
+	FateAttempted Fate = iota
+	// FateDeduped: rejected by the redundancy filter (already resident at
+	// or above the destination, or already being fetched).
+	FateDeduped
+	// FateDroppedMSHR: shed because a miss-status register file on the
+	// fetch path was full (prefetches never wait for MSHRs).
+	FateDroppedMSHR
+	// FateDroppedDRAM: shed by the memory controller's queue-overflow drop
+	// policy.
+	FateDroppedDRAM
+	// FateInstalled: the line was filled into the destination level.
+	FateInstalled
+	// FateDemandHit: a demand access consumed the installed line for the
+	// first time — the prefetch was useful.
+	FateDemandHit
+	// FateEvictedUntouched: the installed line was evicted before any
+	// demand use — the prefetch was wasted (and possibly polluting).
+	FateEvictedUntouched
+	// FateResidentUntouched: the installed line was still resident and
+	// untouched when the run ended (neither useful nor wasted yet).
+	FateResidentUntouched
+
+	numFates
+)
+
+// String returns the fate's snake_case name (matches the JSON schema).
+func (f Fate) String() string {
+	switch f {
+	case FateAttempted:
+		return "attempted"
+	case FateDeduped:
+		return "deduped"
+	case FateDroppedMSHR:
+		return "dropped_mshr"
+	case FateDroppedDRAM:
+		return "dropped_dram"
+	case FateInstalled:
+		return "installed"
+	case FateDemandHit:
+		return "demand_hit"
+	case FateEvictedUntouched:
+		return "evicted_untouched"
+	case FateResidentUntouched:
+		return "resident_untouched"
+	}
+	return "unknown"
+}
+
+// NumLevels is the number of cache levels lifecycle events are keyed by
+// (L1, L2, L3 — mirrors mem.Level without importing it).
+const NumLevels = 3
+
+// OwnerCounts accumulates one component's lifecycle counters. The
+// install-and-beyond fates are split by cache level so accuracy can be
+// judged at each prefetch's own destination.
+type OwnerCounts struct {
+	Attempted   uint64
+	Deduped     uint64
+	DroppedMSHR uint64
+	DroppedDRAM uint64
+
+	Installed         [NumLevels]uint64
+	DemandHits        [NumLevels]uint64
+	EvictedUntouched  [NumLevels]uint64
+	ResidentUntouched [NumLevels]uint64
+}
+
+// InstalledTotal sums installs over levels.
+func (c *OwnerCounts) InstalledTotal() uint64 { return sum3(c.Installed) }
+
+// DemandHitsTotal sums first demand hits over levels.
+func (c *OwnerCounts) DemandHitsTotal() uint64 { return sum3(c.DemandHits) }
+
+// EvictedTotal sums untouched evictions over levels.
+func (c *OwnerCounts) EvictedTotal() uint64 { return sum3(c.EvictedUntouched) }
+
+// ResidentTotal sums end-of-run resident untouched lines over levels.
+func (c *OwnerCounts) ResidentTotal() uint64 { return sum3(c.ResidentUntouched) }
+
+func sum3(a [NumLevels]uint64) uint64 { return a[0] + a[1] + a[2] }
+
+func (c *OwnerCounts) add(o *OwnerCounts) {
+	c.Attempted += o.Attempted
+	c.Deduped += o.Deduped
+	c.DroppedMSHR += o.DroppedMSHR
+	c.DroppedDRAM += o.DroppedDRAM
+	for l := 0; l < NumLevels; l++ {
+		c.Installed[l] += o.Installed[l]
+		c.DemandHits[l] += o.DemandHits[l]
+		c.EvictedUntouched[l] += o.EvictedUntouched[l]
+		c.ResidentUntouched[l] += o.ResidentUntouched[l]
+	}
+}
+
+// check asserts the two conservation laws on one counter set.
+func (c *OwnerCounts) check(who string) error {
+	if got := c.Deduped + c.DroppedMSHR + c.DroppedDRAM + c.InstalledTotal(); got != c.Attempted {
+		return fmt.Errorf("obs: %s: attempted=%d but deduped+dropped+installed=%d", who, c.Attempted, got)
+	}
+	if got := c.DemandHitsTotal() + c.EvictedTotal() + c.ResidentTotal(); got != c.InstalledTotal() {
+		return fmt.Errorf("obs: %s: installed=%d but hits+evicted+resident=%d", who, c.InstalledTotal(), got)
+	}
+	return nil
+}
+
+// EventSink receives the raw lifecycle event stream (the -trace dump).
+// Implementations must tolerate high event rates; the simulator calls it
+// synchronously on the hot path.
+type EventSink interface {
+	Event(at uint64, owner int, fate Fate, level int, lineAddr uint64)
+}
+
+// Lifecycle tracks per-component prefetch fates for one core's run. It is
+// not safe for concurrent use (one simulation is single-goroutine).
+//
+// Semantics: only *destination-level* installs open a lifecycle occurrence.
+// The hierarchy also tags intermediate copies (an L1-destined prefetch
+// leaves a prefetched-marked copy in L2 along its fill path); hit/eviction
+// events for those shadows are ignored via the live-occurrence map so that
+// one attempted prefetch resolves to exactly one terminal fate.
+type Lifecycle struct {
+	owners []OwnerCounts // index = component id (0 = unattributed)
+	// live maps an open occurrence (lineAddr | level in the low bits the
+	// 64-byte alignment frees) to the owning component id.
+	live map[uint64]int32
+	sink EventSink
+}
+
+// NewLifecycle builds a tracker for component ids 1..nOwners.
+func NewLifecycle(nOwners int) *Lifecycle {
+	return &Lifecycle{
+		owners: make([]OwnerCounts, nOwners+1),
+		live:   make(map[uint64]int32, 1<<12),
+	}
+}
+
+// SetSink installs an optional raw event sink (nil disables).
+func (lc *Lifecycle) SetSink(s EventSink) { lc.sink = s }
+
+func (lc *Lifecycle) idx(owner int) int {
+	if owner < 1 || owner >= len(lc.owners) {
+		return 0
+	}
+	return owner
+}
+
+func liveKey(lineAddr uint64, level int) uint64 { return lineAddr | uint64(level) }
+
+// Record registers one lifecycle event. level is only meaningful for the
+// install-and-beyond fates; lineAddr must be line-aligned.
+func (lc *Lifecycle) Record(f Fate, owner, level int, lineAddr, at uint64) {
+	i := lc.idx(owner)
+	c := &lc.owners[i]
+	switch f {
+	case FateAttempted:
+		c.Attempted++
+	case FateDeduped:
+		c.Deduped++
+	case FateDroppedMSHR:
+		c.DroppedMSHR++
+	case FateDroppedDRAM:
+		c.DroppedDRAM++
+	case FateInstalled:
+		c.Installed[level]++
+		lc.live[liveKey(lineAddr, level)] = int32(i)
+	case FateDemandHit, FateEvictedUntouched, FateResidentUntouched:
+		// Terminal fates close an open occurrence; events for shadow
+		// copies (tagged fills that were not the destination) have no
+		// occurrence and are dropped here.
+		k := liveKey(lineAddr, level)
+		id, ok := lc.live[k]
+		if !ok {
+			return
+		}
+		delete(lc.live, k)
+		// Attribute to the occurrence's owner, which the cache tag also
+		// carries; trust the map (shared caches can report a different
+		// core's owner id).
+		c = &lc.owners[lc.idx(int(id))]
+		switch f {
+		case FateDemandHit:
+			c.DemandHits[level]++
+		case FateEvictedUntouched:
+			c.EvictedUntouched[level]++
+		case FateResidentUntouched:
+			c.ResidentUntouched[level]++
+		}
+	}
+	if lc.sink != nil {
+		lc.sink.Event(at, owner, f, level, lineAddr)
+	}
+}
+
+// Owners returns the highest component id tracked.
+func (lc *Lifecycle) Owners() int { return len(lc.owners) - 1 }
+
+// Counts returns a copy of one component's counters (id 0 aggregates
+// events from unattributed owners).
+func (lc *Lifecycle) Counts(owner int) OwnerCounts { return lc.owners[lc.idx(owner)] }
+
+// Totals returns the counters summed over all components.
+func (lc *Lifecycle) Totals() OwnerCounts {
+	var t OwnerCounts
+	for i := range lc.owners {
+		t.add(&lc.owners[i])
+	}
+	return t
+}
+
+// Open reports the number of occurrences not yet resolved to a terminal
+// fate. After CloseResident it is zero.
+func (lc *Lifecycle) Open() int { return len(lc.live) }
+
+// CloseResident resolves every still-open occurrence as resident-untouched.
+// The simulator calls it at end of run after scanning the caches; any
+// occurrence whose line silently left the hierarchy (e.g. invalidation)
+// is also closed here so the conservation laws stay exact.
+func (lc *Lifecycle) CloseResident(at uint64) {
+	for k, id := range lc.live {
+		// Lines are 64-byte aligned, so the key's low 6 bits are the level.
+		level := int(k & 63)
+		line := k &^ 63
+		c := &lc.owners[lc.idx(int(id))]
+		if level >= NumLevels {
+			level = 0
+		}
+		c.ResidentUntouched[level]++
+		delete(lc.live, k)
+		if lc.sink != nil {
+			lc.sink.Event(at, int(id), FateResidentUntouched, level, line)
+		}
+	}
+}
+
+// Check asserts the conservation laws per component and in aggregate:
+//
+//	attempted = deduped + dropped_mshr + dropped_dram + installed
+//	installed = demand_hits + evicted_untouched + resident_untouched
+//
+// The second law requires CloseResident to have run (Open() == 0).
+func (lc *Lifecycle) Check() error {
+	if n := lc.Open(); n != 0 {
+		return fmt.Errorf("obs: %d occurrences still open (CloseResident not run?)", n)
+	}
+	for i := range lc.owners {
+		if err := lc.owners[i].check(fmt.Sprintf("owner %d", i)); err != nil {
+			return err
+		}
+	}
+	t := lc.Totals()
+	return t.check("total")
+}

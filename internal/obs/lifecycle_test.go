@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLifecycleBasicFlow(t *testing.T) {
+	lc := NewLifecycle(2)
+
+	// Owner 1: attempted, installed at L1, demand hit.
+	lc.Record(FateAttempted, 1, 0, 0x1000, 10)
+	lc.Record(FateInstalled, 1, 0, 0x1000, 20)
+	lc.Record(FateDemandHit, 1, 0, 0x1000, 30)
+
+	// Owner 2: attempted, installed at L2, evicted untouched.
+	lc.Record(FateAttempted, 2, 1, 0x2000, 10)
+	lc.Record(FateInstalled, 2, 1, 0x2000, 25)
+	lc.Record(FateEvictedUntouched, 2, 1, 0x2000, 40)
+
+	// Owner 1: attempted, deduped.
+	lc.Record(FateAttempted, 1, 0, 0x3000, 50)
+	lc.Record(FateDeduped, 1, 0, 0x3000, 50)
+
+	// Owner 2: attempted, dropped at the MSHR and at DRAM.
+	lc.Record(FateAttempted, 2, 0, 0x4000, 60)
+	lc.Record(FateDroppedMSHR, 2, 0, 0x4000, 60)
+	lc.Record(FateAttempted, 2, 0, 0x5000, 70)
+	lc.Record(FateDroppedDRAM, 2, 0, 0x5000, 70)
+
+	// Owner 1: attempted, installed at L3, still resident at end of run.
+	lc.Record(FateAttempted, 1, 2, 0x6000, 80)
+	lc.Record(FateInstalled, 1, 2, 0x6000, 90)
+
+	if lc.Open() != 1 {
+		t.Fatalf("Open() = %d, want 1 (the resident L3 line)", lc.Open())
+	}
+	lc.CloseResident(100)
+	if lc.Open() != 0 {
+		t.Fatalf("Open() = %d after CloseResident, want 0", lc.Open())
+	}
+	if err := lc.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := lc.Counts(1)
+	if c1.Attempted != 3 || c1.Deduped != 1 || c1.Installed[0] != 1 || c1.Installed[2] != 1 ||
+		c1.DemandHits[0] != 1 || c1.ResidentUntouched[2] != 1 {
+		t.Errorf("owner 1 counts wrong: %+v", c1)
+	}
+	c2 := lc.Counts(2)
+	if c2.Attempted != 3 || c2.DroppedMSHR != 1 || c2.DroppedDRAM != 1 ||
+		c2.Installed[1] != 1 || c2.EvictedUntouched[1] != 1 {
+		t.Errorf("owner 2 counts wrong: %+v", c2)
+	}
+	tot := lc.Totals()
+	if tot.Attempted != 6 || tot.InstalledTotal() != 3 {
+		t.Errorf("totals wrong: %+v", tot)
+	}
+}
+
+// TestLifecycleShadowEventsIgnored: terminal events for lines that never had
+// a destination-level install (shadow copies left along the fill path) must
+// not perturb the counters.
+func TestLifecycleShadowEventsIgnored(t *testing.T) {
+	lc := NewLifecycle(1)
+	lc.Record(FateAttempted, 1, 0, 0x1000, 1)
+	lc.Record(FateInstalled, 1, 0, 0x1000, 2)
+	// Shadow L2 copy of the same line gets hit and evicted: no open
+	// occurrence at level 1, so both must be ignored.
+	lc.Record(FateDemandHit, 1, 1, 0x1000, 3)
+	lc.Record(FateEvictedUntouched, 1, 1, 0x1000, 4)
+	lc.Record(FateDemandHit, 1, 0, 0x1000, 5) // the real first use
+	// A second hit on the same line: occurrence already closed, ignored.
+	lc.Record(FateDemandHit, 1, 0, 0x1000, 6)
+	lc.CloseResident(10)
+	if err := lc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	c := lc.Counts(1)
+	if c.DemandHits[0] != 1 || c.DemandHits[1] != 0 || c.EvictedUntouched[1] != 0 {
+		t.Errorf("shadow events leaked into counters: %+v", c)
+	}
+}
+
+// TestLifecycleTerminalAttributionFollowsInstaller: the terminal event's
+// owner argument is untrusted (shared caches can report another core's id);
+// the occurrence's recorded installer gets the credit.
+func TestLifecycleTerminalAttributionFollowsInstaller(t *testing.T) {
+	lc := NewLifecycle(2)
+	lc.Record(FateAttempted, 1, 0, 0x1000, 1)
+	lc.Record(FateInstalled, 1, 0, 0x1000, 2)
+	lc.Record(FateDemandHit, 2, 0, 0x1000, 3) // wrong owner reported
+	lc.CloseResident(10)
+	if err := lc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.Counts(1).DemandHits[0]; got != 1 {
+		t.Errorf("installer (owner 1) hits = %d, want 1", got)
+	}
+	c2 := lc.Counts(2)
+	if got := c2.DemandHitsTotal(); got != 0 {
+		t.Errorf("reporter (owner 2) hits = %d, want 0", got)
+	}
+}
+
+// TestLifecycleUnknownOwnerClampsToZero: ids outside 1..nOwners accumulate
+// in the unattributed bucket rather than corrupting memory.
+func TestLifecycleUnknownOwnerClampsToZero(t *testing.T) {
+	lc := NewLifecycle(1)
+	for _, owner := range []int{-1, 0, 99} {
+		lc.Record(FateAttempted, owner, 0, 0x1000, 1)
+		lc.Record(FateDeduped, owner, 0, 0x1000, 1)
+	}
+	if err := lc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.Counts(0).Attempted; got != 3 {
+		t.Errorf("unattributed attempted = %d, want 3", got)
+	}
+}
+
+func TestLifecycleCheckDetectsViolation(t *testing.T) {
+	lc := NewLifecycle(1)
+	lc.Record(FateAttempted, 1, 0, 0x1000, 1)
+	// No resolution recorded: attempted=1 but deduped+dropped+installed=0.
+	if err := lc.Check(); err == nil {
+		t.Error("Check must fail when an attempt has no resolution")
+	}
+}
+
+func TestTextTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextTracer(&buf, map[int]string{1: "t2"}, 2)
+	lc := NewLifecycle(1)
+	lc.SetSink(tr)
+	lc.Record(FateAttempted, 1, 0, 0x1040, 7)
+	lc.Record(FateInstalled, 1, 0, 0x1040, 9)
+	lc.Record(FateDemandHit, 1, 0, 0x1040, 11) // past max: counted, not printed
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 3 {
+		t.Errorf("Events() = %d, want 3", tr.Events())
+	}
+	out := buf.String()
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Errorf("printed %d lines, want 2 (maxEvents):\n%s", got, out)
+	}
+	if !strings.Contains(out, "owner=t2") || !strings.Contains(out, "fate=attempted") ||
+		!strings.Contains(out, "level=L1") || !strings.Contains(out, "line=0x1040") {
+		t.Errorf("trace line format wrong:\n%s", out)
+	}
+}
+
+func TestFateStrings(t *testing.T) {
+	want := map[Fate]string{
+		FateAttempted:         "attempted",
+		FateDeduped:           "deduped",
+		FateDroppedMSHR:       "dropped_mshr",
+		FateDroppedDRAM:       "dropped_dram",
+		FateInstalled:         "installed",
+		FateDemandHit:         "demand_hit",
+		FateEvictedUntouched:  "evicted_untouched",
+		FateResidentUntouched: "resident_untouched",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("Fate(%d).String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	if Fate(200).String() != "unknown" {
+		t.Errorf("out-of-range fate should stringify as unknown")
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	p.JobDone(false)
+	p.JobDone(true)
+	p.JobDone(false)
+	jobs, hits, sims, _ := p.Snapshot()
+	if jobs != 3 || hits != 1 || sims != 2 {
+		t.Errorf("Snapshot() = jobs=%d hits=%d sims=%d, want 3/1/2", jobs, hits, sims)
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleReport builds a fully-populated deterministic report.
+func sampleReport() *Report {
+	r := NewReport("fig8", "per-benchmark speedups", RunConfig{Insts: 80_000, Seed: 1, Mixes: 2, Workers: 4})
+	r.AddRow(Row{Workload: "stream.pure", Prefetcher: "tpc", Metric: "speedup", Value: 1.25})
+	r.AddRow(Row{Workload: "chase.rand", Prefetcher: "tpc", Variant: "L1", Metric: "speedup", Value: 1.05})
+	r.AddAggregate(Row{Prefetcher: "tpc", Metric: "speedup_geomean", Value: 1.146})
+	r.AddLifecycle(LifecycleBlock{
+		Workload: "stream.pure", Prefetcher: "tpc",
+		Total: LifecycleCounts{Attempted: 100, Deduped: 10, DroppedMSHR: 5, DroppedDRAM: 5,
+			Installed: 80, DemandHits: 60, EvictedUntouched: 15, ResidentUntouched: 5},
+		PerOwner: []OwnerLifecycle{
+			{Owner: 1, Name: "t2", LifecycleCounts: LifecycleCounts{Attempted: 60, Deduped: 6,
+				DroppedMSHR: 2, DroppedDRAM: 2, Installed: 50, DemandHits: 40, EvictedUntouched: 8, ResidentUntouched: 2}},
+			{Owner: 2, Name: "c1", LifecycleCounts: LifecycleCounts{Attempted: 40, Deduped: 4,
+				DroppedMSHR: 3, DroppedDRAM: 3, Installed: 30, DemandHits: 20, EvictedUntouched: 7, ResidentUntouched: 3}},
+		},
+	})
+	return r
+}
+
+// TestReportGolden pins the divlab.exp/v1 wire format: any field rename,
+// reorder or type change shows up as a golden diff and requires a schema
+// version bump.
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeReports(&buf, []*Report{sampleReport()}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoded report deviates from %s — if intentional, bump SchemaVersion and regenerate with -update\ngot:\n%s\nwant:\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// DecodeReports accepts both a single object...
+	reports, err := DecodeReports(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("decoded %d reports, want 1", len(reports))
+	}
+	got, want, _ := reports[0], orig, error(nil)
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("round trip changed the report:\ngot  %s\nwant %s", gb, wb)
+	}
+	// ...and an array.
+	buf.Reset()
+	if err = EncodeReports(&buf, []*Report{orig, orig}); err != nil {
+		t.Fatal(err)
+	}
+	if reports, err = DecodeReports(buf.Bytes()); err != nil || len(reports) != 2 {
+		t.Fatalf("array decode: %v (n=%d)", err, len(reports))
+	}
+	if _, err = DecodeReports([]byte("not json")); err == nil {
+		t.Error("garbage must not decode")
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	if err := sampleReport().Validate(); err != nil {
+		t.Fatalf("sample report must validate: %v", err)
+	}
+
+	bad := sampleReport()
+	bad.Schema = "divlab.exp/v0"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema version must fail: %v", err)
+	}
+
+	bad = sampleReport()
+	bad.Rows[0].Metric = ""
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "metric") {
+		t.Errorf("empty metric must fail: %v", err)
+	}
+
+	// Conservation: attempted != deduped + dropped + installed.
+	bad = sampleReport()
+	bad.Lifecycle[0].Total.Attempted++
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "attempted") {
+		t.Errorf("broken first law must fail: %v", err)
+	}
+
+	// Conservation: installed != hits + evicted + resident.
+	bad = sampleReport()
+	bad.Lifecycle[0].Total.DemandHits--
+	bad.Lifecycle[0].PerOwner[0].DemandHits-- // keep per-owner sum consistent with total
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "installed") {
+		t.Errorf("broken second law must fail: %v", err)
+	}
+
+	// Per-owner counters must sum to the total.
+	bad = sampleReport()
+	bad.Lifecycle[0].PerOwner[1].Attempted -= 10
+	bad.Lifecycle[0].PerOwner[1].Installed -= 10
+	bad.Lifecycle[0].PerOwner[1].DemandHits -= 10
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "sum") {
+		t.Errorf("per-owner/total mismatch must fail: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// TextTracer is an EventSink that writes one line per lifecycle event — the
+// -trace dump. Owner names are resolved through the table captured at
+// construction. Not safe for concurrent use.
+type TextTracer struct {
+	w     io.Writer
+	names map[int]string
+	n     uint64
+	max   uint64
+	err   error
+}
+
+// NewTextTracer writes events to w, naming owners via names (may be nil).
+// maxEvents bounds the dump (0 = unlimited); past the bound events are
+// counted but not printed.
+func NewTextTracer(w io.Writer, names map[int]string, maxEvents uint64) *TextTracer {
+	return &TextTracer{w: w, names: names, max: maxEvents}
+}
+
+// Event implements EventSink.
+func (t *TextTracer) Event(at uint64, owner int, fate Fate, level int, lineAddr uint64) {
+	t.n++
+	if t.err != nil || (t.max > 0 && t.n > t.max) {
+		return
+	}
+	name := t.names[owner]
+	if name == "" {
+		name = fmt.Sprintf("owner%d", owner)
+	}
+	_, t.err = fmt.Fprintf(t.w, "trace cycle=%d owner=%s fate=%s level=L%d line=0x%x\n",
+		at, name, fate, level+1, lineAddr)
+}
+
+// Events returns how many events were observed (including suppressed ones).
+func (t *TextTracer) Events() uint64 { return t.n }
+
+// Err returns the first write error, if any.
+func (t *TextTracer) Err() error { return t.err }

@@ -23,6 +23,7 @@ import (
 
 	"divlab/internal/cpu"
 	"divlab/internal/dram"
+	"divlab/internal/obs"
 	"divlab/internal/sim"
 	"divlab/internal/workloads"
 )
@@ -55,8 +56,12 @@ type Key struct {
 	Drop       dram.DropPolicy
 	Footprint  bool
 	UseBPred   bool
-	DestTag    string // names a DestOverride policy; "" means none
-	Params     coreKey
+	// Trace marks lifecycle-traced runs: they are deterministic and
+	// cacheable, but must not share results with untraced runs (their
+	// Result carries the extra counters).
+	Trace   bool
+	DestTag string // names a DestOverride policy; "" means none
+	Params  coreKey
 }
 
 // entry is one cache slot. The first claimant simulates and closes done;
@@ -78,6 +83,9 @@ type Engine struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	skips  atomic.Uint64 // uncacheable runs
+
+	// progress, when set, is notified after every job (CLI reporting).
+	progress atomic.Pointer[obs.Progress]
 }
 
 // Option configures an Engine.
@@ -130,6 +138,17 @@ func (e *Engine) Workers() int { return int(e.workers.Load()) }
 func (e *Engine) SetWorkers(n int) {
 	if n > 0 {
 		e.workers.Store(int64(n))
+	}
+}
+
+// SetProgress installs (or, with nil, removes) a live progress counter that
+// is ticked after every completed job. Safe to call concurrently.
+func (e *Engine) SetProgress(p *obs.Progress) { e.progress.Store(p) }
+
+// jobDone ticks the progress counter, if one is installed.
+func (e *Engine) jobDone(hit bool) {
+	if p := e.progress.Load(); p != nil {
+		p.JobDone(hit)
 	}
 }
 
@@ -189,6 +208,11 @@ func keyFor(workload, pf string, multi bool, cfg sim.Config, destTag string) (Ke
 	if cfg.CoreParams.Pred != nil {
 		return Key{}, false
 	}
+	if cfg.TraceSink != nil {
+		// A live event sink is a side effect; replaying it from the cache
+		// would silently emit nothing.
+		return Key{}, false
+	}
 	p := cfg.CoreParams
 	return Key{
 		Workload:   workload,
@@ -200,6 +224,7 @@ func keyFor(workload, pf string, multi bool, cfg sim.Config, destTag string) (Ke
 		Drop:       cfg.DropPolicy,
 		Footprint:  cfg.CollectFootprint,
 		UseBPred:   cfg.UseBPred,
+		Trace:      cfg.TraceLifecycle,
 		DestTag:    destTag,
 		Params: coreKey{
 			Width:          p.Width,
@@ -230,7 +255,9 @@ func (e *Engine) Single(j Job) *sim.Result {
 	k, cacheable := keyFor(j.Workload.Name, j.Prefetcher.Name, false, cfg, j.DestTag)
 	if !cacheable {
 		e.skips.Add(1)
-		return sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+		r := sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+		e.jobDone(false)
+		return r
 	}
 	ent, owner := e.claim(k)
 	if owner {
@@ -241,6 +268,7 @@ func (e *Engine) Single(j Job) *sim.Result {
 		e.hits.Add(1)
 		<-ent.done
 	}
+	e.jobDone(!owner)
 	return ent.single
 }
 
@@ -251,7 +279,9 @@ func (e *Engine) Multi(j MultiJob) []*sim.Result {
 	k, cacheable := keyFor(j.Mix.Name, j.Prefetcher.Name, true, cfg, "")
 	if !cacheable {
 		e.skips.Add(1)
-		return sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+		r := sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+		e.jobDone(false)
+		return r
 	}
 	ent, owner := e.claim(k)
 	if owner {
@@ -262,6 +292,7 @@ func (e *Engine) Multi(j MultiJob) []*sim.Result {
 		e.hits.Add(1)
 		<-ent.done
 	}
+	e.jobDone(!owner)
 	return ent.multi
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"divlab/internal/mem"
+	"divlab/internal/obs"
 	"divlab/internal/prefetch"
 	"divlab/internal/sim"
 	"divlab/internal/workloads"
@@ -16,9 +17,9 @@ func testJob(t *testing.T, workload, pf string, insts uint64) Job {
 	if !ok {
 		t.Fatalf("unknown workload %q", workload)
 	}
-	p, ok := sim.ByName(pf)
-	if !ok {
-		t.Fatalf("unknown prefetcher %q", pf)
+	p, err := sim.ByName(pf)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return Job{Workload: w, Prefetcher: p, Config: sim.DefaultConfig(insts)}
 }
@@ -191,5 +192,69 @@ func TestWorkersBound(t *testing.T) {
 	}
 	if New().Workers() < 1 {
 		t.Error("default worker count must be at least 1")
+	}
+}
+
+// TestTraceKeySeparation: traced and untraced runs of the same point must
+// occupy distinct cache slots (the traced Result carries extra counters),
+// while a live TraceSink makes the run uncacheable entirely.
+func TestTraceKeySeparation(t *testing.T) {
+	e := New(WithWorkers(1))
+	plain := testJob(t, "stream.pure", "tpc", 20_000)
+	traced := plain
+	traced.Config.TraceLifecycle = true
+
+	p, tr := e.Single(plain), e.Single(traced)
+	if p == tr {
+		t.Error("traced and untraced runs must not share a cache slot")
+	}
+	if p.Lifecycle != nil {
+		t.Error("untraced run has lifecycle counters")
+	}
+	if tr.Lifecycle == nil {
+		t.Error("traced run lost its lifecycle counters")
+	}
+	if tr2 := e.Single(traced); tr2 != tr {
+		t.Error("traced runs are deterministic and must still memoize")
+	}
+
+	sinky := traced
+	sinky.Config.TraceSink = &nullSink{}
+	before, _ := e.Stats()
+	e.Single(sinky)
+	e.Single(sinky)
+	after, _ := e.Stats()
+	if after != before {
+		t.Error("runs with a live event sink must bypass the cache")
+	}
+}
+
+type nullSink struct{}
+
+func (*nullSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr uint64) {}
+
+// TestProgressTicks: an installed progress counter sees every job, split
+// into cache hits and executed simulations, on both cacheable and
+// uncacheable paths.
+func TestProgressTicks(t *testing.T) {
+	e := New(WithWorkers(2))
+	p := obs.NewProgress()
+	e.SetProgress(p)
+
+	j := testJob(t, "stream.pure", "tpc", 20_000)
+	e.Single(j)
+	e.Single(j) // cache hit
+	un := j
+	un.Config.TraceSink = &nullSink{} // uncacheable
+	e.Single(un)
+
+	jobs, hits, sims, _ := p.Snapshot()
+	if jobs != 3 || hits != 1 || sims != 2 {
+		t.Errorf("progress jobs=%d hits=%d sims=%d, want 3/1/2", jobs, hits, sims)
+	}
+	e.SetProgress(nil)
+	e.Single(j)
+	if got, _, _, _ := p.Snapshot(); got != 3 {
+		t.Error("removed progress counter still ticking")
 	}
 }

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"divlab/internal/obs"
+	"divlab/internal/workloads"
+)
+
+// TestLifecycleConservation is the tentpole's property test: for every
+// registry prefetcher (every atom plus a composite and a shunt), on a
+// streaming and a pointer-chasing workload, the traced lifecycle counters
+// must satisfy the conservation laws exactly —
+//
+//	attempted = deduped + dropped_mshr + dropped_dram + installed
+//	installed = demand_hits + evicted_untouched + resident_untouched
+//
+// per owner and in aggregate, with no occurrence left open.
+func TestLifecycleConservation(t *testing.T) {
+	specs := []string{"tpc+bop", "shunt+sms"}
+	for _, inf := range List() {
+		specs = append(specs, inf.Name)
+	}
+	wls := []string{"stream.pure", "chase.rand"}
+
+	anyAttempted := false
+	for _, wname := range wls {
+		w, ok := workloads.ByName(wname)
+		if !ok {
+			t.Fatalf("unknown workload %q", wname)
+		}
+		for _, spec := range specs {
+			p, err := ByName(spec)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", spec, err)
+			}
+			cfg := DefaultConfig(40_000)
+			cfg.TraceLifecycle = true
+			r := RunSingle(w, p.Factory, cfg)
+			if r.Lifecycle == nil {
+				t.Fatalf("%s/%s: traced run has no lifecycle", wname, spec)
+			}
+			if err := r.Lifecycle.Check(); err != nil {
+				t.Errorf("%s/%s: %v", wname, spec, err)
+			}
+			if r.Lifecycle.Totals().Attempted > 0 {
+				anyAttempted = true
+			}
+		}
+	}
+	if !anyAttempted {
+		t.Error("no prefetcher attempted anything — tracing is not wired up")
+	}
+}
+
+// TestLifecycleMultiCoreConservation runs the laws through the 4-core path
+// (per-core trackers, shared L3).
+func TestLifecycleMultiCoreConservation(t *testing.T) {
+	mixes := workloads.Mixes(1, 7)
+	cfg := DefaultConfig(25_000)
+	cfg.Cores = 4
+	cfg.TraceLifecycle = true
+	tpc := MustByName("tpc")
+	for _, r := range RunMulti(mixes[0], tpc.Factory, cfg) {
+		if r.Lifecycle == nil {
+			t.Fatal("traced multicore run has no lifecycle")
+		}
+		if err := r.Lifecycle.Check(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestLifecycleDisabledByDefault: the untraced path must not allocate a
+// tracker (the hot-path contract is one nil check per event site).
+func TestLifecycleDisabledByDefault(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	r := RunSingle(w, MustByName("tpc").Factory, DefaultConfig(20_000))
+	if r.Lifecycle != nil {
+		t.Error("untraced run carries a Lifecycle")
+	}
+}
+
+// TestLifecycleDeterministicAcrossTracing: tracing is observation only — it
+// must not change simulation outcomes.
+func TestLifecycleDeterministicAcrossTracing(t *testing.T) {
+	w, _ := workloads.ByName("chase.rand")
+	p := MustByName("tpc")
+	cfg := DefaultConfig(30_000)
+	plain := RunSingle(w, p.Factory, cfg)
+	cfg.TraceLifecycle = true
+	traced := RunSingle(w, p.Factory, cfg)
+	if plain.IPC() != traced.IPC() || plain.L1Misses != traced.L1Misses || plain.Traffic != traced.Traffic {
+		t.Errorf("tracing perturbed the simulation: IPC %v vs %v, misses %d vs %d",
+			plain.IPC(), traced.IPC(), plain.L1Misses, traced.L1Misses)
+	}
+}
+
+// TestLifecycleEventStream: a TraceSink observes the same event counts the
+// counters accumulate.
+func TestLifecycleEventStream(t *testing.T) {
+	w, _ := workloads.ByName("stream.pure")
+	p := MustByName("bop")
+	cfg := DefaultConfig(30_000)
+	cfg.TraceLifecycle = true
+	counter := &countingSink{}
+	cfg.TraceSink = counter
+	r := RunSingle(w, p.Factory, cfg)
+	tot := r.Lifecycle.Totals()
+	if counter.byFate[obs.FateAttempted] != tot.Attempted {
+		t.Errorf("sink saw %d attempts, counters say %d", counter.byFate[obs.FateAttempted], tot.Attempted)
+	}
+	if counter.byFate[obs.FateInstalled] != tot.InstalledTotal() {
+		t.Errorf("sink saw %d installs, counters say %d", counter.byFate[obs.FateInstalled], tot.InstalledTotal())
+	}
+}
+
+type countingSink struct {
+	byFate [16]uint64
+}
+
+func (c *countingSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr uint64) {
+	c.byFate[fate]++
+}

@@ -13,6 +13,7 @@ import (
 	"divlab/internal/cpu"
 	"divlab/internal/dram"
 	"divlab/internal/mem"
+	"divlab/internal/obs"
 	"divlab/internal/prefetch"
 	"divlab/internal/trace"
 	"divlab/internal/vmem"
@@ -40,6 +41,13 @@ type Config struct {
 	// UseBPred replaces the workloads' mispredict flags with the Table I
 	// TAGE + loop predictor (each core gets its own instance).
 	UseBPred bool
+	// TraceLifecycle attaches a ground-truth prefetch-lifecycle tracker to
+	// each core's hierarchy (Result.Lifecycle). Off by default: the hot path
+	// then pays only a nil check per event.
+	TraceLifecycle bool
+	// TraceSink, when non-nil (requires TraceLifecycle), receives the raw
+	// lifecycle event stream as it happens (-trace dumps).
+	TraceSink obs.EventSink
 }
 
 // DefaultConfig returns a single-core run of n instructions.
@@ -100,6 +108,11 @@ type Result struct {
 	L2Stats cache.Stats
 	// DRAM exposes the memory controller counters (system-wide).
 	DRAM dram.Stats
+
+	// Lifecycle holds the ground-truth prefetch fate counters
+	// (Config.TraceLifecycle only; nil otherwise). Closed at end of run:
+	// every occurrence has a terminal fate and the conservation laws hold.
+	Lifecycle *obs.Lifecycle
 }
 
 // IPC returns the run's instructions per cycle.
@@ -230,6 +243,27 @@ func newResult(cfg Config, names map[int]string) *Result {
 	return res
 }
 
+// attachLifecycle installs a ground-truth lifecycle tracker on the core's
+// hierarchy when the config asks for one. Component ids are contiguous from
+// 1 (prefetch.AssignIDs), so len(names) is the highest id.
+func attachLifecycle(cfg Config, hier *mem.Hierarchy, res *Result, names map[int]string) {
+	if !cfg.TraceLifecycle {
+		return
+	}
+	lc := obs.NewLifecycle(len(names))
+	lc.SetSink(cfg.TraceSink)
+	hier.Trace = lc
+	res.Lifecycle = lc
+}
+
+// closeLifecycle resolves still-open occurrences as resident-untouched once
+// the run is over.
+func closeLifecycle(res *Result) {
+	if res.Lifecycle != nil {
+		res.Lifecycle.CloseResident(res.Core.Cycles)
+	}
+}
+
 // RunSingle executes one workload on one core with the given prefetcher
 // factory (nil for the no-prefetch baseline).
 func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
@@ -250,6 +284,7 @@ func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
 		names = prefetch.AssignIDs(comp, 1)
 	}
 	res := newResult(cfg, names)
+	attachLifecycle(cfg, hier, res, names)
 	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
 	if o, ok := comp.(prefetch.InstObserver); ok {
 		r.pfInst = o
@@ -262,6 +297,7 @@ func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
 	core := cpu.New(params, r, r.hook)
 	src := &trace.Limit{Src: inst, N: cfg.Insts}
 	res.Core = core.Run(src)
+	closeLifecycle(res)
 
 	res.Traffic = sys.Mem.Stats.Lines()
 	res.Issued = hier.Stats.PrefetchesIssued
@@ -305,6 +341,7 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 			names = prefetch.AssignIDs(comp, 1)
 		}
 		res := newResult(cfg, names)
+		attachLifecycle(cfg, hier, res, names)
 		r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
 		if o, ok := comp.(prefetch.InstObserver); ok {
 			r.pfInst = o
@@ -351,6 +388,7 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 
 	for i, st := range states {
 		results[i].Core = st.core.Result()
+		closeLifecycle(results[i])
 		results[i].Issued = st.r.hier.Stats.PrefetchesIssued
 		results[i].Filtered = st.r.hier.Stats.PrefetchesFiltered
 		results[i].L1Stats = st.r.hier.L1D.Stats
@@ -397,6 +435,7 @@ func RunTrace(ft *trace.FileTrace, factory Factory, cfg Config) *Result {
 		names = prefetch.AssignIDs(comp, 1)
 	}
 	res := newResult(cfg, names)
+	attachLifecycle(cfg, hier, res, names)
 	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
 	if o, ok := comp.(prefetch.InstObserver); ok {
 		r.pfInst = o
@@ -411,6 +450,7 @@ func RunTrace(ft *trace.FileTrace, factory Factory, cfg Config) *Result {
 		n = uint64(len(ft.Insts))
 	}
 	res.Core = core.Run(&trace.Limit{Src: inst, N: n})
+	closeLifecycle(res)
 	res.Traffic = sys.Mem.Stats.Lines()
 	res.Issued = hier.Stats.PrefetchesIssued
 	res.Filtered = hier.Stats.PrefetchesFiltered

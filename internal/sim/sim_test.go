@@ -22,11 +22,11 @@ func TestDeterminism(t *testing.T) {
 func TestByNameRegistry(t *testing.T) {
 	for _, name := range []string{"none", "tpc", "t2", "t2+p1", "ghb-pc/dc", "fdp", "vldp",
 		"spp", "bop", "ampm", "sms", "nextline", "stride", "tpc+sms", "shunt+sms"} {
-		if _, ok := ByName(name); !ok {
-			t.Errorf("registry missing %q", name)
+		if _, err := ByName(name); err != nil {
+			t.Errorf("registry missing %q: %v", name, err)
 		}
 	}
-	if _, ok := ByName("bogus"); ok {
+	if _, err := ByName("bogus"); err == nil {
 		t.Error("unknown name must not resolve")
 	}
 }

@@ -22,9 +22,9 @@ func TestSmokeStream(t *testing.T) {
 	t.Logf("baseline: IPC=%.3f MPKI=%.1f misses=%d traffic=%d", base.IPC(), base.MPKI(), base.L1Misses, base.Traffic)
 
 	for _, name := range []string{"t2", "tpc", "bop", "sms", "ampm"} {
-		n, ok := ByName(name)
-		if !ok {
-			t.Fatalf("prefetcher %s missing", name)
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
 		}
 		r := RunSingle(w, n.Factory, cfg)
 		sp := r.IPC() / base.IPC()
