@@ -1,14 +1,24 @@
 GO ?= go
 
-.PHONY: ci vet build test short race bench
+.PHONY: all ci vet lint build test short race bench fuzz
 
-# ci is what .github/workflows/ci.yml runs: vet, build, and the race-enabled
+# The default target runs the full local gate: lint (go vet + divlint),
+# build, and the plain test suite.
+all: lint build test
+
+# ci is what .github/workflows/ci.yml runs: lint, build, and the race-enabled
 # test suite — the race detector is the correctness backstop for the
 # internal/runner worker pool.
-ci: vet build race
+ci: lint build race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus the project's own analyzers (determinism,
+# specstring, conservation, sinkerr). The tree must stay at zero findings;
+# suppress a justified exception with //lint:allow <analyzer> -- <reason>.
+lint: vet
+	$(GO) run ./cmd/divlint ./...
 
 build:
 	$(GO) build ./...
@@ -26,3 +36,9 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# fuzz smoke-tests the spec-string grammar: no panics, normalized names are
+# fixed points. Each target gets a short budget; CI runs the same.
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzByName -fuzztime 10s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzSpecNormalize -fuzztime 10s

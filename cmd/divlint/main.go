@@ -1,0 +1,49 @@
+// Command divlint runs the project's static-analysis suite: the mechanical
+// enforcement of the simulator's determinism, spec-string, conservation and
+// sink-error contracts (see internal/analysis/... and README "Correctness
+// contracts").
+//
+//	divlint ./...                     lint the whole module
+//	divlint ./internal/sim ./cmd/...  lint specific packages
+//	go vet -vettool=$(which divlint) ./...   run under the go command
+//
+// Exit status: 0 clean, 1 findings or load failure. Findings print as
+// file:line:col: analyzer: message. Suppress a finding with a justified
+// directive on (or directly above) the offending line:
+//
+//	//lint:allow determinism -- wall-clock progress display, not simulation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/divlint"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	// The go vet -vettool protocol: version probe, flag probe, or a vet.cfg.
+	if analysis.UnitcheckMain(args, divlint.Suite(), version) {
+		return
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := divlint.Run(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "divlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

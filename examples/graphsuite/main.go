@@ -31,5 +31,8 @@ func main() {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphsuite:", err)
+		os.Exit(1)
+	}
 }

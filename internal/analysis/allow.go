@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow comments suppress findings. The form is
+//
+//	//lint:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// placed either on the offending line or on its own line directly above it.
+// The justification after "--" is required: a suppression with no reason is
+// itself not honored.
+
+// allowSet records which (analyzer, line) pairs are suppressed in one file.
+type allowSet map[string]map[int]bool
+
+// allowsForFile scans a file's comments for lint:allow directives.
+func allowsForFile(fset *token.FileSet, f *ast.File) allowSet {
+	set := allowSet{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+			if !ok {
+				continue
+			}
+			names, reason, ok := strings.Cut(text, "--")
+			if !ok || strings.TrimSpace(reason) == "" {
+				continue // no justification, not honored
+			}
+			pos := fset.Position(c.Pos())
+			for _, name := range strings.Split(names, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				m := set[name]
+				if m == nil {
+					m = map[int]bool{}
+					set[name] = m
+				}
+				// Cover the directive's own line and the next one, so both
+				// trailing and preceding placements work.
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return set
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a lint:allow directive in files.
+func allowed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, f := range files {
+		fp := fset.Position(f.Pos())
+		if fp.Filename != p.Filename {
+			continue
+		}
+		return allowsForFile(fset, f)[name][p.Line]
+	}
+	return false
+}

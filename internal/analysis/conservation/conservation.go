@@ -1,0 +1,370 @@
+// Package conservation enforces the internal/obs lifecycle contracts:
+//
+//  1. Every fate-transition call site (an argument of type obs.Fate) must be
+//     a declared fate constant, a forwarded Fate parameter, or a local
+//     variable only ever assigned fate constants. Arbitrary integers,
+//     conversions and arithmetic would let a call site invent a fate the
+//     conservation laws never see.
+//  2. Inside the package that declares the lifecycle counters: every
+//     OwnerCounts field that is incremented must be read by the report
+//     exporter (Flatten), and every LifecycleCounts field must be assigned
+//     by it — no silently untracked fates in the divlab.exp/v1 schema.
+package conservation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"divlab/internal/analysis"
+)
+
+// Analyzer is the conservation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "conservation",
+	Doc:  "fate-transition call sites use declared fate constants; incremented lifecycle counters are exported",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	checkFateArgs(pass)
+	checkExporter(pass)
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: fate arguments are declared constants.
+
+// isFateType reports whether t is a named integer type called Fate.
+func isFateType(t types.Type) bool {
+	n := analysis.Named(t)
+	if n == nil || n.Obj().Name() != "Fate" {
+		return false
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func checkFateArgs(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkFateCall(pass, fd, call)
+				return true
+			})
+		}
+	}
+}
+
+func checkFateCall(pass *analysis.Pass, enclosing *ast.FuncDecl, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Fate-declaring packages may manipulate fates freely (the dispatcher in
+	// obs switches on forwarded values); the contract binds call sites.
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !isFateType(pt) {
+			continue
+		}
+		if fn.Pkg() != nil && analysis.Named(pt) != nil &&
+			analysis.Named(pt).Obj().Pkg() == pass.Pkg {
+			continue
+		}
+		if !isDeclaredFate(pass, enclosing, arg, 0) {
+			pass.Reportf(arg.Pos(), "fate argument to %s must be a declared Fate constant (got %s); invented fates break the conservation laws", fn.Name(), exprString(arg))
+		}
+	}
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	np := sig.Params().Len()
+	if np == 0 {
+		return nil
+	}
+	if i < np-1 || !sig.Variadic() {
+		if i >= np {
+			return nil
+		}
+		return sig.Params().At(i).Type()
+	}
+	// variadic tail
+	if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+		return s.Elem()
+	}
+	return nil
+}
+
+// isDeclaredFate reports whether e provably carries a declared fate
+// constant: a const identifier/selector, a forwarded Fate parameter, or a
+// local variable whose every assignment is itself a declared fate.
+func isDeclaredFate(pass *analysis.Pass, enclosing *ast.FuncDecl, e ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	switch obj := pass.ObjectOf(id).(type) {
+	case *types.Const:
+		return isFateType(obj.Type())
+	case *types.Var:
+		if !isFateType(obj.Type()) {
+			return false
+		}
+		if isParamOf(enclosing, pass, obj) {
+			return true // forwarder: the helper's own callers are checked
+		}
+		return allAssignmentsAreFates(pass, enclosing, obj, depth)
+	}
+	return false
+}
+
+// isParamOf reports whether v is a parameter (or receiver) of fd.
+func isParamOf(fd *ast.FuncDecl, pass *analysis.Pass, v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if pass.ObjectOf(name) == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}
+
+// allAssignmentsAreFates scans the enclosing function for assignments to v
+// and requires each assigned value to be a declared fate.
+func allAssignmentsAreFates(pass *analysis.Pass, enclosing *ast.FuncDecl, v *types.Var, depth int) bool {
+	ok, any := true, false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || !ok {
+			return ok
+		}
+		for i, lhs := range as.Lhs {
+			lid, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent || pass.ObjectOf(lid) != v {
+				continue
+			}
+			any = true
+			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				ok = false // compound assignment computes a new fate
+				continue
+			}
+			if i < len(as.Rhs) && !isDeclaredFate(pass, enclosing, as.Rhs[i], depth+1) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok && any
+}
+
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return "a computed value"
+	case *ast.BasicLit:
+		return "literal " + x.Value
+	}
+	return "a non-constant expression"
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: incremented counters are exported.
+
+func checkExporter(pass *analysis.Pass) {
+	owner := namedStruct(pass.Pkg, "OwnerCounts")
+	flat := namedStruct(pass.Pkg, "LifecycleCounts")
+	if owner == nil || flat == nil {
+		return // not the counters-declaring package
+	}
+	flatten := findMethod(pass, owner, "Flatten")
+	if flatten == nil {
+		return
+	}
+
+	// Fields of OwnerCounts incremented anywhere in the package.
+	incremented := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					recordFieldWrite(pass, owner, n.X, n.Pos(), incremented)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN {
+					for _, lhs := range n.Lhs {
+						recordFieldWrite(pass, owner, lhs, n.Pos(), incremented)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Fields of OwnerCounts read by Flatten, transitively through
+	// same-package calls (InstalledTotal -> sum3(c.Installed) etc.).
+	read := map[string]bool{}
+	collectReads(pass, owner, flatten, read, map[*types.Func]bool{}, 0)
+	for name, pos := range incremented {
+		if !read[name] {
+			pass.Reportf(pos, "OwnerCounts.%s is incremented but never read by the report exporter (Flatten); the fate would be silently untracked in %s reports", name, "divlab.exp/v1")
+		}
+	}
+
+	// Every LifecycleCounts field is assigned by Flatten's result.
+	assigned := map[string]bool{}
+	ast.Inspect(flatten.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if analysis.Named(pass.TypeOf(cl)) == nil || analysis.Named(pass.TypeOf(cl)).Obj() != flat.Obj() {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					assigned[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(assigned) > 0 { // Flatten builds the literal; require completeness
+		st := flat.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); !assigned[f.Name()] {
+				pass.Reportf(flatten.Pos(), "LifecycleCounts.%s is never assigned by Flatten; the exported schema would drop it", f.Name())
+			}
+		}
+	}
+}
+
+// namedStruct finds a package-level named struct type.
+func namedStruct(pkg *types.Package, name string) *types.Named {
+	obj := pkg.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	n, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// findMethod returns the declaration of a method on the named type.
+func findMethod(pass *analysis.Pass, recv *types.Named, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if n := analysis.Named(sig.Recv().Type()); n != nil && n.Obj() == recv.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recordFieldWrite records lhs as a written OwnerCounts field when its root
+// selector is typed as the counters struct (possibly through an index).
+func recordFieldWrite(pass *analysis.Pass, owner *types.Named, lhs ast.Expr, pos token.Pos, out map[string]token.Pos) {
+	lhs = ast.Unparen(lhs)
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ast.Unparen(ix.X)
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if n := analysis.Named(pass.TypeOf(sel.X)); n == nil || n.Obj() != owner.Obj() {
+		return
+	}
+	if _, seen := out[sel.Sel.Name]; !seen {
+		out[sel.Sel.Name] = pos
+	}
+}
+
+// collectReads walks a function body adding OwnerCounts field reads,
+// following calls to functions declared in the same package.
+func collectReads(pass *analysis.Pass, owner *types.Named, fd *ast.FuncDecl, out map[string]bool, visited map[*types.Func]bool, depth int) {
+	if fd == nil || fd.Body == nil || depth > 6 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if named := analysis.Named(pass.TypeOf(n.X)); named != nil && named.Obj() == owner.Obj() {
+				out[n.Sel.Name] = true
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() != pass.Pkg || visited[fn] {
+				return true
+			}
+			visited[fn] = true
+			collectReads(pass, owner, declOf(pass, fn), out, visited, depth+1)
+		}
+		return true
+	})
+}
+
+// declOf finds the AST declaration of a package-local function.
+func declOf(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}

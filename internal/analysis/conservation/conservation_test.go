@@ -1,0 +1,12 @@
+package conservation_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/conservation"
+)
+
+func TestConservation(t *testing.T) {
+	analysistest.Run(t, "testdata", conservation.Analyzer, "cons", "obsexp")
+}

@@ -1,0 +1,25 @@
+// Package cons exercises the fate call-site rule from a consumer package.
+package cons
+
+import "obsfix"
+
+func calls(lc *obsfix.Lifecycle, n int) {
+	lc.Record(obsfix.FateAttempted, 1) // ok: declared constant
+	lc.Record(obsfix.Fate(n), 1)       // want "declared Fate constant"
+	lc.Record(2, 1)                    // want "declared Fate constant"
+
+	// A local that is only ever assigned declared fates is fine.
+	f := obsfix.FateInstalled
+	if n > 0 {
+		f = obsfix.FateDropped
+	}
+	lc.Record(f, 1) // ok: every assignment to f is a declared fate
+
+	g := obsfix.Fate(n)
+	lc.Record(g, 1) // want "declared Fate constant"
+}
+
+// forward only relays a fate; its own callers carry the proof obligation.
+func forward(lc *obsfix.Lifecycle, f obsfix.Fate) {
+	lc.Record(f, 0) // ok: forwarded parameter
+}

@@ -1,0 +1,34 @@
+// Package obsexp is a stub of the counters-declaring package: OwnerCounts
+// feeding a LifecycleCounts report through Flatten, with one deliberately
+// untracked increment and one never-assigned report field.
+package obsexp
+
+// OwnerCounts is the per-owner tally.
+type OwnerCounts struct {
+	Attempted uint64
+	Deduped   uint64
+	Dropped   uint64
+}
+
+// LifecycleCounts is the exported report shape.
+type LifecycleCounts struct {
+	Attempted uint64
+	Deduped   uint64
+	Missing   uint64
+}
+
+func (c *OwnerCounts) bump() {
+	c.Attempted++
+	c.Deduped += 2 // ok: read transitively through deduped()
+	c.Dropped++    // want "incremented but never read by the report exporter"
+}
+
+// Flatten exports the counters.
+func (c OwnerCounts) Flatten() LifecycleCounts { // want "LifecycleCounts.Missing is never assigned"
+	return LifecycleCounts{
+		Attempted: c.Attempted,
+		Deduped:   c.deduped(),
+	}
+}
+
+func (c OwnerCounts) deduped() uint64 { return c.Deduped }

@@ -1,0 +1,19 @@
+// Package obsfix is a stub of the lifecycle tracker: a Fate enum plus a
+// Record sink, for exercising the call-site rule from a consumer package.
+package obsfix
+
+// Fate mirrors the obs fate enum shape.
+type Fate uint8
+
+// Declared fates.
+const (
+	FateAttempted Fate = iota
+	FateInstalled
+	FateDropped
+)
+
+// Lifecycle is a stand-in for the obs tracker.
+type Lifecycle struct{}
+
+// Record is a fate-transition sink.
+func (lc *Lifecycle) Record(f Fate, owner int) { _ = f; _ = owner }

@@ -1,0 +1,290 @@
+// Package determinism flags constructs that break bit-reproducible
+// simulation: wall-clock reads, the process-global math/rand RNG, OS entropy,
+// and map-range loops whose bodies produce order-sensitive output (writes to
+// streams/builders, appends without a later sort, floating-point
+// accumulation). The memoized run cache and the divlab.exp/v1 golden files
+// are only sound if every simulated path is bit-deterministic, so these are
+// contract violations, not style nits.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"divlab/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock time, global/unseeded RNGs, and order-sensitive map iteration in simulation packages",
+	Run:  run,
+}
+
+// bannedFuncs maps fully qualified functions to the reason they are banned.
+var bannedFuncs = map[string]string{
+	"time.Now":       "reads the wall clock; derive timestamps from the simulated cycle count",
+	"time.Since":     "reads the wall clock; derive durations from the simulated cycle count",
+	"time.Until":     "reads the wall clock; derive durations from the simulated cycle count",
+	"time.Tick":      "schedules on wall-clock time",
+	"time.After":     "schedules on wall-clock time",
+	"time.AfterFunc": "schedules on wall-clock time",
+	"time.NewTimer":  "schedules on wall-clock time",
+	"time.NewTicker": "schedules on wall-clock time",
+}
+
+// rngConstructors are the explicit-source constructors that remain legal in
+// math/rand and math/rand/v2: a simulation may build its own seeded RNG.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// Maintain an ancestor stack so map-range loops can see their enclosing
+	// block (for the collect-then-sort idiom).
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkRange(pass, n, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if reason, ok := bannedFuncs[pkg+"."+name]; ok && fn.Type().(*types.Signature).Recv() == nil {
+		pass.Reportf(call.Pos(), "call to %s.%s %s", pkg, name, reason)
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isTopLevel := sig != nil && sig.Recv() == nil
+	switch pkg {
+	case "math/rand", "math/rand/v2":
+		if isTopLevel && !rngConstructors[name] {
+			pass.Reportf(call.Pos(), "call to %s.%s uses the process-global RNG; construct a seeded RNG (rand.New(rand.NewSource(seed))) owned by the simulation", pkg, name)
+		}
+	case "crypto/rand":
+		if isTopLevel {
+			pass.Reportf(call.Pos(), "call to %s.%s draws OS entropy; simulations must use a seeded deterministic RNG", pkg, name)
+		}
+	}
+}
+
+// checkRange analyzes one `for ... range m` over a map for order-sensitive
+// effects in the body.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if rng.Body == nil {
+		return
+	}
+	// appended maps slice variables declared outside the loop to the first
+	// append position; they are fine if a sort call follows in the enclosing
+	// block.
+	appended := map[*types.Var]token.Pos{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, n, appended)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration publishes values in nondeterministic order; iterate sorted keys")
+		case *ast.CallExpr:
+			checkBodyCall(pass, rng, n)
+		}
+		return true
+	})
+	for v, pos := range appended {
+		if !sortedAfter(pass, rng, stack, v) {
+			pass.Reportf(pos, "append to %q inside map iteration without sorting afterwards makes its order nondeterministic; sort %s after the loop or iterate sorted keys", v.Name(), v.Name())
+		}
+	}
+}
+
+// writerMethods are method names whose invocation inside a map-range loop
+// emits output in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Event": true, "Row": true, "Aggregate": true,
+	"AddRow": true, "AddAggregate": true, "AddLifecycle": true,
+}
+
+// fmtPrinters are fmt package functions that stream output.
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkBodyCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtPrinters[fn.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in nondeterministic order; iterate sorted keys", fn.Name())
+		return
+	}
+	if sig != nil && sig.Recv() != nil && writerMethods[fn.Name()] {
+		pass.Reportf(call.Pos(), "%s.%s inside map iteration emits output in nondeterministic order; iterate sorted keys", recvTypeName(sig), fn.Name())
+	}
+}
+
+func recvTypeName(sig *types.Signature) string {
+	if n := analysis.Named(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return "receiver"
+}
+
+// checkAssign handles appends and floating-point accumulation.
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, appended map[*types.Var]token.Pos) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if v := outerVar(pass, rng, lhs); v != nil && isFloat(pass.TypeOf(lhs)) {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %q inside map iteration is order-sensitive (rounding); iterate sorted keys", v.Name())
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(as.Lhs) <= i {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if v := outerVar(pass, rng, as.Lhs[i]); v != nil {
+				if _, seen := appended[v]; !seen {
+					appended[v] = as.Pos()
+				}
+			}
+		}
+	}
+}
+
+// outerVar returns the root variable of an lvalue if it is declared outside
+// the range statement (loop-local accumulation is position-independent only
+// within one iteration, which is fine).
+func outerVar(pass *analysis.Pass, rng *ast.RangeStmt, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pass.ObjectOf(x).(*types.Var)
+			if v == nil {
+				return nil
+			}
+			if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+				return nil // declared inside the loop
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedAfter reports whether, in the block enclosing the range statement, a
+// later statement passes v to a sort/slices function — the canonical
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, v *types.Var) bool {
+	// Find the nearest enclosing block and the statement holding the range.
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		idx := -1
+		for j, s := range block.List {
+			if s.Pos() <= rng.Pos() && rng.End() <= s.End() {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		for _, s := range block.List[idx+1:] {
+			if stmtSorts(pass, s, v) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// stmtSorts reports whether the statement contains a sort/slices call whose
+// arguments mention v.
+func stmtSorts(pass *analysis.Pass, s ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p := fn.Pkg().Path()
+		if p != "sort" && p != "slices" && !strings.HasSuffix(fn.Name(), "Sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == v {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "det")
+}

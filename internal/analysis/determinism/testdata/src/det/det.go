@@ -1,0 +1,79 @@
+// Package det seeds one violation and one legitimate counterpart for every
+// determinism rule.
+package det
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func clocks() time.Time {
+	t0 := time.Unix(0, 0)
+	_ = time.Since(t0) // want "time.Since reads the wall clock"
+	return time.Now()  // want "time.Now reads the wall clock"
+}
+
+func rngs(buf []byte) int {
+	r := rand.New(rand.NewSource(1)) // ok: explicit seeded RNG owned by the caller
+	n := r.Intn(8)                   // ok: method on the explicit RNG, not the global one
+	n += rand.Intn(8)                // want "process-global RNG"
+	_, _ = crand.Read(buf)           // want "OS entropy"
+	return n
+}
+
+func emitters(m map[string]int, w io.Writer, ch chan string) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want "emits output in nondeterministic order"
+	}
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "emits output in nondeterministic order"
+	}
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func accumulators(m map[string]int) (float64, int) {
+	var total float64
+	for _, v := range m {
+		total += float64(v) // want "floating-point accumulation"
+	}
+	// Integer accumulation is order-exact; must not be flagged.
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return total, sum
+}
+
+func appends(m map[string]int) ([]string, []string, map[string]int) {
+	bad := make([]string, 0, len(m))
+	for k := range m {
+		bad = append(bad, k) // want `append to "bad" inside map iteration without sorting`
+	}
+	// The canonical collect-then-sort idiom must not be flagged.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Writes into another map are order-independent.
+	inverted := make(map[string]int, len(m))
+	for k, v := range m {
+		inverted[k] = v
+	}
+	return bad, keys, inverted
+}
+
+func suppressed(m map[string]int, w io.Writer) {
+	for k := range m {
+		//lint:allow determinism -- fixture demonstrates a justified suppression
+		fmt.Fprintln(w, k)
+	}
+}

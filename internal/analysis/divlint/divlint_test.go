@@ -1,0 +1,22 @@
+package divlint_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/divlint"
+)
+
+// TestTreeIsClean is the zero-findings regression gate: the whole module must
+// lint clean, so any new violation fails `go test` as well as `make lint`.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	findings, err := divlint.Run("../../..", "./...")
+	if err != nil {
+		t.Fatalf("divlint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects type-checking problems; analyzers still run on a
+	// partially-checked package, but drivers surface these as hard errors.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList invokes `go list -e -export -deps -json` in dir for the given
+// patterns and decodes the package stream.
+func goList(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ListExports resolves patterns (and their dependencies) to a map of import
+// path -> compiler export-data file, for type-checking sources against
+// pre-built dependencies. Used by the analysistest fixture harness.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ExportImporter resolves imports from compiler export-data files, as
+// produced by `go list -export`. It wraps the standard gc importer with a
+// lookup into the path -> export file map.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return exportImporter(fset, exports)
+}
+
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Load lists the patterns (relative to dir; "" means the current directory),
+// parses every matched package from source, and type-checks it against the
+// export data of its dependencies. Matched packages come back sorted by
+// import path; dependency-only packages are resolved through export data and
+// not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses the named files and type-checks them with the given
+// importer. Type errors are collected, not fatal: the AST is still usable.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", importPath, err)
+		}
+		files = append(files, f)
+	}
+	p := &Package{ImportPath: importPath, Dir: dir, Fset: fset, Files: files, TypesInfo: NewInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Pkg, _ = conf.Check(importPath, fset, files, p.TypesInfo)
+	return p, nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Scoped pairs an analyzer with the set of packages it applies to. A nil
+// Applies runs the analyzer on every package.
+type Scoped struct {
+	Analyzer *Analyzer
+	// Applies filters by import path ("divlab/internal/sim"). Fixture
+	// harnesses bypass it: scoping is driver policy, not analyzer logic.
+	Applies func(importPath string) bool
+}
+
+// Finding is one resolved diagnostic with its file position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies each scoped analyzer to each package, honoring
+// lint:allow suppressions, and returns findings sorted by position. Type
+// errors in any package abort the run: analyzers need sound type info.
+func RunAnalyzers(pkgs []*Package, analyzers []Scoped) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type checking failed: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		for _, sc := range analyzers {
+			if sc.Applies != nil && !sc.Applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := RunOne(sc.Analyzer, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, sc.Analyzer.Name, err)
+			}
+			for _, d := range diags {
+				out = append(out, Finding{Pos: pkg.Fset.Position(d.Pos), Analyzer: d.Category, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// RunOne applies a single analyzer to a single package and returns the
+// surviving (non-suppressed) diagnostics.
+func RunOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d Diagnostic) {
+			d.Category = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(pkg.Fset, pkg.Files, d.Category, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}

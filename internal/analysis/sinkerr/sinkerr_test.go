@@ -1,0 +1,12 @@
+package sinkerr_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/sinkerr"
+)
+
+func TestSinkErr(t *testing.T) {
+	analysistest.Run(t, "testdata", sinkerr.Analyzer, "sink")
+}

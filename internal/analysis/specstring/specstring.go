@@ -1,0 +1,72 @@
+// Package specstring validates prefetcher spec-string literals at analysis
+// time. Every constant string flowing into sim.ByName / sim.MustByName (and
+// the exp helper that fans out to them) is parsed with the real registry
+// grammar — the analyzer links against internal/sim itself, so the check can
+// never drift from the implementation. A typo like "ghb:entires=512" fails
+// `make lint` instead of failing (or worse, silently skewing) a run.
+package specstring
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"divlab/internal/analysis"
+	"divlab/internal/sim"
+)
+
+// Analyzer is the spec-string checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "specstring",
+	Doc:  "parse constant prefetcher spec strings against the registry grammar at analysis time",
+	Run:  run,
+}
+
+// specSinks are functions whose string arguments are prefetcher specs. The
+// bool marks variadic-of-spec functions (every argument is a spec).
+var specSinks = map[string]bool{
+	"divlab/internal/sim.ByName":     false,
+	"divlab/internal/sim.MustByName": false,
+	"divlab/internal/sim.Normalize":  false,
+	"divlab/internal/exp.pickNamed":  true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			variadic, ok := specSinks[fn.FullName()]
+			if !ok {
+				return true
+			}
+			args := call.Args
+			if !variadic && len(args) > 1 {
+				args = args[:1]
+			}
+			for _, arg := range args {
+				checkSpecArg(pass, arg)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSpecArg validates one argument when its value is a compile-time
+// string constant; dynamic specs (CLI flags) are checked at runtime instead.
+func checkSpecArg(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	spec := constant.StringVal(tv.Value)
+	if _, err := sim.ByName(spec); err != nil {
+		pass.Reportf(arg.Pos(), "invalid prefetcher spec %q: %v", spec, err)
+	}
+}

@@ -1,0 +1,12 @@
+package specstring_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/specstring"
+)
+
+func TestSpecString(t *testing.T) {
+	analysistest.Run(t, "testdata", specstring.Analyzer, "spec")
+}

@@ -1,0 +1,32 @@
+// Package spec exercises compile-time validation of prefetcher spec strings
+// against the real registry grammar.
+package spec
+
+import "divlab/internal/sim"
+
+func good() {
+	// Every grammar form from the README must pass untouched.
+	sim.MustByName("none")
+	sim.MustByName("tpc")
+	sim.MustByName("ghb-pc/dc")
+	sim.MustByName("ghb:entries=512,degree=8")
+	sim.MustByName("nextline:degree=2,dest=l2")
+	sim.MustByName("tpc+bop")
+	sim.MustByName("shunt+sms")
+	sim.MustByName("t2+p1")
+}
+
+func bad() {
+	sim.MustByName("ghb:entires=512")   // want `no parameter "entires"`
+	sim.MustByName("ghbb")              // want "did you mean"
+	sim.MustByName("tpc+none")          // want "empty baseline"
+	sim.MustByName("nextline:degree=0") // want "positive integer"
+	sim.MustByName("fdp:dest=l9")       // want "bad destination"
+}
+
+func dynamic(s string) {
+	// Dynamic specs (flags, config files) are validated at runtime instead.
+	if _, err := sim.ByName(s); err != nil {
+		panic(err)
+	}
+}

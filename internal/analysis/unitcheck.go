@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// This file implements enough of the `go vet -vettool` unitchecker protocol
+// for divlint to run under the go command:
+//
+//	divlint -V=full          print a version line (build cache key)
+//	divlint -flags           print the supported analyzer flags (none)
+//	divlint [-json] x.cfg    analyze one package described by a vet config
+//
+// The go command hands each package a JSON config naming its sources and the
+// export-data files of its dependencies; diagnostics go to stderr (or stdout
+// as JSON with -json) and a facts file must be written even though the
+// divlint analyzers exchange no facts.
+
+// VetConfig mirrors the fields of the go command's vet.cfg handed to
+// -vettool binaries.
+type VetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitcheckMain implements the vettool entry protocol. It returns true when
+// it recognized and fully handled the invocation (the caller should exit),
+// false when the arguments are not a unitchecker invocation.
+func UnitcheckMain(args []string, analyzers []Scoped, version string) bool {
+	jsonOut := false
+	var cfgPath string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("divlint version %s\n", version)
+			return true
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return true
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case len(a) > 4 && a[len(a)-4:] == ".cfg":
+			cfgPath = a
+		}
+	}
+	if cfgPath == "" {
+		return false
+	}
+	if err := unitcheck(cfgPath, analyzers, jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		os.Exit(1)
+	}
+	return true
+}
+
+func unitcheck(cfgPath string, analyzers []Scoped, jsonOut bool) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("%s: %v", cfgPath, err)
+	}
+	// The go command requires the facts file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	// Export data is keyed by canonical package path; ImportMap carries the
+	// as-written-in-source aliases (vendoring, test variants) onto it.
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+	imp := exportImporter(fset, exports)
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		return err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("%s: type checking failed: %v", cfg.ImportPath, pkg.TypeErrors[0])
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeJSONDiagnostics(os.Stdout, cfg.ImportPath, findings)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// writeJSONDiagnostics emits the go vet -json shape:
+// {"pkg": {"analyzer": [{"posn": "...", "message": "..."}]}}.
+func writeJSONDiagnostics(w io.Writer, pkgPath string, findings []Finding) error {
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]diag{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], diag{Posn: f.Pos.String(), Message: f.Message})
+	}
+	out := map[string]map[string][]diag{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

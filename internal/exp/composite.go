@@ -39,7 +39,7 @@ func fig14(w *Sink, o Options) error {
 
 	var jobs []runner.Job
 	for _, name := range fig14Extras {
-		extra, _ := sim.ByName(name)
+		extra := sim.MustByName(name)
 		comp := sim.TPCWith(extra)
 		for _, wl := range apps {
 			jobs = append(jobs,
@@ -112,7 +112,7 @@ func fig15(w *Sink, o Options) error {
 
 	var jobs []runner.Job
 	for _, name := range fig14Extras {
-		extra, _ := sim.ByName(name)
+		extra := sim.MustByName(name)
 		comp := sim.TPCWith(extra)
 		shunt := sim.ShuntWith(extra)
 		for _, wl := range apps {

@@ -14,7 +14,10 @@
 // pointer check per event and allocates nothing.
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Fate enumerates the lifecycle stages of a prefetch request.
 type Fate uint8
@@ -238,9 +241,16 @@ func (lc *Lifecycle) Open() int { return len(lc.live) }
 // CloseResident resolves every still-open occurrence as resident-untouched.
 // The simulator calls it at end of run after scanning the caches; any
 // occurrence whose line silently left the hierarchy (e.g. invalidation)
-// is also closed here so the conservation laws stay exact.
+// is also closed here so the conservation laws stay exact. Occurrences are
+// closed in key order so the -trace event stream is deterministic.
 func (lc *Lifecycle) CloseResident(at uint64) {
-	for k, id := range lc.live {
+	keys := make([]uint64, 0, len(lc.live))
+	for k := range lc.live {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		id := lc.live[k]
 		// Lines are 64-byte aligned, so the key's low 6 bits are the level.
 		level := int(k & 63)
 		line := k &^ 63

@@ -18,6 +18,7 @@ type Progress struct {
 }
 
 // NewProgress returns a counter set anchored at the current time.
+//lint:allow determinism -- live progress display measures wall-clock throughput, not simulated state
 func NewProgress() *Progress { return &Progress{start: time.Now()} }
 
 // JobDone records one completed job; hit marks run-cache hits.
@@ -33,6 +34,7 @@ func (p *Progress) JobDone(hit bool) {
 // Snapshot returns (jobs, cache hits, executed simulations, sims/sec).
 func (p *Progress) Snapshot() (jobs, hits, sims uint64, simsPerSec float64) {
 	jobs, hits, sims = p.jobs.Load(), p.hits.Load(), p.sims.Load()
+	//lint:allow determinism -- sims/sec is a wall-clock rate for the operator, not simulation output
 	if el := time.Since(p.start).Seconds(); el > 0 {
 		simsPerSec = float64(sims) / el
 	}
@@ -54,6 +56,7 @@ func (p *Progress) Start(w io.Writer, interval time.Duration) (stop func()) {
 	}
 	go func() {
 		defer close(finished)
+		//lint:allow determinism -- the reporter goroutine repaints on wall-clock time by design
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {

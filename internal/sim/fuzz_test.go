@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// grammarSeeds covers every spec form the README documents: the baseline,
+// bare atoms, aliases, parameter overrides, destination overrides, the
+// '+'-named atoms, composites, shunts, and malformed strings near each.
+var grammarSeeds = []string{
+	"",
+	"none",
+	"tpc",
+	"t2",
+	"t2+p1",
+	"ghb",
+	"ghb-pc/dc",
+	"ghb:entries=512,degree=8",
+	"fdp",
+	"vldp:degree=8",
+	"spp:threshold=50,maxdepth=4",
+	"bop",
+	"ampm:maxstride=8",
+	"sms",
+	"nextline:degree=2,dest=l2",
+	"stride:entries=64",
+	"markov:degree=4",
+	"streambuf:depth=8,dest=l3",
+	"tpc+bop",
+	"tpc+ghb:entries=512",
+	"tpc+t2+p1",
+	"shunt+sms",
+	"shunt+vldp:degree=8",
+	"tpc+tpc+bop",
+	"  TPC  ",
+	"ghb:entires=512",
+	"ghbb",
+	"tpc+none",
+	"nextline:degree=0",
+	"fdp:dest=l9",
+	"ghb:entries",
+	"ghb:",
+	"tpc+tpc+tpc+tpc+tpc+tpc+tpc+tpc+tpc+bop",
+}
+
+// FuzzByName asserts ByName never panics, and that every accepted spec
+// round-trips: the normalized name must resolve again to itself, so the
+// memo-cache key is a fixed point of the grammar.
+func FuzzByName(f *testing.F) {
+	for _, s := range grammarSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		n, err := ByName(spec)
+		if err != nil {
+			return
+		}
+		if n.Name == "" {
+			t.Fatalf("ByName(%q) accepted but produced an empty name", spec)
+		}
+		n2, err := ByName(n.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q) = %q, which does not re-resolve: %v", spec, n.Name, err)
+		}
+		if n2.Name != n.Name {
+			t.Fatalf("ByName(%q) = %q, but re-resolving gives %q", spec, n.Name, n2.Name)
+		}
+		if (n.Factory == nil) != (n2.Factory == nil) {
+			t.Fatalf("ByName(%q): factory presence changed across round-trip", spec)
+		}
+	})
+}
+
+// FuzzSpecNormalize asserts Normalize never panics, is idempotent, and is
+// consistent with ByName on acceptance.
+func FuzzSpecNormalize(f *testing.F) {
+	for _, s := range grammarSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		norm, err := Normalize(spec)
+		if _, err2 := ByName(spec); (err == nil) != (err2 == nil) {
+			t.Fatalf("Normalize(%q) err=%v but ByName err=%v", spec, err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if norm != strings.TrimSpace(norm) || norm != strings.ToLower(norm) {
+			t.Fatalf("Normalize(%q) = %q is not canonical (case/space)", spec, norm)
+		}
+		again, err := Normalize(norm)
+		if err != nil {
+			t.Fatalf("Normalize(%q) = %q, which Normalize rejects: %v", spec, norm, err)
+		}
+		if again != norm {
+			t.Fatalf("Normalize not idempotent: %q -> %q -> %q", spec, norm, again)
+		}
+	})
+}

@@ -306,6 +306,26 @@ func paramKeys(e *regEntry) string {
 //
 // Unknown names return an error naming the nearest registered match.
 func ByName(spec string) (Named, error) {
+	return byName(spec, 0)
+}
+
+// Normalize resolves spec and returns its canonical name: defaults elided,
+// parameters in registry order, aliases expanded. Two specs describing the
+// same configuration normalize to the same string, which is what the
+// runner's memo cache keys on. Normalize is idempotent.
+func Normalize(spec string) (string, error) {
+	n, err := ByName(spec)
+	if err != nil {
+		return "", err
+	}
+	return n.Name, nil
+}
+
+// maxCompositeDepth bounds tpc+/shunt+ nesting so an adversarial spec
+// (tpc+tpc+tpc+...) cannot drive unbounded recursion.
+const maxCompositeDepth = 8
+
+func byName(spec string, depth int) (Named, error) {
 	spec = strings.ToLower(strings.TrimSpace(spec))
 	if spec == "" || spec == "none" {
 		return Baseline(), nil
@@ -320,7 +340,10 @@ func ByName(spec string) (Named, error) {
 		if !ok {
 			continue
 		}
-		extra, err := ByName(rest)
+		if depth+1 > maxCompositeDepth {
+			return Named{}, fmt.Errorf("spec %q: composite nesting deeper than %d levels", spec, maxCompositeDepth)
+		}
+		extra, err := byName(rest, depth+1)
 		if err != nil {
 			return Named{}, err
 		}
