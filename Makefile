@@ -15,8 +15,9 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the project's own analyzers (determinism,
-# specstring, conservation, sinkerr). The tree must stay at zero findings;
-# suppress a justified exception with //lint:allow <analyzer> -- <reason>.
+# specstring, conservation, sinkerr, plus the flow-sensitive isolation and
+# lineaddr checks). The tree must stay at zero findings; suppress a
+# justified exception with //lint:allow <analyzer> -- <reason>.
 lint: vet
 	$(GO) run ./cmd/divlint ./...
 

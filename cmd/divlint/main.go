@@ -1,20 +1,32 @@
 // Command divlint runs the project's static-analysis suite: the mechanical
-// enforcement of the simulator's determinism, spec-string, conservation and
-// sink-error contracts (see internal/analysis/... and README "Correctness
-// contracts").
+// enforcement of the simulator's determinism, spec-string, conservation,
+// sink-error, run-isolation and line-address contracts (see
+// internal/analysis/... and README "Correctness contracts").
 //
 //	divlint ./...                     lint the whole module
 //	divlint ./internal/sim ./cmd/...  lint specific packages
+//	divlint -json ./...               machine-readable findings on stdout
 //	go vet -vettool=$(which divlint) ./...   run under the go command
 //
 // Exit status: 0 clean, 1 findings or load failure. Findings print as
-// file:line:col: analyzer: message. Suppress a finding with a justified
-// directive on (or directly above) the offending line:
+// file:line:col: analyzer: message; with -json, as a JSON array of
+// {file,line,col,analyzer,message} objects (an empty array when clean),
+// which .github/problem-matchers/divlint.json cannot consume — the matcher
+// reads the plain-text form, so CI runs without -json and pipes stdout.
+// Suppress a finding with a justified directive on (or directly above) the
+// offending line:
 //
 //	//lint:allow determinism -- wall-clock progress display, not simulation
+//
+// The isolation and lineaddr analyzers are whole-program: they need the
+// full package set for call-graph reachability, so this pattern driver is
+// their authoritative harness. Under `go vet -vettool` they see one package
+// at a time and only intra-package call edges.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -22,25 +34,63 @@ import (
 	"divlab/internal/analysis/divlint"
 )
 
-const version = "v1.0.0"
+const version = "v1.1.0"
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	args := os.Args[1:]
 	// The go vet -vettool protocol: version probe, flag probe, or a vet.cfg.
+	// Must be checked before our own flag parsing — vet passes flags divlint
+	// does not define.
 	if analysis.UnitcheckMain(args, divlint.Suite(), version) {
 		return
 	}
-	patterns := args
+
+	fs := flag.NewFlagSet("divlint", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2) // ExitOnError already printed usage; unreachable in practice
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
 	findings, err := divlint.Run(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "divlint:", err)
 		os.Exit(1)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "divlint:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "divlint: %d finding(s)\n", n)

@@ -1,0 +1,219 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// load type-checks one synthetic package (no imports unless stdlib) and
+// returns its Source.
+func load(t *testing.T, src string) Source {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Source{Pkg: pkg, Info: info, Files: []*ast.File{f}}
+}
+
+// node finds the unique node whose String contains name.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	var found *Node
+	for _, n := range g.Nodes {
+		if n.String() == name {
+			return n
+		}
+		if strings.Contains(n.String(), name) {
+			if found != nil {
+				t.Fatalf("ambiguous node name %q", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node matching %q", name)
+	}
+	return found
+}
+
+func reaches(g *Graph, from, to *Node) bool {
+	reached, _ := g.Reachable([]*Node{from})
+	return reached[to]
+}
+
+const staticSrc = `package p
+
+func a() { b() }
+func b() { c() }
+func c() {}
+func orphan() {}
+`
+
+func TestStaticEdges(t *testing.T) {
+	g := Build([]Source{load(t, staticSrc)})
+	a, b, c, orphan := node(t, g, "p.a"), node(t, g, "p.b"), node(t, g, "p.c"), node(t, g, "orphan")
+	if !reaches(g, a, c) {
+		t.Error("a must reach c through b")
+	}
+	if !reaches(g, b, c) || reaches(g, c, b) {
+		t.Error("edge direction wrong")
+	}
+	if reaches(g, a, orphan) {
+		t.Error("a must not reach orphan")
+	}
+}
+
+const ifaceSrc = `package p
+
+type Hook interface{ Fire() }
+
+type A struct{}
+func (A) Fire() { sideA() }
+
+type B struct{}
+func (*B) Fire() { sideB() }
+
+type NotAHook struct{}
+func (NotAHook) Fire2() {}
+
+func sideA() {}
+func sideB() {}
+
+func run(h Hook) { h.Fire() }
+`
+
+func TestInterfaceDispatch(t *testing.T) {
+	g := Build([]Source{load(t, ifaceSrc)})
+	run := node(t, g, "p.run")
+	if !reaches(g, run, node(t, g, "sideA")) {
+		t.Error("dispatch must reach the value-receiver implementation")
+	}
+	if !reaches(g, run, node(t, g, "sideB")) {
+		t.Error("dispatch must reach the pointer-receiver implementation")
+	}
+	if reaches(g, run, node(t, g, "Fire2")) {
+		t.Error("a method of a non-implementing type must not be a dispatch target")
+	}
+}
+
+const litSrc = `package p
+
+func outer() {
+	f := func() {
+		inner()
+		g := func() { innermost() }
+		_ = g
+	}
+	_ = f
+}
+func inner() {}
+func innermost() {}
+func unrelated() {}
+`
+
+func TestFuncLiteralsHangOffDefiner(t *testing.T) {
+	g := Build([]Source{load(t, litSrc)})
+	outer := node(t, g, "p.outer")
+	if !reaches(g, outer, node(t, g, "p.inner")) {
+		t.Error("defining a literal must keep its callees reachable")
+	}
+	if !reaches(g, outer, node(t, g, "p.innermost")) {
+		t.Error("nested literals must chain reachability")
+	}
+	if reaches(g, node(t, g, "p.inner"), node(t, g, "p.unrelated")) {
+		t.Error("unrelated function must stay unreachable")
+	}
+	// The literal nodes exist and are distinct.
+	lits := 0
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lits++
+		}
+	}
+	if lits != 2 {
+		t.Errorf("expected 2 literal nodes, got %d", lits)
+	}
+}
+
+const crossSrcA = `package p
+
+type Runner interface{ Run() }
+
+func Drive(r Runner) { r.Run() }
+`
+
+const crossSrcB = `package q
+
+func helperTouched() {}
+
+type Impl struct{}
+
+func (Impl) Run() { helperTouched() }
+`
+
+func TestCrossPackageDispatch(t *testing.T) {
+	a := load(t, crossSrcA)
+	b := load(t, crossSrcB)
+	g := Build([]Source{a, b})
+	drive := node(t, g, "p.Drive")
+	if !reaches(g, drive, node(t, g, "helperTouched")) {
+		t.Error("interface dispatch must cross package boundaries within the program")
+	}
+}
+
+func TestReachablePathIsDeterministic(t *testing.T) {
+	src := load(t, staticSrc)
+	g1 := Build([]Source{src})
+	_, from1 := g1.Reachable([]*Node{node(t, g1, "p.a")})
+	p1 := PathFrom(from1, node(t, g1, "p.c"))
+	if len(p1) != 3 {
+		t.Fatalf("path a→b→c expected, got %d nodes", len(p1))
+	}
+	want := []string{"p.a", "p.b", "p.c"}
+	for i, n := range p1 {
+		if !strings.Contains(n.String(), want[i]) {
+			t.Errorf("path[%d] = %s, want %s", i, n, want[i])
+		}
+	}
+}
+
+func TestPackageLevelLiteralHasNode(t *testing.T) {
+	g := Build([]Source{load(t, `package p
+
+var hook = func() { target() }
+
+func target() {}
+`)})
+	var lit *Node
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lit = n
+		}
+	}
+	if lit == nil {
+		t.Fatal("package-level literal must get a node")
+	}
+	if !reaches(g, lit, node(t, g, "p.target")) {
+		t.Error("package-level literal must have call edges")
+	}
+}

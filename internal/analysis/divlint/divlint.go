@@ -8,6 +8,8 @@ import (
 	"divlab/internal/analysis"
 	"divlab/internal/analysis/conservation"
 	"divlab/internal/analysis/determinism"
+	"divlab/internal/analysis/isolation"
+	"divlab/internal/analysis/lineaddr"
 	"divlab/internal/analysis/sinkerr"
 	"divlab/internal/analysis/specstring"
 )
@@ -48,6 +50,13 @@ func Suite() []analysis.Scoped {
 		{Analyzer: specstring.Analyzer, Applies: everywhere},
 		{Analyzer: conservation.Analyzer, Applies: everywhere},
 		{Analyzer: sinkerr.Analyzer, Applies: everywhere},
+		// The flow-sensitive pair rides the same sim scope as determinism:
+		// isolation guards the run-purity assumption behind the memoized run
+		// cache, lineaddr the typed cache.Line unit discipline. Both need the
+		// whole-program view, so the pattern driver is their authoritative
+		// harness (the unitchecker sees only intra-package call edges).
+		{Analyzer: isolation.Analyzer, Applies: inSimScope},
+		{Analyzer: lineaddr.Analyzer, Applies: inSimScope},
 	}
 }
 

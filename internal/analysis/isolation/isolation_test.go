@@ -1,0 +1,12 @@
+package isolation_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/isolation"
+)
+
+func TestIsolation(t *testing.T) {
+	analysistest.Run(t, "testdata", isolation.Analyzer, "iso")
+}

@@ -1,0 +1,97 @@
+// Package iso seeds run-isolation violations on the simulation hook paths,
+// next to near-misses that must stay silent: function-local state, reads,
+// flow-dead writes, writes in functions no entry reaches, hook look-alikes
+// that do not implement the component interfaces, and a justified allow.
+package iso
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/prefetch"
+	"divlab/internal/trace"
+)
+
+var (
+	hits    int
+	table   = map[uint64]int{}
+	stats   = struct{ misses int }{}
+	debugCh = make(chan uint64, 1)
+	scratch [4]uint64
+	allowed int
+	orphanW int
+	deadW   int
+	meter   gauge
+)
+
+type gauge struct{ n int }
+
+func (g *gauge) inc() { g.n++ } // ok here: reported at the call site on the hook path
+
+// Leaky implements prefetch.Component and mutates package state from its
+// OnAccess path in every way the analyzer classifies.
+type Leaky struct{ prefetch.Base }
+
+func (*Leaky) Name() string     { return "leaky" }
+func (*Leaky) Reset()           {}
+func (*Leaky) StorageBits() int { return 0 }
+
+func (l *Leaky) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	hits++                        // want "write to package-level var \"hits\" reachable from entry"
+	stats.misses = 1              // want "write to package-level var \"stats\""
+	table[ev.LineAddr.Addr()] = 1 // want "write to package-level var \"table\""
+	debugCh <- ev.LineAddr.Addr() // want "send on package-level channel \"debugCh\""
+	delete(table, 0)              // want "mutation of package-level var \"table\" via delete"
+	meter.inc()                   // want "call to pointer-receiver method inc on package-level var \"meter\""
+	record(&hits)                 // want "address of package-level var \"hits\" escapes into a call"
+
+	m := table
+	m[1] = 2 // want "write through alias of package-level var \"table\""
+	p := &scratch
+	p[0] = 3 // want "write through alias of package-level var \"scratch\""
+
+	local := 0
+	local++ // ok: function-local state
+	sum := local + len(table)
+	_ = sum // ok: reads of package state are fine
+
+	bump()
+	deadStore()
+
+	//lint:allow isolation -- debug counter, cleared by the harness between runs
+	allowed++
+}
+
+// bump is reachable from OnAccess: its write is reported with the call chain.
+func bump() {
+	hits += 2 // want "write to package-level var \"hits\" reachable from entry .*via iso.bump"
+}
+
+// deadStore's write sits after an unconditional return: the CFG liveness
+// pass must prove it dead even though the function is reachable.
+func deadStore() {
+	return
+	deadW = 1 // ok: flow-unreachable
+}
+
+// record receives an escaped pointer; the escape is reported at the call
+// site, not here (the parameter is not package-level state in this body).
+func record(p *int) { *p = 4 }
+
+// orphan is never called from any entry: its write must stay silent.
+func orphan() {
+	orphanW = 1 // ok: not reachable from a simulation entry
+}
+
+// Mimic has an OnAccess method but the wrong signature, so it does not
+// implement prefetch.Component and is not an entry.
+type Mimic struct{}
+
+func (Mimic) OnAccess(addr uint64) {
+	orphanW = 2 // ok: Mimic is not a prefetch.Component
+}
+
+// Snoop implements prefetch.InstObserver; OnInst is an entry too.
+type Snoop struct{}
+
+func (Snoop) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
+	hits++ // want "write to package-level var \"hits\" reachable from entry"
+}

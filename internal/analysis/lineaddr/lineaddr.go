@@ -1,0 +1,220 @@
+// Package lineaddr implements the address-unit analyzer: line-address
+// arithmetic must go through the typed helpers (cache.Line, cache.ToLine,
+// trace.LineAddr, cache.LineBytes/LineMask), never through hardcoded
+// line-size literals.
+//
+// The bug class this guards against is silent unit confusion: an expression
+// like `addr &^ 63` or `addr >> 6` bakes the 64-byte line size into a call
+// site, so a line-size sweep (cache.LineBytes = 128) changes the hierarchy
+// but not the hand-rolled masks, and miss rates drift with no type error.
+// The typed cache.Line refactor makes the unit explicit; this analyzer keeps
+// new raw arithmetic from creeping back in.
+//
+// An expression is flagged when BOTH hold:
+//
+//   - one operand is a literal-only constant (no identifiers in its syntax,
+//     so cache.LineBytes-1 and 1<<lineShift are fine) whose value is a
+//     line-size suspect for the operator: 31/63/127/255 for & and &^,
+//     32/64/128 for / % and *, and 5/6/7 for << and >>;
+//   - the other operand is address-like: its type is cache.Line (or an
+//     alias), or its syntax mentions an identifier whose name contains
+//     "addr", "line", "tag" or "block" (case-insensitive) or has "pc" as a
+//     whole camelCase/snake_case token.
+//
+// The second condition is what keeps fixed-point arithmetic out of scope:
+// the mem controller's EWMA (`amat + x>>6`) shifts by 6 but operates on
+// latency accumulators, not addresses, so it is not reported.
+//
+// Conversions of untyped literal expressions (cache.Line(0x1000)) are fine;
+// the analyzer looks only at binary expressions. Deliberate raw arithmetic —
+// the cache geometry code in internal/cache/line.go and trace.LineAddr
+// itself, which are the blessed implementations — sits outside the
+// analyzer's scope list in cmd/divlint, or can carry a justified
+// `//lint:allow lineaddr -- reason`.
+package lineaddr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"divlab/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lineaddr",
+	Doc:  "reports raw line-size arithmetic that should use cache.Line / trace.LineAddr",
+	Run:  run,
+}
+
+// allowFiles are the blessed implementation files: the typed helpers
+// themselves must do raw arithmetic once so nothing else has to.
+var allowFiles = map[string]bool{
+	"divlab/internal/cache": true, // line.go geometry + set indexing
+	"divlab/internal/trace": true, // trace.LineAddr, the masking primitive
+}
+
+// suspects maps an operator to the literal values that smell like hardcoded
+// line geometry for it.
+var suspects = map[token.Token]map[uint64]bool{
+	token.AND:     {31: true, 63: true, 127: true, 255: true},
+	token.AND_NOT: {31: true, 63: true, 127: true, 255: true},
+	token.QUO:     {32: true, 64: true, 128: true},
+	token.REM:     {32: true, 64: true, 128: true},
+	token.MUL:     {32: true, 64: true, 128: true},
+	token.SHL:     {5: true, 6: true, 7: true},
+	token.SHR:     {5: true, 6: true, 7: true},
+}
+
+// addrWords are name fragments that mark an operand as address-flavored.
+// "pc" is matched only as a whole camelCase/snake_case token ("pcInner",
+// "lastPC"), never as a substring — "nlpct" is not a program counter.
+var addrWords = []string{"addr", "line", "tag", "block"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if allowFiles[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			vals := suspects[be.Op]
+			if vals == nil {
+				return true
+			}
+			// Which side is the literal-only constant? Shifts and the
+			// non-commutative ops only make sense with the literal on the
+			// right; & and * accept either side.
+			lit, other := be.Y, be.X
+			if !literalOnly(pass, lit, vals) {
+				if be.Op != token.AND && be.Op != token.MUL {
+					return true
+				}
+				lit, other = be.X, be.Y
+				if !literalOnly(pass, lit, vals) {
+					return true
+				}
+			}
+			if !addressLike(pass, other) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"raw line arithmetic %q on address-like operand: use cache.Line / trace.LineAddr / cache.LineBytes instead of hardcoded line geometry",
+				be.Op.String()+" "+litText(pass, lit))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// literalOnly reports whether e is a compile-time constant built purely from
+// literals (no identifiers anywhere in its syntax) whose value is in vals.
+// The no-identifier rule is what admits cache.LineBytes-1 and 1<<lineShift:
+// deriving geometry from the named constant is exactly what we want.
+func literalOnly(pass *analysis.Pass, e ast.Expr, vals map[uint64]bool) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !ok || !vals[v] {
+		return false
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isIdent := n.(*ast.Ident); isIdent {
+			pure = false
+			return false
+		}
+		if _, isSel := n.(*ast.SelectorExpr); isSel {
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+// addressLike reports whether e plausibly denotes an address: typed as
+// cache.Line, or mentioning an address-flavored name.
+func addressLike(pass *analysis.Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); isLineType(t) {
+		return true
+	}
+	like := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		for _, w := range addrWords {
+			if strings.Contains(name, w) {
+				like = true
+				return false
+			}
+		}
+		for _, tok := range tokens(id.Name) {
+			if tok == "pc" {
+				like = true
+				return false
+			}
+		}
+		if isLineType(pass.TypeOf(id)) {
+			like = true
+			return false
+		}
+		return true
+	})
+	return like
+}
+
+// tokens splits an identifier into lowercase words at underscores, digits
+// and lower→upper case transitions: "pcInner" → [pc inner], "nlpctEntries"
+// → [nlpct entries], "last_PC" → [last pc].
+func tokens(name string) []string {
+	var out []string
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			out = append(out, strings.ToLower(name[start:end]))
+		}
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || (c >= '0' && c <= '9'):
+			flush(i)
+			start = i + 1
+		case c >= 'A' && c <= 'Z' && i > 0 && name[i-1] >= 'a' && name[i-1] <= 'z':
+			flush(i)
+			start = i
+		}
+	}
+	flush(len(name))
+	return out
+}
+
+// isLineType reports whether t is cache.Line (directly or through an alias).
+func isLineType(t types.Type) bool {
+	named := analysis.Named(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Line" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/cache")
+}
+
+// litText renders the literal operand for the diagnostic.
+func litText(pass *analysis.Pass, e ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return tv.Value.ExactString()
+	}
+	return "?"
+}

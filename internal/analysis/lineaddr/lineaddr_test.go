@@ -1,0 +1,12 @@
+package lineaddr_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/lineaddr"
+)
+
+func TestLineAddr(t *testing.T) {
+	analysistest.Run(t, "testdata", lineaddr.Analyzer, "la")
+}

@@ -1,0 +1,43 @@
+// Package la seeds raw line-arithmetic violations next to the blessed
+// spellings: named-constant derivations, the typed helpers, fixed-point
+// EWMA shifts on non-address values, and operators outside the mask set.
+package la
+
+import "divlab/internal/cache"
+
+const lineShift = 6
+
+func masks(addr uint64, l9 cache.Line) {
+	_ = addr &^ 63 // want "raw line arithmetic"
+	_ = addr & 63  // want "raw line arithmetic"
+	_ = 63 & addr  // want "raw line arithmetic"
+	_ = addr >> 6  // want "raw line arithmetic"
+	_ = addr << 6  // want "raw line arithmetic"
+	_ = addr / 64  // want "raw line arithmetic"
+	_ = addr % 64  // want "raw line arithmetic"
+	_ = l9 & 127   // want "raw line arithmetic"
+
+	line := uint64(l9)
+	_ = line * 64 // want "raw line arithmetic"
+
+	pcInner := addr
+	_ = pcInner &^ 63 // want "raw line arithmetic"
+	nlpctEntries := uint64(8)
+	_ = nlpctEntries * 32 // ok: "pc" inside "nlpct" is not a program counter
+
+	_ = addr &^ (cache.LineBytes - 1) // ok: derived from the named constant
+	_ = addr >> lineShift             // ok: named shift constant
+	_ = cache.ToLine(addr)            // ok: the typed helper
+	_ = addr + 64                     // ok: + is not a masking operator
+	_ = addr & 0xfff                  // ok: 4095 is not line geometry
+
+	// The memory controller's EWMA shifts latency accumulators by 6;
+	// nothing address-flavored is involved, so it must stay silent.
+	amat := uint64(100)
+	lat := uint64(12)
+	amat += lat >> 6 // ok: fixed-point arithmetic on latencies
+	_ = amat
+
+	//lint:allow lineaddr -- exercising the suppression path
+	_ = addr &^ 63
+}

@@ -114,6 +114,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	exports := make(map[string]string)
 	var targets []*listPkg
+	testOnly := 0
 	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -124,7 +125,20 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
+		// Test-only packages (dirs holding nothing but _test.go files) have
+		// no GoFiles: nothing the analyzers lint. Skip them rather than hand
+		// analyzers an empty *types.Package.
+		if len(p.GoFiles) == 0 {
+			testOnly++
+			continue
+		}
 		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		if testOnly > 0 {
+			return nil, fmt.Errorf("go list %v: matched only test-only packages (no non-test Go files to analyze)", patterns)
+		}
+		return nil, fmt.Errorf("go list %v: no packages matched", patterns)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader edge-case tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const modfile = "module loadprobe\n\ngo 1.21\n"
+
+func TestLoadExcludesBuildTaggedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"p/a.go": "package p\n\nfunc A() int { return 1 }\n",
+		"p/b.go": "//go:build neverset\n\npackage p\n\nfunc B() int { return brokenOnPurpose }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (the tagged-out file must not be parsed)", len(p.Files))
+	}
+	// The tagged file references an undefined name; if it had been loaded
+	// the package would carry type errors.
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("unexpected type errors: %v", p.TypeErrors)
+	}
+}
+
+func TestLoadSkipsTestOnlyPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":             modfile,
+		"real/real.go":       "package real\n\nfunc R() {}\n",
+		"onlytest/x_test.go": "package onlytest\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.ImportPath, "onlytest") {
+			t.Errorf("test-only package %s must be skipped, got %d files", p.ImportPath, len(p.Files))
+		}
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want only the real one", len(pkgs))
+	}
+}
+
+func TestLoadOnlyTestOnlyPackagesIsAClearError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":             modfile,
+		"onlytest/x_test.go": "package onlytest\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	_, err := Load(dir, "./onlytest")
+	if err == nil {
+		t.Fatal("Load of a test-only package must fail")
+	}
+	if !strings.Contains(err.Error(), "test-only") {
+		t.Errorf("error must name the cause, got: %v", err)
+	}
+}
+
+func TestLoadBadPatternIsAClearError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"go.mod": modfile})
+	_, err := Load(dir, "./nosuchdir")
+	if err == nil {
+		t.Fatal("Load of a nonexistent pattern must fail")
+	}
+}
+
+func TestExportImporterMissingDataIsAClearError(t *testing.T) {
+	imp := ExportImporter(token.NewFileSet(), map[string]string{})
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("importer must not panic: %v", r)
+		}
+	}()
+	if _, err := imp.Import("fmt"); err == nil {
+		t.Fatal("import with no export data must fail")
+	} else if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error must name the cause, got: %v", err)
+	}
+}
+
+func TestExportImporterDanglingFileIsAClearError(t *testing.T) {
+	imp := ExportImporter(token.NewFileSet(), map[string]string{"fmt": "/nonexistent/fmt.a"})
+	if _, err := imp.Import("fmt"); err == nil {
+		t.Fatal("import with a dangling export file must fail")
+	}
+}

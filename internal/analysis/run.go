@@ -31,6 +31,7 @@ func (f Finding) String() string {
 // errors in any package abort the run: analyzers need sound type info.
 func RunAnalyzers(pkgs []*Package, analyzers []Scoped) ([]Finding, error) {
 	var out []Finding
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("%s: type checking failed: %v", pkg.ImportPath, pkg.TypeErrors[0])
@@ -39,7 +40,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []Scoped) ([]Finding, error) {
 			if sc.Applies != nil && !sc.Applies(pkg.ImportPath) {
 				continue
 			}
-			diags, err := RunOne(sc.Analyzer, pkg)
+			diags, err := RunOne(sc.Analyzer, pkg, prog)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, sc.Analyzer.Name, err)
 			}
@@ -65,8 +66,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []Scoped) ([]Finding, error) {
 }
 
 // RunOne applies a single analyzer to a single package and returns the
-// surviving (non-suppressed) diagnostics.
-func RunOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// surviving (non-suppressed) diagnostics. prog supplies the whole-program
+// view; pass nil to analyze the package in isolation (a one-package Program
+// is synthesized).
+func RunOne(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
+	if prog == nil {
+		prog = NewProgram([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -74,6 +80,7 @@ func RunOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Pkg,
 		TypesInfo: pkg.TypesInfo,
+		Program:   prog,
 		Report: func(d Diagnostic) {
 			d.Category = a.Name
 			diags = append(diags, d)

@@ -49,7 +49,7 @@ func (c Config) Validate() error {
 const NoOwner = -1
 
 type line struct {
-	tag        uint64
+	tag        Line
 	valid      bool
 	dirty      bool
 	prefetched bool // installed by a prefetch and not yet demanded
@@ -108,7 +108,7 @@ func (c *Cache) Config() Config { return c.cfg }
 // MSHR exposes the miss-status registers for the hierarchy to consult.
 func (c *Cache) MSHR() *MSHR { return c.mshr }
 
-func (c *Cache) setIndex(lineAddr uint64) uint64 { return (lineAddr / LineBytes) & c.setMask }
+func (c *Cache) setIndex(lineAddr Line) uint64 { return lineAddr.Index() & c.setMask }
 
 // LookupResult describes the outcome of a demand lookup.
 type LookupResult struct {
@@ -125,7 +125,7 @@ type LookupResult struct {
 
 // Lookup performs a demand access at cycle `at`. On a hit it updates LRU
 // state and clears the line's prefetched mark (the prefetch became useful).
-func (c *Cache) Lookup(lineAddr uint64, at uint64) LookupResult {
+func (c *Cache) Lookup(lineAddr Line, at uint64) LookupResult {
 	c.Stats.Accesses++
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
@@ -152,7 +152,7 @@ func (c *Cache) Lookup(lineAddr uint64, at uint64) LookupResult {
 
 // Contains reports whether lineAddr is resident, without touching LRU state
 // or statistics. The prefetch filter uses it to avoid redundant prefetches.
-func (c *Cache) Contains(lineAddr uint64) bool {
+func (c *Cache) Contains(lineAddr Line) bool {
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
@@ -164,7 +164,7 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 
 // Touch refreshes LRU state for lineAddr if resident (used when an upper
 // level hits and the inclusive lower level should observe recency).
-func (c *Cache) Touch(lineAddr uint64) {
+func (c *Cache) Touch(lineAddr Line) {
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
@@ -178,7 +178,7 @@ func (c *Cache) Touch(lineAddr uint64) {
 // Eviction describes a line displaced by a fill.
 type Eviction struct {
 	Valid      bool
-	LineAddr   uint64
+	LineAddr   Line
 	Dirty      bool
 	Prefetched bool // evicted before any demand use
 	Owner      int
@@ -187,7 +187,7 @@ type Eviction struct {
 // Fill installs lineAddr at cycle `at`, ready at `readyAt`. prefetched marks
 // prefetch-installed lines; owner identifies the issuing component.
 // It returns the eviction, if any.
-func (c *Cache) Fill(lineAddr uint64, readyAt uint64, prefetched bool, owner int) Eviction {
+func (c *Cache) Fill(lineAddr Line, readyAt uint64, prefetched bool, owner int) Eviction {
 	set := c.sets[c.setIndex(lineAddr)]
 	victim := -1
 	for i := range set {
@@ -232,7 +232,7 @@ func (c *Cache) Fill(lineAddr uint64, readyAt uint64, prefetched bool, owner int
 }
 
 // MarkDirty sets the dirty bit on a resident line (store hit).
-func (c *Cache) MarkDirty(lineAddr uint64) {
+func (c *Cache) MarkDirty(lineAddr Line) {
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
@@ -243,7 +243,7 @@ func (c *Cache) MarkDirty(lineAddr uint64) {
 }
 
 // Invalidate removes lineAddr if resident and returns whether it was dirty.
-func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
+func (c *Cache) Invalidate(lineAddr Line) (present, dirty bool) {
 	set := c.sets[c.setIndex(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {

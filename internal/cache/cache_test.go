@@ -67,10 +67,10 @@ func TestLRUReplacement(t *testing.T) {
 	cfg := Config{Name: "tiny", SizeBytes: 4 * 64, Ways: 4, LatCycles: 1, MSHRs: 2} // 1 set
 	c := New(cfg)
 	for i := uint64(0); i < 4; i++ {
-		c.Fill(i*64, 0, false, NoOwner)
+		c.Fill(LineAt(i), 0, false, NoOwner)
 	}
 	c.Lookup(0, 1) // line 0 becomes MRU
-	ev := c.Fill(4*64, 0, false, NoOwner)
+	ev := c.Fill(LineAt(4), 0, false, NoOwner)
 	if !ev.Valid {
 		t.Fatal("full set must evict")
 	}
@@ -159,7 +159,7 @@ func TestFillContainsProperty(t *testing.T) {
 	cfg := testConfig()
 	f := func(raw uint64) bool {
 		c := New(cfg)
-		line := (raw % (1 << 30)) &^ 63
+		line := ToLine(raw % (1 << 30))
 		c.Fill(line, 0, false, NoOwner)
 		return c.Contains(line)
 	}
@@ -173,7 +173,7 @@ func TestStatsBalanceProperty(t *testing.T) {
 	c := New(testConfig())
 	f := func(addrs []uint64) bool {
 		for _, a := range addrs {
-			line := (a % (1 << 20)) &^ 63
+			line := ToLine(a % (1 << 20))
 			if !c.Lookup(line, 0).Hit {
 				c.Fill(line, 0, false, NoOwner)
 			}

@@ -1,0 +1,33 @@
+package cache
+
+import "divlab/internal/trace"
+
+// Line is a cache-line address: a byte address guaranteed to be aligned to
+// LineBytes. It is the unit every component of the simulator agrees on —
+// prefetch requests, fill/lookup keys, lifecycle occurrences, and footprint
+// metrics all compare Line values, never raw byte addresses. Construct one
+// with ToLine (from a byte address) or LineAt (from a line index); the
+// lineaddr analyzer flags ad-hoc `&^ 63`-style masking outside this file's
+// helpers so the alignment invariant cannot drift per package.
+type Line uint64
+
+// LineMask selects the within-line offset bits of a byte address.
+const LineMask = LineBytes - 1
+
+// ToLine returns the line containing byte address addr. trace.LineAddr is
+// the single masking primitive in the tree; everything else delegates here.
+func ToLine(addr uint64) Line { return Line(trace.LineAddr(addr, LineBytes)) }
+
+// LineAt returns the line with the given index (line number), the inverse of
+// Line.Index.
+func LineAt(index uint64) Line { return Line(index * LineBytes) }
+
+// Addr returns the line's byte address (its first byte).
+func (l Line) Addr() uint64 { return uint64(l) }
+
+// Index returns the line number (byte address / LineBytes), the natural key
+// for delta and region arithmetic in prefetcher tables.
+func (l Line) Index() uint64 { return uint64(l) / LineBytes }
+
+// Add returns the line n lines after l (n may be negative).
+func (l Line) Add(n int64) Line { return Line(uint64(int64(l) + n*LineBytes)) }

@@ -14,7 +14,7 @@ type MSHR struct {
 }
 
 type mshrEntry struct {
-	lineAddr uint64
+	lineAddr Line
 	readyAt  uint64
 	valid    bool
 	prefetch bool
@@ -27,7 +27,7 @@ func NewMSHR(n int) *MSHR {
 
 // Pending returns the completion time of an outstanding fetch for lineAddr,
 // if one exists at cycle `at`.
-func (m *MSHR) Pending(lineAddr uint64, at uint64) (readyAt uint64, ok bool) {
+func (m *MSHR) Pending(lineAddr Line, at uint64) (readyAt uint64, ok bool) {
 	for i := range m.entries {
 		e := &m.entries[i]
 		if e.valid && e.readyAt <= at {
@@ -45,7 +45,7 @@ func (m *MSHR) Pending(lineAddr uint64, at uint64) (readyAt uint64, ok bool) {
 // If every register is busy at cycle `at`, it reports the earliest time one
 // frees up; the caller charges that as a stall and retries logically at that
 // time. prefetch marks prefetch-initiated fetches (droppable under pressure).
-func (m *MSHR) Allocate(lineAddr, at, readyAt uint64, prefetch bool) (stallUntil uint64, ok bool) {
+func (m *MSHR) Allocate(lineAddr Line, at, readyAt uint64, prefetch bool) (stallUntil uint64, ok bool) {
 	freeAt := ^uint64(0)
 	for i := range m.entries {
 		e := &m.entries[i]

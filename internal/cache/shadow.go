@@ -13,7 +13,7 @@ type Shadow struct {
 }
 
 type shadowLine struct {
-	tag     uint64
+	tag     Line
 	valid   bool
 	lastUse uint64
 }
@@ -33,8 +33,8 @@ func NewShadow(cfg Config) *Shadow {
 
 // Access simulates a demand access in the no-prefetch reality. It returns
 // whether the access would have hit, and installs the line on a miss.
-func (s *Shadow) Access(lineAddr uint64) (hit bool) {
-	set := s.sets[(lineAddr/LineBytes)&s.setMask]
+func (s *Shadow) Access(lineAddr Line) (hit bool) {
+	set := s.sets[lineAddr.Index()&s.setMask]
 	s.tick++
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
@@ -57,8 +57,8 @@ func (s *Shadow) Access(lineAddr uint64) (hit bool) {
 }
 
 // Contains reports residence without updating recency.
-func (s *Shadow) Contains(lineAddr uint64) bool {
-	set := s.sets[(lineAddr/LineBytes)&s.setMask]
+func (s *Shadow) Contains(lineAddr Line) bool {
+	set := s.sets[lineAddr.Index()&s.setMask]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			return true

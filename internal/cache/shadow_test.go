@@ -30,7 +30,7 @@ func TestShadowMatchesDemandOnlyCache(t *testing.T) {
 		s := NewShadow(cfg)
 		c := New(cfg)
 		for _, a := range addrs {
-			line := uint64(a) * 64 // line-aligned by construction
+			line := LineAt(uint64(a)) // line-aligned by construction
 			sh := s.Access(line)
 			ch := c.Lookup(line, 0).Hit
 			if !ch {

@@ -5,6 +5,8 @@
 // where the controller preferentially drops low-confidence (C1) prefetches.
 package dram
 
+import "divlab/internal/cache"
+
 // Config describes the memory system in CPU cycles (Table I at 3 GHz:
 // 1 ns = 3 cycles).
 type Config struct {
@@ -61,7 +63,7 @@ const (
 
 // Request is one memory transaction presented to the controller.
 type Request struct {
-	LineAddr uint64
+	LineAddr cache.Line
 	Write    bool
 	Prefetch bool
 	// Owner is the prefetcher component id (cache.NoOwner for demand).
@@ -145,8 +147,8 @@ func (c *Controller) rand() uint64 {
 	return c.rng
 }
 
-func (c *Controller) route(lineAddr uint64) (ch *channel, b *bank, row uint64) {
-	lineIdx := lineAddr / 64
+func (c *Controller) route(lineAddr cache.Line) (ch *channel, b *bank, row uint64) {
+	lineIdx := lineAddr.Index()
 	chIdx := int(lineIdx) & (c.cfg.Channels - 1)
 	if c.cfg.Channels&(c.cfg.Channels-1) != 0 {
 		chIdx = int(lineIdx % uint64(c.cfg.Channels))
@@ -154,7 +156,7 @@ func (c *Controller) route(lineAddr uint64) (ch *channel, b *bank, row uint64) {
 	ch = &c.chans[chIdx]
 	nb := uint64(len(ch.banks))
 	bIdx := (lineIdx / uint64(c.cfg.Channels)) % nb
-	linesPerRow := uint64(c.cfg.RowBytes / 64)
+	linesPerRow := uint64(c.cfg.RowBytes) / cache.LineBytes
 	row = lineIdx / uint64(c.cfg.Channels) / nb / linesPerRow
 	return ch, &ch.banks[bIdx], row
 }

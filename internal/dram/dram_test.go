@@ -1,6 +1,10 @@
 package dram
 
-import "testing"
+import (
+	"testing"
+
+	"divlab/internal/cache"
+)
 
 func TestRowHitFasterThanMiss(t *testing.T) {
 	c := NewController(DDR3Default(), DropNone, 1)
@@ -23,7 +27,7 @@ func TestRowConflictSlower(t *testing.T) {
 	c := NewController(cfg, DropNone, 1)
 	// Two line addresses in the same bank but different rows: route keeps
 	// channel/bank from low line bits, row from high bits.
-	sameBankStride := uint64(cfg.Channels) * uint64(cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.RowBytes/64) * 64
+	sameBankStride := cache.LineAt(uint64(cfg.Channels) * uint64(cfg.RanksPerChan*cfg.BanksPerRank) * uint64(cfg.RowBytes) / cache.LineBytes)
 	c.Access(Request{LineAddr: 0}, 0)
 	lat, _ := c.Access(Request{LineAddr: sameBankStride}, 100_000)
 	hit, _ := c.Access(Request{LineAddr: sameBankStride + 64}, 200_000)
@@ -41,7 +45,7 @@ func TestBusSerialization(t *testing.T) {
 	// A burst of simultaneous requests to one channel must serialize on the
 	// data bus: each later one observes a strictly larger latency.
 	for i := 0; i < 8; i++ {
-		lineAddr := uint64(i) * 128 // stride 2 lines keeps channel 0
+		lineAddr := cache.LineAt(uint64(i) * 2) // stride 2 lines keeps channel 0
 		lat, _ := c.Access(Request{LineAddr: lineAddr}, 0)
 		if lat < last {
 			t.Errorf("burst request %d latency %d < previous %d", i, lat, last)
@@ -55,7 +59,7 @@ func TestPrefetchShedUnderBacklog(t *testing.T) {
 	c := NewController(cfg, DropNone, 1)
 	// Saturate one channel far beyond the queue depth.
 	for i := 0; i < cfg.QueueDepth*4; i++ {
-		c.Access(Request{LineAddr: uint64(i) * 128}, 0)
+		c.Access(Request{LineAddr: cache.LineAt(uint64(i) * 2)}, 0)
 	}
 	_, dropped := c.Access(Request{LineAddr: 999 * 128, Prefetch: true}, 0)
 	if !dropped {
@@ -75,7 +79,7 @@ func TestLowPriorityShedFirst(t *testing.T) {
 	c := NewController(cfg, DropLowPriorityPrefetch, 1)
 	// Build a backlog just above half the queue depth.
 	for i := 0; i < cfg.QueueDepth/2+4; i++ {
-		c.Access(Request{LineAddr: uint64(i) * 128}, 0)
+		c.Access(Request{LineAddr: cache.LineAt(uint64(i) * 2)}, 0)
 	}
 	_, droppedLow := c.Access(Request{LineAddr: 500 * 128, Prefetch: true, Priority: 1}, 0)
 	_, droppedHigh := c.Access(Request{LineAddr: 501 * 128, Prefetch: true, Priority: 3}, 0)
@@ -106,7 +110,7 @@ func TestChannelRouting(t *testing.T) {
 	// Consecutive lines alternate channels: saturating even lines must not
 	// shed a prefetch to an odd line.
 	for i := 0; i < cfg.QueueDepth*4; i++ {
-		c.Access(Request{LineAddr: uint64(i) * 128}, 0) // channel 0
+		c.Access(Request{LineAddr: cache.LineAt(uint64(i) * 2)}, 0) // channel 0
 	}
 	_, dropped := c.Access(Request{LineAddr: 64, Prefetch: true}, 0) // channel 1
 	if dropped {
@@ -134,7 +138,7 @@ func TestDeterministicRandomDrop(t *testing.T) {
 	run := func() uint64 {
 		c := NewController(DDR3Default(), DropRandomPrefetch, 7)
 		for i := 0; i < 200; i++ {
-			c.Access(Request{LineAddr: uint64(i) * 128, Prefetch: i%2 == 0}, 0)
+			c.Access(Request{LineAddr: cache.LineAt(uint64(i) * 2), Prefetch: i%2 == 0}, 0)
 		}
 		return c.Stats.DroppedPrefetches
 	}

@@ -81,7 +81,7 @@ func (s *System) Reset() {
 type Event struct {
 	PC       uint64
 	Addr     uint64
-	LineAddr uint64
+	LineAddr Line
 	Cycle    uint64
 	Latency  uint64
 	Store    bool
@@ -192,7 +192,7 @@ func (h *Hierarchy) traceEvict(level Level, ev cache.Eviction, at uint64) {
 }
 
 // traceHit reports the first demand use of a prefetched line at a level.
-func (h *Hierarchy) traceHit(level Level, owner int, lineAddr, at uint64) {
+func (h *Hierarchy) traceHit(level Level, owner int, lineAddr Line, at uint64) {
 	if h.Trace != nil {
 		h.Trace.Record(obs.FateDemandHit, owner, int(level), lineAddr, at)
 	}
@@ -248,7 +248,7 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 	if at > h.now {
 		h.now = at
 	}
-	lineAddr := lineAddrOf(addr)
+	lineAddr := ToLine(addr)
 	ev := Event{PC: pc, Addr: addr, LineAddr: lineAddr, Cycle: at, Store: store, OwnerL1: cache.NoOwner, OwnerL2: cache.NoOwner, MemLat: h.memLat >> 6}
 
 	l1lat := h.L1D.Config().LatCycles
@@ -299,7 +299,7 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 
 // lookupL2 resolves a miss below L1 and returns the latency from L2 access
 // start to data return, filling L2 (and below) as needed.
-func (h *Hierarchy) lookupL2(lineAddr, at uint64, ev *Event) uint64 {
+func (h *Hierarchy) lookupL2(lineAddr Line, at uint64, ev *Event) uint64 {
 	l2lat := h.L2.Config().LatCycles
 	if r := h.L2.Lookup(lineAddr, at); r.Hit {
 		if r.WasPrefetched {
@@ -328,7 +328,7 @@ func (h *Hierarchy) lookupL2(lineAddr, at uint64, ev *Event) uint64 {
 // owner is the prefetching component when the L3 is the prefetch's own
 // destination (cache.NoOwner for demand fetches and for intermediate fills
 // of prefetches destined further up, which are not lifecycle occurrences).
-func (h *Hierarchy) lookupL3(lineAddr, at uint64, prefetch bool, owner, priority int) uint64 {
+func (h *Hierarchy) lookupL3(lineAddr Line, at uint64, prefetch bool, owner, priority int) uint64 {
 	l3 := h.sys.L3
 	l3lat := l3.Config().LatCycles
 	if r := l3.Lookup(lineAddr, at); r.Hit {
@@ -391,14 +391,14 @@ func (h *Hierarchy) nowOrLater(at uint64) uint64 {
 }
 
 // traceFate reports a pre-install lifecycle fate (attempted/deduped/dropped).
-func (h *Hierarchy) traceFate(f obs.Fate, owner int, dest Level, lineAddr, at uint64) {
+func (h *Hierarchy) traceFate(f obs.Fate, owner int, dest Level, lineAddr Line, at uint64) {
 	if h.Trace != nil {
 		h.Trace.Record(f, owner, int(dest), lineAddr, at)
 	}
 }
 
 // traceDrop maps a drop sentinel to its lifecycle fate.
-func (h *Hierarchy) traceDrop(lat uint64, owner int, dest Level, lineAddr, at uint64) {
+func (h *Hierarchy) traceDrop(lat uint64, owner int, dest Level, lineAddr Line, at uint64) {
 	if h.Trace == nil {
 		return
 	}
@@ -409,7 +409,7 @@ func (h *Hierarchy) traceDrop(lat uint64, owner int, dest Level, lineAddr, at ui
 	h.Trace.Record(f, owner, int(dest), lineAddr, at)
 }
 
-func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, at uint64) bool {
+func (h *Hierarchy) Prefetch(lineAddr Line, dest Level, owner, priority int, at uint64) bool {
 	h.traceFate(obs.FateAttempted, owner, dest, lineAddr, at)
 	// Redundancy filter: already resident at (or above) the destination,
 	// or already being fetched.
@@ -497,7 +497,7 @@ func (h *Hierarchy) Prefetch(lineAddr uint64, dest Level, owner, priority int, a
 
 // prefetchIntoL2Path resolves the below-L1 portion of an L1-destined
 // prefetch, filling L2/L3 along the way, and returns the added latency.
-func (h *Hierarchy) prefetchIntoL2Path(lineAddr, at uint64, owner, priority int) uint64 {
+func (h *Hierarchy) prefetchIntoL2Path(lineAddr Line, at uint64, owner, priority int) uint64 {
 	l2lat := h.L2.Config().LatCycles
 	if h.L2.Contains(lineAddr) {
 		h.L2.Touch(lineAddr)
@@ -528,7 +528,7 @@ func (h *Hierarchy) prefetchIntoL2Path(lineAddr, at uint64, owner, priority int)
 }
 
 // prefetchL2 resolves an L2-destined prefetch.
-func (h *Hierarchy) prefetchL2(lineAddr, at uint64, owner, priority int) uint64 {
+func (h *Hierarchy) prefetchL2(lineAddr Line, at uint64, owner, priority int) uint64 {
 	l2lat := h.L2.Config().LatCycles
 	if h.L2.MSHR().Full(h.nowOrLater(at)) {
 		return dropMSHRSentinel
@@ -549,5 +549,13 @@ func (h *Hierarchy) prefetchL2(lineAddr, at uint64, owner, priority int) uint64 
 }
 
 // lineAddrOf avoids an import cycle with internal/trace for this one
-// helper; line size is fixed hierarchy-wide.
-func lineAddrOf(addr uint64) uint64 { return addr &^ uint64(cache.LineBytes-1) }
+// Line is the hierarchy-wide cache-line address unit; see cache.Line. The
+// alias lets callers that already import mem write mem.Line/mem.ToLine
+// without also importing internal/cache.
+type Line = cache.Line
+
+// ToLine returns the line containing byte address addr (cache.ToLine).
+func ToLine(addr uint64) Line { return cache.ToLine(addr) }
+
+// LineAt returns the line with the given index (cache.LineAt).
+func LineAt(index uint64) Line { return cache.LineAt(index) }

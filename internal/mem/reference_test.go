@@ -26,7 +26,7 @@ func newRefModel(cfg Config) *refModel {
 
 // access returns (hitL1, hitL2) for the demand path with fill-on-miss at
 // every level.
-func (m *refModel) access(lineAddr uint64) (bool, bool) {
+func (m *refModel) access(lineAddr cache.Line) (bool, bool) {
 	if m.l1.Access(lineAddr) {
 		return true, false
 	}
@@ -50,8 +50,8 @@ func TestHierarchyMatchesReferenceModel(t *testing.T) {
 		ref := newRefModel(cfg)
 		at := uint64(0)
 		for _, raw := range seq {
-			lineAddr := uint64(raw) * 64
-			_, ev := h.Access(0x400, lineAddr, at, false)
+			lineAddr := cache.LineAt(uint64(raw))
+			_, ev := h.Access(0x400, lineAddr.Addr(), at, false)
 			wantL1, wantL2 := ref.access(lineAddr)
 			gotL1 := ev.HitL1
 			gotL2 := !ev.HitL1 && !ev.MissL2

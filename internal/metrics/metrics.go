@@ -11,12 +11,13 @@
 package metrics
 
 import (
+	"divlab/internal/mem"
 	"divlab/internal/sim"
 	"divlab/internal/workloads"
 )
 
 // Classifier labels a line address with its ground-truth category.
-type Classifier func(lineAddr uint64) workloads.Category
+type Classifier func(lineAddr mem.Line) workloads.Category
 
 // Pair compares a prefetcher run against its no-prefetch baseline. Both
 // runs must come from the same workload, seed and instruction budget.
@@ -174,7 +175,7 @@ func (p Pair) ByCategory(classify Classifier) [workloads.NumCategories]CatStats 
 }
 
 // Region is a set of footprint lines (e.g. "what TPC does not cover").
-type Region map[uint64]bool
+type Region map[mem.Line]bool
 
 // Uncovered returns the baseline footprint lines NOT attempted by the given
 // run — the region Fig. 14 studies.

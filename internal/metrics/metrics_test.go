@@ -4,20 +4,21 @@ import (
 	"testing"
 
 	"divlab/internal/cpu"
+	"divlab/internal/mem"
 	"divlab/internal/sim"
 	"divlab/internal/workloads"
 )
 
 // mkResult builds a synthetic sim.Result for metric math tests.
-func mkResult(misses map[uint64]uint32, l1Misses, l2Misses, issued uint64, attempted []uint64) *sim.Result {
+func mkResult(misses map[mem.Line]uint32, l1Misses, l2Misses, issued uint64, attempted []mem.Line) *sim.Result {
 	r := &sim.Result{
 		Core:        cpu.Result{Insts: 1000, Cycles: 1000},
 		L1Misses:    l1Misses,
 		L2Misses:    l2Misses,
 		Issued:      issued,
 		MissL1Lines: misses,
-		Attempted:   map[uint64]uint32{},
-		IssuedLines: map[uint64]uint32{},
+		Attempted:   map[mem.Line]uint32{},
+		IssuedLines: map[mem.Line]uint32{},
 	}
 	for _, a := range attempted {
 		r.Attempted[a] = 1
@@ -28,8 +29,8 @@ func mkResult(misses map[uint64]uint32, l1Misses, l2Misses, issued uint64, attem
 }
 
 func TestScopeWeighted(t *testing.T) {
-	base := mkResult(map[uint64]uint32{0: 3, 64: 1}, 4, 0, 0, nil)
-	pf := mkResult(nil, 1, 0, 2, []uint64{0})
+	base := mkResult(map[mem.Line]uint32{0: 3, 64: 1}, 4, 0, 0, nil)
+	pf := mkResult(nil, 1, 0, 2, []mem.Line{0})
 	p := Pair{Base: base, PF: pf}
 	// Covered weight 3 of total 4.
 	if s := p.Scope(); s != 0.75 {
@@ -38,8 +39,8 @@ func TestScopeWeighted(t *testing.T) {
 }
 
 func TestEffAccuracyAndCoverage(t *testing.T) {
-	base := mkResult(map[uint64]uint32{0: 10}, 10, 6, 0, nil)
-	pf := mkResult(map[uint64]uint32{0: 2}, 2, 2, 16, []uint64{0})
+	base := mkResult(map[mem.Line]uint32{0: 10}, 10, 6, 0, nil)
+	pf := mkResult(map[mem.Line]uint32{0: 2}, 2, 2, 16, []mem.Line{0})
 	p := Pair{Base: base, PF: pf}
 	if a := p.EffAccuracyL1(); a != 0.5 {
 		t.Errorf("EffAccuracyL1 = %v, want (10-2)/16", a)
@@ -76,16 +77,16 @@ func TestZeroGuards(t *testing.T) {
 }
 
 func TestByCategory(t *testing.T) {
-	classify := func(line uint64) workloads.Category {
+	classify := func(line mem.Line) workloads.Category {
 		if line < 1000 {
 			return workloads.LHF
 		}
 		return workloads.HHF
 	}
-	base := mkResult(map[uint64]uint32{0: 4, 2048: 4}, 8, 0, 0, nil)
+	base := mkResult(map[mem.Line]uint32{0: 4, 2048: 4}, 8, 0, 0, nil)
 	base.CatL1Misses[workloads.LHF] = 4
 	base.CatL1Misses[workloads.HHF] = 4
-	pf := mkResult(map[uint64]uint32{2048: 4}, 4, 0, 8, []uint64{0})
+	pf := mkResult(map[mem.Line]uint32{2048: 4}, 4, 0, 8, []mem.Line{0})
 	pf.CatL1Misses[workloads.HHF] = 4
 	pf.CatIssued[workloads.LHF] = 8
 	pf.CatIssuedL1[workloads.LHF] = 8
@@ -103,14 +104,14 @@ func TestByCategory(t *testing.T) {
 }
 
 func TestUncoveredAndRegionStats(t *testing.T) {
-	base := mkResult(map[uint64]uint32{0: 2, 64: 2, 128: 2}, 6, 0, 0, nil)
-	tpcRun := mkResult(nil, 2, 0, 4, []uint64{0, 64})
+	base := mkResult(map[mem.Line]uint32{0: 2, 64: 2, 128: 2}, 6, 0, 0, nil)
+	tpcRun := mkResult(nil, 2, 0, 4, []mem.Line{0, 64})
 	region := Uncovered(base, tpcRun)
 	if len(region) != 1 || !region[128] {
 		t.Fatalf("Uncovered = %v", region)
 	}
 	// An extra that attempts line 128 and removes its misses.
-	extra := mkResult(map[uint64]uint32{0: 2, 64: 2}, 4, 0, 3, []uint64{128})
+	extra := mkResult(map[mem.Line]uint32{0: 2, 64: 2}, 4, 0, 3, []mem.Line{128})
 	rs := (Pair{Base: base, PF: extra}).InRegion(region)
 	if rs.Scope != 1 {
 		t.Errorf("region scope = %v", rs.Scope)

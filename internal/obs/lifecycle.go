@@ -17,6 +17,8 @@ package obs
 import (
 	"fmt"
 	"slices"
+
+	"divlab/internal/cache"
 )
 
 // Fate enumerates the lifecycle stages of a prefetch request.
@@ -134,7 +136,7 @@ func (c *OwnerCounts) check(who string) error {
 // Implementations must tolerate high event rates; the simulator calls it
 // synchronously on the hot path.
 type EventSink interface {
-	Event(at uint64, owner int, fate Fate, level int, lineAddr uint64)
+	Event(at uint64, owner int, fate Fate, level int, lineAddr cache.Line)
 }
 
 // Lifecycle tracks per-component prefetch fates for one core's run. It is
@@ -148,7 +150,7 @@ type EventSink interface {
 type Lifecycle struct {
 	owners []OwnerCounts // index = component id (0 = unattributed)
 	// live maps an open occurrence (lineAddr | level in the low bits the
-	// 64-byte alignment frees) to the owning component id.
+	// line alignment frees) to the owning component id.
 	live map[uint64]int32
 	sink EventSink
 }
@@ -171,11 +173,11 @@ func (lc *Lifecycle) idx(owner int) int {
 	return owner
 }
 
-func liveKey(lineAddr uint64, level int) uint64 { return lineAddr | uint64(level) }
+func liveKey(lineAddr cache.Line, level int) uint64 { return lineAddr.Addr() | uint64(level) }
 
 // Record registers one lifecycle event. level is only meaningful for the
 // install-and-beyond fates; lineAddr must be line-aligned.
-func (lc *Lifecycle) Record(f Fate, owner, level int, lineAddr, at uint64) {
+func (lc *Lifecycle) Record(f Fate, owner, level int, lineAddr cache.Line, at uint64) {
 	i := lc.idx(owner)
 	c := &lc.owners[i]
 	switch f {
@@ -251,9 +253,11 @@ func (lc *Lifecycle) CloseResident(at uint64) {
 	slices.Sort(keys)
 	for _, k := range keys {
 		id := lc.live[k]
-		// Lines are 64-byte aligned, so the key's low 6 bits are the level.
-		level := int(k & 63)
-		line := k &^ 63
+		// Lines are LineBytes-aligned, so the key's low offset bits are
+		// the level; the mask must track cache.LineBytes or a line-size
+		// sweep would silently desynchronize tracing from the hierarchy.
+		level := int(k & cache.LineMask)
+		line := cache.ToLine(k)
 		c := &lc.owners[lc.idx(int(id))]
 		if level >= NumLevels {
 			level = 0

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+
+	"divlab/internal/cache"
 )
 
 // TextTracer is an EventSink that writes one line per lifecycle event — the
@@ -24,7 +26,7 @@ func NewTextTracer(w io.Writer, names map[int]string, maxEvents uint64) *TextTra
 }
 
 // Event implements EventSink.
-func (t *TextTracer) Event(at uint64, owner int, fate Fate, level int, lineAddr uint64) {
+func (t *TextTracer) Event(at uint64, owner int, fate Fate, level int, lineAddr cache.Line) {
 	t.n++
 	if t.err != nil || (t.max > 0 && t.n > t.max) {
 		return

@@ -19,7 +19,7 @@ import (
 // memory controller drop low-confidence components' requests first.
 type Request struct {
 	// LineAddr is the line-aligned target address.
-	LineAddr uint64
+	LineAddr mem.Line
 	// Dest is the cache level to install into.
 	Dest mem.Level
 	// Priority orders requests under memory pressure; lower values are
@@ -71,7 +71,7 @@ func (b *Base) SetID(id int) { b.id = id }
 func (b *Base) ID() int { return b.id }
 
 // Req builds a request stamped with the component's identity.
-func (b *Base) Req(lineAddr uint64, dest mem.Level, priority int) Request {
+func (b *Base) Req(lineAddr mem.Line, dest mem.Level, priority int) Request {
 	return Request{LineAddr: lineAddr, Dest: dest, Priority: priority, Owner: b.id}
 }
 

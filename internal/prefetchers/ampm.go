@@ -73,7 +73,7 @@ func (p *AMPM) alloc(zone uint64) *ampmMap {
 // accesses (the access map needs the full touch pattern, not just misses).
 func (p *AMPM) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 	zone := line / ampmZoneLines
 	t := int(line % ampmZoneLines)
 
@@ -96,7 +96,7 @@ func (p *AMPM) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		if accessed(t-k) && accessed(t-2*k) {
 			if tgt := t + k; tgt < ampmZoneLines && m.state[tgt] == 0 {
 				m.state[tgt] = 2
-				issue(p.Req((zone*ampmZoneLines+uint64(tgt))*lineBytes, p.dest, 1))
+				issue(p.Req(mem.LineAt(zone*ampmZoneLines+uint64(tgt)), p.dest, 1))
 				issued++
 			}
 		}
@@ -107,7 +107,7 @@ func (p *AMPM) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		if accessed(t+k) && accessed(t+2*k) {
 			if tgt := t - k; tgt >= 0 && m.state[tgt] == 0 {
 				m.state[tgt] = 2
-				issue(p.Req((zone*ampmZoneLines+uint64(tgt))*lineBytes, p.dest, 1))
+				issue(p.Req(mem.LineAt(zone*ampmZoneLines+uint64(tgt)), p.dest, 1))
 				issued++
 			}
 		}

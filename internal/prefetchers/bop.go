@@ -84,7 +84,7 @@ func (p *BOP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	if !ev.MissL1 && !ev.PrefetchHitL1 {
 		return
 	}
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 
 	// Learning: test one candidate offset per trigger.
 	d := p.offsets[p.testIdx]
@@ -111,7 +111,7 @@ func (p *BOP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	if p.active {
 		t := int64(line) + p.bestOff
 		if t > 0 {
-			issue(p.Req(uint64(t)*lineBytes, p.dest, 2))
+			issue(p.Req(mem.LineAt(uint64(t)), p.dest, 2))
 		}
 	}
 }

@@ -70,7 +70,7 @@ func (p *FDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		return
 	}
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 
 	// Find a stream this miss extends.
 	best := -1
@@ -113,7 +113,7 @@ func (p *FDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 			continue // already issued for this stream
 		}
 		s.issueFront, s.frontValid = t, true
-		issue(p.Req(uint64(t)*lineBytes, p.dest, 1))
+		issue(p.Req(mem.LineAt(uint64(t)), p.dest, 1))
 		p.issued++
 	}
 	if p.issued >= fdpInterval {

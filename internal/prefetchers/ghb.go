@@ -55,7 +55,7 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	if !ev.MissL1 && !ev.PrefetchHitL1 {
 		return
 	}
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 
 	ie := &p.index[(ev.PC>>2)%uint64(p.idxSize)]
 	prev := -1
@@ -101,7 +101,7 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 				if addr <= 0 {
 					return
 				}
-				issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+				issue(p.Req(mem.LineAt(uint64(addr)), p.dest, 2))
 				issued++
 			}
 			// The replayed window may be shorter than the prefetch degree;
@@ -114,7 +114,7 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 				if addr <= 0 {
 					return
 				}
-				issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+				issue(p.Req(mem.LineAt(uint64(addr)), p.dest, 2))
 				issued++
 			}
 			return
@@ -128,7 +128,7 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 			if addr <= 0 {
 				return
 			}
-			issue(p.Req(uint64(addr)*lineBytes, p.dest, 2))
+			issue(p.Req(mem.LineAt(uint64(addr)), p.dest, 2))
 		}
 	}
 }

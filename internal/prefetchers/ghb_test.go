@@ -11,7 +11,7 @@ import (
 // delta-correlated prefetches ahead of the stream.
 func TestGHBStream(t *testing.T) {
 	p := NewGHB(mem.L1, 256, 4)
-	issued := map[uint64]bool{}
+	issued := map[mem.Line]bool{}
 	sink := func(r prefetch.Request) { issued[r.LineAddr] = true }
 	const pc = 0x400004
 	base := uint64(1) << 30
@@ -24,7 +24,7 @@ func TestGHBStream(t *testing.T) {
 	// The next lines after the stream head must have been prefetched.
 	covered := 0
 	for i := uint64(1); i <= 4; i++ {
-		if issued[base+(199+i)*64] {
+		if issued[mem.ToLine(base)+mem.Line((199+i)*64)] {
 			covered++
 		}
 	}

@@ -51,7 +51,7 @@ func (p *Markov) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	if !ev.MissL1 && !ev.PrefetchHitL1 {
 		return
 	}
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 
 	if p.haveLast && p.last != line {
 		e := p.slot(p.last)
@@ -108,7 +108,7 @@ func (p *Markov) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 				best = i
 			}
 		}
-		issue(p.Req(cs[best].line*lineBytes, p.dest, 1))
+		issue(p.Req(mem.LineAt(cs[best].line), p.dest, 1))
 		cs[best] = cs[len(cs)-1]
 		cs = cs[:len(cs)-1]
 	}

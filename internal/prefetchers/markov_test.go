@@ -62,7 +62,7 @@ func TestStreamBufSequential(t *testing.T) {
 	}
 	// Steady state: every miss advances the stream and prefetches depth ahead.
 	last := issued[len(issued)-1]
-	if last.LineAddr <= base+49*64 {
+	if last.LineAddr.Addr() <= base+49*64 {
 		t.Errorf("stream buffer never ran ahead: %#x", last.LineAddr)
 	}
 }
@@ -78,10 +78,10 @@ func TestStreamBufMultipleStreams(t *testing.T) {
 	}
 	var hitA, hitB bool
 	for _, r := range issued {
-		if r.LineAddr > a+30*64 && r.LineAddr < a+64*64 {
+		if r.LineAddr.Addr() > a+30*64 && r.LineAddr.Addr() < a+64*64 {
 			hitA = true
 		}
-		if r.LineAddr > b+30*64 && r.LineAddr < b+64*64 {
+		if r.LineAddr.Addr() > b+30*64 && r.LineAddr.Addr() < b+64*64 {
 			hitB = true
 		}
 	}

@@ -7,12 +7,9 @@
 package prefetchers
 
 import (
-	"divlab/internal/cache"
 	"divlab/internal/mem"
 	"divlab/internal/prefetch"
 )
-
-const lineBytes = cache.LineBytes
 
 // NextLine prefetches the next sequential line(s) on every demand miss
 // (Jouppi-style one-block lookahead).
@@ -39,7 +36,7 @@ func (p *NextLine) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		return
 	}
 	for i := 1; i <= p.degree; i++ {
-		issue(p.Req(ev.LineAddr+uint64(i)*lineBytes, p.dest, 1))
+		issue(p.Req(ev.LineAddr.Add(int64(i)), p.dest, 1))
 	}
 }
 

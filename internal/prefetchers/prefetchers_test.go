@@ -39,7 +39,7 @@ func TestStrideDetectsAndPrefetches(t *testing.T) {
 		t.Fatal("stride must engage after confidence builds")
 	}
 	last := (*got)[len(*got)-1]
-	if last.LineAddr <= base+9*256 {
+	if last.LineAddr.Addr() <= base+9*256 {
 		t.Errorf("prefetch %#x not ahead of stream head %#x", last.LineAddr, base+9*256)
 	}
 }
@@ -102,13 +102,13 @@ func TestSPPLearnsPath(t *testing.T) {
 		t.Fatal("SPP must issue on a learned path")
 	}
 	// Lookahead: at high confidence it should run multiple deltas ahead.
-	var deepest uint64
+	var deepest mem.Line
 	for _, r := range *got {
 		if r.LineAddr > deepest {
 			deepest = r.LineAddr
 		}
 	}
-	if deepest < base+29*64 {
+	if deepest.Addr() < base+29*64 {
 		t.Errorf("SPP lookahead never passed the stream head: %#x", deepest)
 	}
 }
@@ -136,7 +136,7 @@ func TestBOPDisablesOnRandom(t *testing.T) {
 	s := uint64(12345)
 	for i := 0; i < 40000; i++ {
 		s = s*6364136223846793005 + 1442695040888963407
-		p.OnAccess(access(0x400, (s>>20)&^63), sink)
+		p.OnAccess(access(0x400, mem.ToLine(s>>20).Addr()), sink)
 	}
 	if _, active := p.BestOffset(); active {
 		t.Error("BOP must disable prefetching on random streams")
@@ -173,7 +173,7 @@ func TestAMPMNoFalseMatchOnRandom(t *testing.T) {
 	s := uint64(99)
 	for i := 0; i < 500; i++ {
 		s = s*6364136223846793005 + 1442695040888963407
-		p.OnAccess(access(0x400, (s>>30)&^63), sink)
+		p.OnAccess(access(0x400, mem.ToLine(s>>30).Addr()), sink)
 	}
 	if len(*got) > 100 {
 		t.Errorf("AMPM issued %d prefetches on random accesses", len(*got))

@@ -71,7 +71,7 @@ func smsTriggerKey(pc uint64, offset int) uint64 {
 // access: spatial patterns require the full touch stream.
 func (p *SMS) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 	region := line / smsRegionLines
 	offset := int(line % smsRegionLines)
 
@@ -105,7 +105,7 @@ func (p *SMS) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		base := region * smsRegionLines
 		for b := 0; b < smsRegionLines; b++ {
 			if b != offset && e.pattern&(1<<uint(b)) != 0 {
-				issue(p.Req((base+uint64(b))*lineBytes, p.dest, 1))
+				issue(p.Req(mem.LineAt(base+uint64(b)), p.dest, 1))
 			}
 		}
 	}

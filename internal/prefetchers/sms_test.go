@@ -9,7 +9,7 @@ import (
 
 // access builds an L1-miss event for SMS/AMPM training.
 func access(pc, addr uint64) *mem.Event {
-	return &mem.Event{PC: pc, Addr: addr, LineAddr: addr &^ 63, MissL1: true}
+	return &mem.Event{PC: pc, Addr: addr, LineAddr: mem.ToLine(addr), MissL1: true}
 }
 
 // TestSMSLearnsAndReplays drives SMS through repeated region generations
@@ -34,7 +34,7 @@ func TestSMSLearnsAndReplays(t *testing.T) {
 	}
 	// Replay should target lines from the learned pattern, within region.
 	for _, r := range issued {
-		off := (r.LineAddr / 64) % 32
+		off := r.LineAddr.Index() % 32
 		found := false
 		for _, o := range offsets {
 			if off == o {

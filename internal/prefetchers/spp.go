@@ -119,7 +119,7 @@ func (p *SPP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		return
 	}
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 	page := line / vldpPageLines
 	offset := int64(line % vldpPageLines)
 
@@ -154,7 +154,7 @@ func (p *SPP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		if cur <= 0 {
 			break
 		}
-		issue(p.Req(uint64(cur)*lineBytes, p.dest, 1+conf/25))
+		issue(p.Req(mem.LineAt(uint64(cur)), p.dest, 1+conf/25))
 		sig = sppNextSig(sig, d)
 	}
 }

@@ -44,7 +44,7 @@ func (p *StreamBuf) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		return
 	}
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 
 	// A hit at a buffer head advances the stream by one line.
 	for i := range p.bufs {
@@ -53,7 +53,7 @@ func (p *StreamBuf) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 			b.lru = p.tick
 			b.next++
 			b.left = p.depth
-			issue(p.Req((line+uint64(p.depth))*lineBytes, p.dest, 1))
+			issue(p.Req(mem.LineAt(line+uint64(p.depth)), p.dest, 1))
 			return
 		}
 	}
@@ -70,7 +70,7 @@ func (p *StreamBuf) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	}
 	p.bufs[victim] = streamBuffer{valid: true, next: line + 1, left: p.depth, lru: p.tick}
 	for k := 1; k <= p.depth; k++ {
-		issue(p.Req((line+uint64(k))*lineBytes, p.dest, 1))
+		issue(p.Req(mem.LineAt(line+uint64(k)), p.dest, 1))
 	}
 }
 

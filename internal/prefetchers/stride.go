@@ -71,7 +71,7 @@ func (p *Stride) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 			if target <= 0 {
 				break
 			}
-			issue(p.Req(uint64(target)&^uint64(lineBytes-1), p.dest, 2))
+			issue(p.Req(mem.ToLine(uint64(target)), p.dest, 2))
 		}
 	}
 }

@@ -127,7 +127,7 @@ func (p *VLDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		return
 	}
 	p.tick++
-	line := ev.LineAddr / lineBytes
+	line := ev.LineAddr.Index()
 	page := line / vldpPageLines
 	offset := int64(line % vldpPageLines)
 
@@ -139,7 +139,7 @@ func (p *VLDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		if o.valid && o.conf > 0 {
 			t := int64(line) + o.delta
 			if t > 0 {
-				issue(p.Req(uint64(t)*lineBytes, p.dest, 1))
+				issue(p.Req(mem.LineAt(uint64(t)), p.dest, 1))
 			}
 		}
 		return
@@ -193,7 +193,7 @@ func (p *VLDP) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		if cur <= 0 {
 			break
 		}
-		issue(p.Req(uint64(cur)*lineBytes, p.dest, 1))
+		issue(p.Req(mem.LineAt(uint64(cur)), p.dest, 1))
 		if n < len(walk) {
 			walk[n] = nd
 			n++

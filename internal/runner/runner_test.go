@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"divlab/internal/cache"
 	"divlab/internal/mem"
 	"divlab/internal/obs"
 	"divlab/internal/prefetch"
@@ -231,7 +232,7 @@ func TestTraceKeySeparation(t *testing.T) {
 
 type nullSink struct{}
 
-func (*nullSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr uint64) {}
+func (*nullSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr cache.Line) {}
 
 // TestProgressTicks: an installed progress counter sees every job, split
 // into cache hits and executed simulations, on both cacheable and

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"divlab/internal/cache"
 	"divlab/internal/obs"
 	"divlab/internal/workloads"
 )
@@ -119,6 +120,6 @@ type countingSink struct {
 	byFate [16]uint64
 }
 
-func (c *countingSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr uint64) {
+func (c *countingSink) Event(at uint64, owner int, fate obs.Fate, level int, lineAddr cache.Line) {
 	c.byFate[fate]++
 }

@@ -90,14 +90,14 @@ type Result struct {
 
 	// MissL1Lines / MissL2Lines are per-line primary miss counts
 	// (CollectFootprint only).
-	MissL1Lines map[uint64]uint32
-	MissL2Lines map[uint64]uint32
+	MissL1Lines map[mem.Line]uint32
+	MissL2Lines map[mem.Line]uint32
 	// Attempted is the prefetch footprint: line -> bitmask of component
 	// slots that attempted it (CollectFootprint only).
-	Attempted map[uint64]uint32
+	Attempted map[mem.Line]uint32
 	// IssuedLines is the post-filter per-line issued prefetch count
 	// (CollectFootprint only), used for region-restricted accuracy.
-	IssuedLines map[uint64]uint32
+	IssuedLines map[mem.Line]uint32
 	// OwnerSlots maps component id -> bit position in Attempted masks.
 	OwnerSlots map[int]uint
 	// Names maps component id -> component name.
@@ -235,10 +235,10 @@ func newResult(cfg Config, names map[int]string) *Result {
 		}
 	}
 	if cfg.CollectFootprint {
-		res.MissL1Lines = make(map[uint64]uint32, 1<<14)
-		res.MissL2Lines = make(map[uint64]uint32, 1<<14)
-		res.Attempted = make(map[uint64]uint32, 1<<14)
-		res.IssuedLines = make(map[uint64]uint32, 1<<14)
+		res.MissL1Lines = make(map[mem.Line]uint32, 1<<14)
+		res.MissL2Lines = make(map[mem.Line]uint32, 1<<14)
+		res.Attempted = make(map[mem.Line]uint32, 1<<14)
+		res.IssuedLines = make(map[mem.Line]uint32, 1<<14)
 	}
 	return res
 }
@@ -414,7 +414,7 @@ type traceInstance struct {
 
 func (t *traceInstance) Next(in *trace.Inst) bool           { return t.ft.Next(in) }
 func (t *traceInstance) Memory() vmem.Memory                { return t.ft.Memory }
-func (t *traceInstance) Classify(uint64) workloads.Category { return workloads.HHF }
+func (t *traceInstance) Classify(cache.Line) workloads.Category { return workloads.HHF }
 
 // RunTrace replays a captured trace file on one core with the given
 // prefetcher factory (nil for the no-prefetch baseline). The trace is

@@ -114,7 +114,7 @@ func (c *C1) imIndex(pc uint64) int {
 // Monitor; accesses by dense-marked instructions trigger region prefetch.
 func (c *C1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	c.tick++
-	line := ev.LineAddr / 64
+	line := ev.LineAddr.Index()
 	region := line / c1RegionLines
 	offset := uint(line % c1RegionLines)
 
@@ -136,7 +136,7 @@ func (c *C1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 				if base+b == line {
 					continue
 				}
-				issue(c.Req((base+b)*64, c.dest, 1))
+				issue(c.Req(mem.LineAt(base+b), c.dest, 1))
 			}
 		}
 	}

@@ -12,7 +12,7 @@ import (
 func touchRegion(c *C1, pc, base uint64, lines int, issue prefetch.Issuer) {
 	for j := 0; j < lines; j++ {
 		off := uint64((j * 7) % 16)
-		ev := mem.Event{PC: pc, Addr: base + off*64, LineAddr: base + off*64, MissL1: true}
+		ev := mem.Event{PC: pc, Addr: base + off*64, LineAddr: mem.ToLine(base + off*64), MissL1: true}
 		c.OnAccess(&ev, issue)
 	}
 }
@@ -65,17 +65,17 @@ func TestC1RegionPrefetchAfterDecision(t *testing.T) {
 	}
 	*got = (*got)[:0]
 	newBase := uint64(2 << 30)
-	ev := mem.Event{PC: pc, Addr: newBase + 3*64, LineAddr: newBase + 3*64, MissL1: true}
+	ev := mem.Event{PC: pc, Addr: newBase + 3*64, LineAddr: mem.ToLine(newBase + 3*64), MissL1: true}
 	c.OnAccess(&ev, issue)
 	if len(*got) != 15 {
 		t.Fatalf("region prefetch must cover the other 15 lines, got %d", len(*got))
 	}
-	seen := map[uint64]bool{}
+	seen := map[mem.Line]bool{}
 	for _, r := range *got {
 		if r.Dest != mem.L2 {
 			t.Errorf("C1 must prefetch to L2, got %v", r.Dest)
 		}
-		if r.LineAddr < newBase || r.LineAddr >= newBase+1024 {
+		if r.LineAddr.Addr() < newBase || r.LineAddr.Addr() >= newBase+1024 {
 			t.Errorf("prefetch %#x outside region", r.LineAddr)
 		}
 		if r.LineAddr == ev.LineAddr {
@@ -88,7 +88,7 @@ func TestC1RegionPrefetchAfterDecision(t *testing.T) {
 	}
 	// Re-access in the same region: deduplicated.
 	*got = (*got)[:0]
-	ev2 := mem.Event{PC: pc, Addr: newBase + 5*64, LineAddr: newBase + 5*64, MissL1: true}
+	ev2 := mem.Event{PC: pc, Addr: newBase + 5*64, LineAddr: mem.ToLine(newBase + 5*64), MissL1: true}
 	c.OnAccess(&ev2, issue)
 	if len(*got) != 0 {
 		t.Errorf("same-region re-trigger must be deduped, got %d", len(*got))

@@ -157,7 +157,7 @@ func (p *P1) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 			if v, ok := p.mem.Value(uint64(future)); ok {
 				t := int64(v) + e.ptrDelta
 				if t > 0 {
-					issue(p.Req(uint64(t)&^63, mem.L1, 3))
+					issue(p.Req(mem.ToLine(uint64(t)), mem.L1, 3))
 				}
 			}
 		}
@@ -333,7 +333,7 @@ func (p *P1) chainStep(in *trace.Inst, cs *chainState, issue prefetch.Issuer) {
 		if next <= 0 {
 			break
 		}
-		issue(p.Req(uint64(next)&^63, mem.L1, 3))
+		issue(p.Req(mem.ToLine(uint64(next)), mem.L1, 3))
 		nv, ok := p.mem.Value(uint64(next))
 		if !ok || nv == 0 {
 			// End of list or unmapped: restart from the demand front.

@@ -3,6 +3,7 @@ package tpc
 import (
 	"testing"
 
+	"divlab/internal/mem"
 	"divlab/internal/prefetch"
 	"divlab/internal/trace"
 	"divlab/internal/vmem"
@@ -32,7 +33,7 @@ func TestP1ArrayOfPointers(t *testing.T) {
 
 	t2 := NewT2()
 	p1 := NewP1(t2, vm)
-	prefetched := map[uint64]bool{}
+	prefetched := map[mem.Line]bool{}
 	issue := func(r prefetch.Request) { prefetched[r.LineAddr] = true }
 
 	cycle := uint64(0)
@@ -71,7 +72,7 @@ func TestP1ArrayOfPointers(t *testing.T) {
 	covered, uncovered := 0, 0
 	d := int(2 * t2.Distance())
 	for i := 400; i < 600-d; i++ {
-		if prefetched[(pointees[i]+off)&^63] {
+		if prefetched[mem.ToLine(pointees[i]+off)] {
 			covered++
 		} else {
 			uncovered++
@@ -92,7 +93,7 @@ func TestP1GivesUpWithoutValueMemory(t *testing.T) {
 	s := uint64(77)
 	for i := 0; i < 200; i++ {
 		s = s*6364136223846793005 + 1442695040888963407
-		addr := (s >> 30) &^ 63
+		addr := mem.ToLine(s >> 30).Addr()
 		ev := missEvent(0x700000, addr)
 		t2.OnAccess(&ev, issue)
 		ld := trace.Inst{PC: 0x700000, Kind: trace.Load, Addr: addr, Dst: 5, Src1: 5}

@@ -45,7 +45,7 @@ func chainTrace(n int, seed uint64) (nodes []uint64, mem *vmem.Sparse, emit func
 
 // missEvent builds a primary-L1-miss event for T2 activation.
 func missEvent(pc, addr uint64) mem.Event {
-	return mem.Event{PC: pc, Addr: addr, LineAddr: addr &^ 63, MissL1: true, Latency: 150}
+	return mem.Event{PC: pc, Addr: addr, LineAddr: mem.ToLine(addr), MissL1: true, Latency: 150}
 }
 
 // TestP1ChainCoverage confirms that once the chain is identified, every
@@ -55,7 +55,7 @@ func TestP1ChainCoverage(t *testing.T) {
 	nodes, vm, emit := chainTrace(n, 7)
 	t2 := NewT2()
 	p1 := NewP1(t2, vm)
-	prefetched := map[uint64]int{} // line -> iteration first prefetched
+	prefetched := map[mem.Line]int{} // line -> iteration first prefetched
 	iterNow := 0
 	issue := func(r prefetch.Request) {
 		if _, ok := prefetched[r.LineAddr]; !ok {
@@ -83,7 +83,7 @@ func TestP1ChainCoverage(t *testing.T) {
 			confirmedAt = iter
 		}
 		if confirmedAt >= 0 && iter > confirmedAt+20 {
-			line := nodes[iter%n] &^ 63
+			line := mem.ToLine(nodes[iter%n])
 			if at, ok := prefetched[line]; !ok || at >= iter {
 				missesAfterConfirm++
 			}
@@ -110,7 +110,7 @@ func TestP1ChainDivergence(t *testing.T) {
 	var prefetchedSink func(prefetch.Request)
 	issue := func(r prefetch.Request) { prefetchedSink(r) }
 
-	prefetched := map[uint64]bool{}
+	prefetched := map[mem.Line]bool{}
 	prefetchedSink = func(r prefetch.Request) {
 		issuedTotal++
 		prefetched[r.LineAddr] = true
@@ -126,7 +126,7 @@ func TestP1ChainDivergence(t *testing.T) {
 		}
 		cur := nodes[pos%n]
 		if confirmed && iter > confirmedIter+20 {
-			if prefetched[cur&^63] {
+			if prefetched[mem.ToLine(cur)] {
 				covered++
 			} else {
 				uncovered++

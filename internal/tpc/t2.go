@@ -281,7 +281,7 @@ func (t *T2) prefetchAhead(e *sitEntry, addr uint64, issue prefetch.Issuer) {
 	if !e.pfValid || (e.delta > 0 && front < int64(addr)) || (e.delta < 0 && front > int64(addr)) {
 		front = int64(addr)
 	}
-	lastLine := uint64(front) &^ 63
+	lastLine := mem.ToLine(uint64(front))
 	const maxPerInstance = 4
 	for issued := 0; issued < maxPerInstance; {
 		next := front + e.delta
@@ -292,7 +292,7 @@ func (t *T2) prefetchAhead(e *sitEntry, addr uint64, issue prefetch.Issuer) {
 			break
 		}
 		front = next
-		line := uint64(front) &^ 63
+		line := mem.ToLine(uint64(front))
 		if line != lastLine {
 			issue(t.Req(line, mem.L1, 3))
 			lastLine = line

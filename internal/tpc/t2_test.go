@@ -47,7 +47,7 @@ func TestT2DetectsCanonicalStride(t *testing.T) {
 	head := uint64(1<<28) + 39*64
 	ahead := 0
 	for _, r := range *got {
-		if r.LineAddr > head {
+		if r.LineAddr.Addr() > head {
 			ahead++
 		}
 		if r.Dest != mem.L1 {

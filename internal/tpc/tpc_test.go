@@ -59,7 +59,7 @@ func TestCoordinatorStratifiesStrided(t *testing.T) {
 	base := uint64(1 << 28)
 	for i := 0; i < 60; i++ {
 		addr := base + uint64(i)*64
-		ev := mem.Event{PC: 0x400, Addr: addr, LineAddr: addr, MissL1: true, MemLat: 200}
+		ev := mem.Event{PC: 0x400, Addr: addr, LineAddr: mem.ToLine(addr), MissL1: true, MemLat: 200}
 		c.OnAccess(&ev, issue)
 		ld := trace.Inst{PC: 0x400, Kind: trace.Load, Addr: addr, Dst: 5, Src1: 4}
 		br := trace.Inst{PC: 0x440, Kind: trace.Branch, Taken: true, Target: 0x3f0}
@@ -98,7 +98,7 @@ func TestCoordinatorHandsRejectedToC1(t *testing.T) {
 	visit := func(regionBase uint64) {
 		for j := 0; j < 10; j++ {
 			addr := regionBase + uint64((j*7)%16)*64
-			ev := mem.Event{PC: 0x500, Addr: addr, LineAddr: addr, MissL1: true, MemLat: 200}
+			ev := mem.Event{PC: 0x500, Addr: addr, LineAddr: mem.ToLine(addr), MissL1: true, MemLat: 200}
 			c.OnAccess(&ev, issue)
 			ld := trace.Inst{PC: 0x500, Kind: trace.Load, Addr: addr, Dst: 6, Src1: 6}
 			c.OnInst(&ld, cycle, issue)
@@ -156,7 +156,7 @@ func TestExtrasRoundRobinAndFiltering(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		for _, pc := range []uint64{0x900, 0x904} {
 			addr := uint64(1<<31) + uint64(i)*8192 + pc
-			ev := mem.Event{PC: pc, Addr: addr, LineAddr: addr &^ 63, MissL1: true}
+			ev := mem.Event{PC: pc, Addr: addr, LineAddr: mem.ToLine(addr), MissL1: true}
 			c.OnAccess(&ev, issue)
 		}
 	}

@@ -1,6 +1,9 @@
 package workloads
 
-import "divlab/internal/trace"
+import (
+	"divlab/internal/cache"
+	"divlab/internal/trace"
+)
 
 // ---------------------------------------------------------------------------
 // Canonical strided streams (LHF).
@@ -263,7 +266,7 @@ func (p *regionPhase) fill(q *emitq) bool {
 	for j := 0; j < p.touch; j++ {
 		line := (start + uint64(j)*7) % 16 // co-prime scramble
 		q.alu(p.pcInner, p.reg+1, p.reg+2, 0, 1)
-		q.load(p.pcInner+4, regionBase+line*64, p.reg+2, p.reg+1)
+		q.load(p.pcInner+4, regionBase+line*cache.LineBytes, p.reg+2, p.reg+1)
 		q.alu(p.pcInner+8, p.reg+3, p.reg+2, p.reg+3, 1)
 		q.alu(p.pcInner+12, p.reg+4, p.reg+3, p.reg+4, 1)
 		lastInner := j == p.touch-1

@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"divlab/internal/cache"
 	"divlab/internal/trace"
 )
 
@@ -163,7 +164,7 @@ func TestGatherPhaseBandLocality(t *testing.T) {
 			if !inst.Next(&in) {
 				break
 			}
-			if in.Kind == trace.Load && inst.Classify(in.Addr&^63) != LHF {
+			if in.Kind == trace.Load && inst.Classify(cache.ToLine(in.Addr)) != LHF {
 				gathers = append(gathers, in.Addr)
 			}
 		}

@@ -8,6 +8,7 @@
 package workloads
 
 import (
+	"divlab/internal/cache"
 	"divlab/internal/trace"
 	"divlab/internal/vmem"
 )
@@ -50,7 +51,7 @@ type Instance interface {
 	// Memory exposes pointer words for P1-style dereferencing.
 	Memory() vmem.Memory
 	// Classify returns the ground-truth category of a line address.
-	Classify(lineAddr uint64) Category
+	Classify(lineAddr cache.Line) Category
 }
 
 // Workload names a benchmark and builds fresh instances of it.
@@ -169,9 +170,9 @@ func (in *instance) Memory() vmem.Memory {
 }
 
 // Classify implements Instance.
-func (in *instance) Classify(lineAddr uint64) Category {
+func (in *instance) Classify(lineAddr cache.Line) Category {
 	for _, r := range in.ranges {
-		if lineAddr >= r.lo && lineAddr < r.hi {
+		if lineAddr.Addr() >= r.lo && lineAddr.Addr() < r.hi {
 			return r.cat
 		}
 	}

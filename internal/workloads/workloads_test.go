@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"divlab/internal/cache"
 	"divlab/internal/trace"
 )
 
@@ -105,7 +106,7 @@ func TestClassificationCoversTouchedLines(t *testing.T) {
 		if !in.IsMem() {
 			continue
 		}
-		if inst.Classify(in.Addr&^63) == LHF {
+		if inst.Classify(cache.ToLine(in.Addr)) == LHF {
 			lhf++
 		} else {
 			other++
