@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet lint build test short race bench fuzz
+.PHONY: all ci vet lint build test short race bench bench-json fuzz
 
 # The default target runs the full local gate: lint (go vet + divlint),
 # build, and the plain test suite.
@@ -35,8 +35,19 @@ short:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark at a steady-state budget with allocation
+# reporting; -benchtime 1x hid both warmup effects and the alloc columns.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 2s -benchmem -run '^$$' .
+
+# bench-json emits the machine-readable trajectory (see BENCH_*.json and
+# EXPERIMENTS.md "Performance methodology"). LABEL names the measurement;
+# BENCH_OUT is the artifact path.
+LABEL ?= dev
+BENCH_OUT ?= bench.json
+bench-json:
+	$(GO) run ./cmd/benchjson -label $(LABEL) -o $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -validate $(BENCH_OUT)
 
 # fuzz smoke-tests the spec-string grammar: no panics, normalized names are
 # fixed points. Each target gets a short budget; CI runs the same.

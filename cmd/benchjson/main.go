@@ -1,0 +1,276 @@
+// Command benchjson runs the repository's core benchmarks and emits (or
+// validates) a machine-readable trajectory file — the committed BENCH_*.json
+// history that makes performance claims reproducible across PRs. Each entry
+// records one benchmark on one host; the committed file holds before/after
+// pairs so re-anchors can see the curve, and CI's bench-smoke job replays a
+// quick pass and validates the artifact's schema and the zero-allocation
+// pins.
+//
+// Usage:
+//
+//	benchjson [-quick] [-label NAME] [-append FILE] [-o FILE]
+//	benchjson -validate FILE
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the trajectory file format.
+const Schema = "divlab-bench/v1"
+
+// Entry is one benchmark measurement. NsPerOp, BytesPerOp and AllocsPerOp
+// come from the standard testing metrics; InstsPerSec and SimsPerSec are the
+// benchmarks' own ReportMetric outputs (zero when a benchmark does not
+// report them). With -count > 1 every field is the per-field median.
+type Entry struct {
+	Label       string  `json:"label"`
+	Bench       string  `json:"bench"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	SimsPerSec  float64 `json:"sims_per_sec,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Host        string  `json:"host"`
+}
+
+// File is the trajectory artifact.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// spec names one benchmark and the benchtime it runs at.
+type spec struct {
+	name      string
+	benchtime string
+}
+
+func fullSpecs() []spec {
+	return []spec{
+		{"BenchmarkSimulator", "2s"},
+		{"BenchmarkAccessPath", "2s"},
+		{"BenchmarkParallelMatrix", "1x"},
+	}
+}
+
+// quickSpecs bound the smoke pass to seconds: single-shot simulator runs and
+// a fixed-iteration access path; the matrix benchmark is full-suite-sized
+// and stays out of CI.
+func quickSpecs() []spec {
+	return []spec{
+		{"BenchmarkSimulator", "1x"},
+		{"BenchmarkAccessPath", "20000x"},
+	}
+}
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "smoke mode: short benchtimes, no matrix benchmark")
+		label    = flag.String("label", "dev", "label recorded on every emitted entry")
+		appendTo = flag.String("append", "", "existing trajectory file whose entries are preserved in front of this run's")
+		out      = flag.String("o", "", "output path (default stdout)")
+		count    = flag.Int("count", 1, "benchmark repetitions; entries hold per-field medians")
+		validate = flag.String("validate", "", "validate FILE against the schema and the zero-alloc pins, then exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%s)\n", *validate, Schema)
+		return
+	}
+
+	specs := fullSpecs()
+	if *quick {
+		specs = quickSpecs()
+	}
+	f := File{Schema: Schema}
+	if *appendTo != "" {
+		prev, err := readFile(*appendTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		f.Entries = prev.Entries
+	}
+	host := hostString()
+	for _, s := range specs {
+		e, err := runBench(s, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		e.Label = *label
+		e.Host = host
+		f.Entries = append(f.Entries, e)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runBench executes one benchmark `count` times via `go test` and reduces
+// the parsed result lines to a per-field median entry.
+func runBench(s spec, count int) (Entry, error) {
+	args := []string{"test", "-run", "^$", "-bench", "^" + s.name + "$",
+		"-benchtime", s.benchtime, "-benchmem", "-count", strconv.Itoa(count), "."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return Entry{}, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	runs := parseBenchLines(string(out), s.name)
+	if len(runs) == 0 {
+		return Entry{}, fmt.Errorf("no benchmark output parsed")
+	}
+	return Entry{
+		Bench:       s.name,
+		NsPerOp:     median(pick(runs, func(e Entry) float64 { return e.NsPerOp })),
+		InstsPerSec: median(pick(runs, func(e Entry) float64 { return e.InstsPerSec })),
+		SimsPerSec:  median(pick(runs, func(e Entry) float64 { return e.SimsPerSec })),
+		AllocsPerOp: median(pick(runs, func(e Entry) float64 { return e.AllocsPerOp })),
+		BytesPerOp:  median(pick(runs, func(e Entry) float64 { return e.BytesPerOp })),
+	}, nil
+}
+
+// benchName strips the -GOMAXPROCS suffix go test appends to benchmark names.
+var benchSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLines extracts every result line for the named benchmark. A line
+// looks like:
+//
+//	BenchmarkSimulator-4  349  6907049 ns/op  14.48 MB/s  14477963 insts/sec  1122524 B/op  77 allocs/op
+func parseBenchLines(out, name string) []Entry {
+	var runs []Entry
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || benchSuffix.ReplaceAllString(fields[0], "") != name {
+			continue
+		}
+		e := Entry{Bench: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "insts/sec":
+				e.InstsPerSec = v
+			case "sims/sec":
+				e.SimsPerSec = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if e.NsPerOp > 0 {
+			runs = append(runs, e)
+		}
+	}
+	return runs
+}
+
+func pick(runs []Entry, f func(Entry) float64) []float64 {
+	vs := make([]float64, len(runs))
+	for i, r := range runs {
+		vs[i] = f(r)
+	}
+	return vs
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// hostString identifies the measurement host: the CPU model when readable
+// (Linux), else OS/arch.
+func hostString() string {
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
+func readFile(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// validateFile checks the schema shape and the performance contract the
+// repository pins: BenchmarkAccessPath (the steady-state demand path) must
+// report exactly zero allocations per operation.
+func validateFile(path string) error {
+	f, err := readFile(path)
+	if err != nil {
+		return err
+	}
+	if f.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, Schema)
+	}
+	if len(f.Entries) == 0 {
+		return fmt.Errorf("no entries")
+	}
+	for i, e := range f.Entries {
+		if e.Bench == "" || e.Label == "" || e.Host == "" {
+			return fmt.Errorf("entry %d: bench, label and host are required", i)
+		}
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("entry %d (%s): ns_per_op must be positive", i, e.Bench)
+		}
+		if e.Bench == "BenchmarkAccessPath" && e.AllocsPerOp != 0 {
+			return fmt.Errorf("entry %d (%s %s): allocs_per_op = %v, the demand path is pinned at 0",
+				i, e.Label, e.Bench, e.AllocsPerOp)
+		}
+	}
+	return nil
+}

@@ -48,15 +48,37 @@ func (c Config) Validate() error {
 // NoOwner marks a line not installed by any prefetcher.
 const NoOwner = -1
 
-type line struct {
-	tag        Line
-	valid      bool
-	dirty      bool
-	prefetched bool // installed by a prefetch and not yet demanded
-	owner      int  // prefetcher component id that installed the line
-	readyAt    uint64
-	lastUse    uint64
+// invalidTag fills the tag word of empty ways. It is an impossible line
+// address (the top of the 64-bit space, unreachable by any workload), so the
+// resident scan needs only the tag comparison: a match implies validity and
+// the flags array stays out of the tag loop entirely.
+const invalidTag = ^Line(0)
+
+// Per-way metadata is packed into a single uint64 word so the non-tag state
+// of a way — validity/dirty/prefetched flags, installing owner, and LRU
+// tick — lives on one cache line instead of three parallel arrays. Layout:
+// flags in bits [0,3), owner+1 in bits [3,19) (so NoOwner = -1 encodes as
+// zero and a cleared word means "no owner"), and the LRU tick in bits
+// [19,64). 45 tick bits cover ~3.5e13 touches, orders of magnitude beyond
+// any run; 16 owner bits cover every component id AssignIDs can produce.
+const (
+	flagValid uint64 = 1 << iota
+	flagDirty
+	flagPrefetched // installed by a prefetch and not yet demanded
+
+	metaFlagMask  uint64 = 1<<metaOwnerShift - 1
+	metaOwnerShift       = 3
+	metaUseShift         = 19
+	metaOwnerMask uint64 = 1<<(metaUseShift-metaOwnerShift) - 1
+)
+
+// metaWord assembles a packed metadata word.
+func metaWord(flags uint64, owner int, use uint64) uint64 {
+	return flags | uint64(owner+1)<<metaOwnerShift | use<<metaUseShift
 }
+
+// metaOwner extracts the owner id (NoOwner for lines no prefetcher installed).
+func metaOwner(m uint64) int { return int(m>>metaOwnerShift&metaOwnerMask) - 1 }
 
 // Stats accumulates event counts for one cache.
 type Stats struct {
@@ -73,9 +95,29 @@ type Stats struct {
 // Cache is one level of the hierarchy. It is purely functional with respect
 // to timing: callers pass the current cycle and receive readiness-based
 // extra waits; the cache never advances time itself.
+//
+// The tag store is laid out struct-of-arrays (parallel slices indexed by
+// set*ways+way) so the tag-match scan of a lookup touches one dense tag
+// array instead of striding over fat per-line structs.
 type Cache struct {
-	cfg     Config
-	sets    [][]line
+	cfg  Config
+	ways int
+	tags []Line
+	// meta holds the packed per-way metadata (see metaWord); readyAt stays
+	// separate because it needs the full cycle range.
+	meta    []uint64
+	readyAt []uint64
+	// mru predicts the way of the next hit per set (verified on use, so
+	// staleness is harmless): spatial streams touch the same line for
+	// several consecutive accesses, and the predictor turns those resident
+	// scans into a single tag compare.
+	mru     []uint8
+	// absent memoizes proven misses: absent[absentHash(L)] == L means a
+	// full set scan found L not resident, and evictions only remove lines,
+	// so absence persists until a Fill of L clobbers the slot. Miss-heavy
+	// streams (and the prefetch redundancy filter) skip the tag scan
+	// entirely. invalidTag marks empty slots — it can never match a probe.
+	absent  []Line
 	setMask uint64
 	useTick uint64
 	mshr    *MSHR
@@ -89,14 +131,23 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
-	backing := make([]line, cfg.Sets()*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	n := cfg.Sets() * cfg.Ways
+	tags := make([]Line, n)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	absent := make([]Line, 2048)
+	for i := range absent {
+		absent[i] = invalidTag
 	}
 	return &Cache{
 		cfg:     cfg,
-		sets:    sets,
+		ways:    cfg.Ways,
+		tags:    tags,
+		meta:    make([]uint64, n),
+		readyAt: make([]uint64, n),
+		mru:     make([]uint8, cfg.Sets()),
+		absent:  absent,
 		setMask: uint64(cfg.Sets() - 1),
 		mshr:    NewMSHR(cfg.MSHRs),
 	}
@@ -123,28 +174,56 @@ type LookupResult struct {
 	Owner int
 }
 
+// find returns the way-store index of lineAddr if resident, else -1. Empty
+// ways hold invalidTag, so the scan is a pure tag comparison.
+func (c *Cache) find(lineAddr Line) int {
+	h := absentHash(lineAddr)
+	if c.absent[h] == lineAddr {
+		return -1
+	}
+	set := int(c.setIndex(lineAddr))
+	base := set * c.ways
+	if w := int(c.mru[set]); c.tags[base+w] == lineAddr {
+		return base + w
+	}
+	tags := c.tags[base : base+c.ways]
+	for i, t := range tags {
+		if t == lineAddr {
+			c.mru[set] = uint8(i)
+			return base + i
+		}
+	}
+	c.absent[h] = lineAddr
+	return -1
+}
+
+// absentHash folds the upper line-address bits so strided patterns a
+// power-of-two apart (e.g. a victim writeback trailing the fill front by
+// the cache capacity) do not alias in the absent memo.
+func absentHash(lineAddr Line) uint64 {
+	x := uint64(lineAddr)
+	return (x ^ x>>11) & 2047
+}
+
 // Lookup performs a demand access at cycle `at`. On a hit it updates LRU
 // state and clears the line's prefetched mark (the prefetch became useful).
 func (c *Cache) Lookup(lineAddr Line, at uint64) LookupResult {
 	c.Stats.Accesses++
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == lineAddr {
-			c.useTick++
-			ln.lastUse = c.useTick
-			res := LookupResult{Hit: true, Owner: ln.owner}
-			if ln.readyAt > at {
-				res.ExtraWait = ln.readyAt - at
-			}
-			if ln.prefetched {
-				res.WasPrefetched = true
-				ln.prefetched = false
-				c.Stats.PrefetchHits++
-			}
-			c.Stats.Hits++
-			return res
+	if i := c.find(lineAddr); i >= 0 {
+		c.useTick++
+		m := c.meta[i]&(metaFlagMask|metaOwnerMask<<metaOwnerShift) | c.useTick<<metaUseShift
+		res := LookupResult{Hit: true, Owner: metaOwner(m)}
+		if c.readyAt[i] > at {
+			res.ExtraWait = c.readyAt[i] - at
 		}
+		if m&flagPrefetched != 0 {
+			res.WasPrefetched = true
+			m &^= flagPrefetched
+			c.Stats.PrefetchHits++
+		}
+		c.meta[i] = m
+		c.Stats.Hits++
+		return res
 	}
 	c.Stats.Misses++
 	return LookupResult{}
@@ -152,26 +231,14 @@ func (c *Cache) Lookup(lineAddr Line, at uint64) LookupResult {
 
 // Contains reports whether lineAddr is resident, without touching LRU state
 // or statistics. The prefetch filter uses it to avoid redundant prefetches.
-func (c *Cache) Contains(lineAddr Line) bool {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return true
-		}
-	}
-	return false
-}
+func (c *Cache) Contains(lineAddr Line) bool { return c.find(lineAddr) >= 0 }
 
 // Touch refreshes LRU state for lineAddr if resident (used when an upper
 // level hits and the inclusive lower level should observe recency).
 func (c *Cache) Touch(lineAddr Line) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			c.useTick++
-			set[i].lastUse = c.useTick
-			return
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		c.useTick++
+		c.meta[i] = c.meta[i]&(metaFlagMask|metaOwnerMask<<metaOwnerShift) | c.useTick<<metaUseShift
 	}
 }
 
@@ -188,44 +255,55 @@ type Eviction struct {
 // prefetch-installed lines; owner identifies the issuing component.
 // It returns the eviction, if any.
 func (c *Cache) Fill(lineAddr Line, readyAt uint64, prefetched bool, owner int) Eviction {
-	set := c.sets[c.setIndex(lineAddr)]
-	victim := -1
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == lineAddr {
-			// Refill of a resident line (e.g. prefetch raced a demand fill):
-			// keep the earlier readiness, merge the prefetched mark.
-			if readyAt < ln.readyAt {
-				ln.readyAt = readyAt
+	base := int(c.setIndex(lineAddr)) * c.ways
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways]
+	// One pass finds a resident match, the last empty way, and the LRU way.
+	// The LRU candidate is only consulted when every way is valid, where the
+	// strict < keeps the lowest index on ties — exactly the original
+	// dedicated second scan. (Tick bits sit above the flag/owner bits, so
+	// comparing them means comparing meta >> metaUseShift.)
+	invalid, lru := -1, 0
+	minUse := ^uint64(0)
+	for i, t := range tags {
+		if t == lineAddr {
+			// Refill of a resident line (e.g. prefetch raced a demand
+			// fill): keep the earlier readiness, merge the prefetched mark.
+			if readyAt < c.readyAt[base+i] {
+				c.readyAt[base+i] = readyAt
 			}
 			return Eviction{}
 		}
-		if !ln.valid {
-			victim = i
+		if t == invalidTag {
+			invalid = i
+			continue
+		}
+		if u := meta[i] >> metaUseShift; u < minUse {
+			minUse = u
+			lru = i
 		}
 	}
-	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[victim].lastUse {
-				victim = i
-			}
-		}
+	victim := base + lru
+	if invalid >= 0 {
+		victim = base + invalid
 	}
-	ln := &set[victim]
 	ev := Eviction{}
-	if ln.valid {
-		ev = Eviction{Valid: true, LineAddr: ln.tag, Dirty: ln.dirty, Prefetched: ln.prefetched, Owner: ln.owner}
-		if ln.prefetched {
+	if f := c.meta[victim]; f&flagValid != 0 {
+		ev = Eviction{Valid: true, LineAddr: c.tags[victim], Dirty: f&flagDirty != 0, Prefetched: f&flagPrefetched != 0, Owner: metaOwner(f)}
+		if f&flagPrefetched != 0 {
 			c.Stats.PrefetchedEvictedUnused++
 		}
 	}
 	c.useTick++
-	*ln = line{tag: lineAddr, valid: true, prefetched: prefetched, owner: owner, readyAt: readyAt, lastUse: c.useTick}
+	c.tags[victim] = lineAddr
+	c.readyAt[victim] = readyAt
+	c.mru[base/c.ways] = uint8(victim - base)
+	c.absent[absentHash(lineAddr)] = invalidTag
 	if !prefetched {
-		ln.owner = NoOwner
+		c.meta[victim] = metaWord(flagValid, NoOwner, c.useTick)
 		c.Stats.DemandFills++
 	} else {
+		c.meta[victim] = metaWord(flagValid|flagPrefetched, owner, c.useTick)
 		c.Stats.PrefetchFills++
 	}
 	return ev
@@ -233,34 +311,38 @@ func (c *Cache) Fill(lineAddr Line, readyAt uint64, prefetched bool, owner int) 
 
 // MarkDirty sets the dirty bit on a resident line (store hit).
 func (c *Cache) MarkDirty(lineAddr Line) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].dirty = true
-			return
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		c.meta[i] |= flagDirty
 	}
 }
 
 // Invalidate removes lineAddr if resident and returns whether it was dirty.
 func (c *Cache) Invalidate(lineAddr Line) (present, dirty bool) {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			dirty = set[i].dirty
-			set[i] = line{}
-			return true, dirty
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		dirty = c.meta[i]&flagDirty != 0
+		c.clearWay(i)
+		return true, dirty
 	}
 	return false, false
 }
 
+// clearWay resets one way-store slot to its empty state.
+func (c *Cache) clearWay(i int) {
+	c.tags[i] = invalidTag
+	c.meta[i] = 0
+	c.readyAt[i] = 0
+}
+
 // Reset clears all lines, MSHRs and statistics.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	for i := range c.tags {
+		c.clearWay(i)
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
+	for i := range c.absent {
+		c.absent[i] = invalidTag
 	}
 	c.useTick = 0
 	c.mshr.Reset()

@@ -72,9 +72,13 @@ type Core struct {
 	mem      MemPort
 	hook     InstHook
 	regReady [trace.NumRegs]uint64
-	fetch    []uint64 // ring: fetch time of inst i (mod ROB)
-	retire   []uint64 // ring: retire time of inst i (mod ROB)
+	// ring interleaves fetch and retire times of inst i (mod ROB) as
+	// [fetch, retire] pairs so each slot's state lands on one cache line:
+	// every Step reads both words of the trailing slot and rewrites both
+	// words of the current one.
+	ring []uint64 // 2*ROB words: ring[2i] = fetch, ring[2i+1] = retire
 	n        uint64   // instructions processed
+	slot     int      // n % ROB, maintained incrementally
 	minFetch uint64   // earliest fetch for the next instruction (mispredict redirect)
 	lastRet  uint64   // latest retire time assigned (in-order monotonicity)
 	res      Result
@@ -86,8 +90,7 @@ func New(p Params, memPort MemPort, hook InstHook) *Core {
 		panic("cpu: width and ROB must be positive")
 	}
 	c := &Core{p: p, mem: memPort, hook: hook}
-	c.fetch = make([]uint64, p.ROB)
-	c.retire = make([]uint64, p.ROB)
+	c.ring = make([]uint64, 2*p.ROB)
 	return c
 }
 
@@ -95,16 +98,26 @@ func New(p Params, memPort MemPort, hook InstHook) *Core {
 func (c *Core) Step(in *trace.Inst) {
 	p := &c.p
 	i := c.n
-	slot := int(i) % p.ROB
+	slot := c.slot
+	// slotW trails slot by Width positions; both wrap by subtraction since
+	// ROB is not a power of two and a modulo per instruction is measurable
+	// on this path.
+	slotW := slot - p.Width
+	if slotW < 0 {
+		slotW += p.ROB
+	}
+	if c.slot++; c.slot == p.ROB {
+		c.slot = 0
+	}
 
 	// Fetch: bandwidth (Width per cycle), ROB occupancy, and any pending
 	// front-end redirect.
 	var ft uint64
 	if i >= uint64(p.Width) {
-		ft = c.fetch[int(i-uint64(p.Width))%p.ROB] + 1
+		ft = c.ring[2*slotW] + 1
 	}
 	if i >= uint64(p.ROB) {
-		if r := c.retire[slot]; r > ft { // retire time of inst i-ROB
+		if r := c.ring[2*slot+1]; r > ft { // retire time of inst i-ROB (same slot)
 			ft = r
 		}
 	}
@@ -170,29 +183,46 @@ func (c *Core) Step(in *trace.Inst) {
 		rt = c.lastRet
 	}
 	if i >= uint64(p.Width) {
-		if t := c.retire[int(i-uint64(p.Width))%p.ROB] + 1; t > rt {
+		if t := c.ring[2*slotW+1] + 1; t > rt {
 			rt = t
 		}
 	}
-	c.fetch[slot] = ft
-	c.retire[slot] = rt
+	c.ring[2*slot] = ft
+	c.ring[2*slot+1] = rt
 	c.lastRet = rt
 	c.n++
-	c.res.Insts = c.n
-	c.res.Cycles = rt
 }
 
-// Run drains src through the core and returns the result.
+// Run drains src through the core and returns the result. Sources with a
+// batch path are consumed run-at-a-time, skipping the per-instruction
+// interface call and copy; the instruction sequence is identical.
 func (c *Core) Run(src trace.Source) Result {
+	if bs, ok := src.(trace.BatchSource); ok {
+		for {
+			b := bs.NextBatch(1 << 20)
+			if len(b) == 0 {
+				break
+			}
+			for i := range b {
+				c.Step(&b[i])
+			}
+		}
+		return c.Result()
+	}
 	var in trace.Inst
 	for src.Next(&in) {
 		c.Step(&in)
 	}
-	return c.res
+	return c.Result()
 }
 
-// Result returns the statistics accumulated so far.
-func (c *Core) Result() Result { return c.res }
+// Result returns the statistics accumulated so far. Insts and Cycles are
+// materialized here rather than stored on every Step.
+func (c *Core) Result() Result {
+	c.res.Insts = c.n
+	c.res.Cycles = c.lastRet
+	return c.res
+}
 
 // Cycle returns the current retire-time high-water mark.
 func (c *Core) Cycle() uint64 { return c.lastRet }

@@ -5,7 +5,11 @@
 // where the controller preferentially drops low-confidence (C1) prefetches.
 package dram
 
-import "divlab/internal/cache"
+import (
+	"math/bits"
+
+	"divlab/internal/cache"
+)
 
 // Config describes the memory system in CPU cycles (Table I at 3 GHz:
 // 1 ns = 3 cycles).
@@ -121,6 +125,15 @@ type Controller struct {
 	// do not read phantom congestion.
 	now   uint64
 	Stats Stats
+	// Shift/mask routing, precomputed when channels, banks-per-channel and
+	// lines-per-row are all powers of two (they are in the Table I config);
+	// route() is on the path of every DRAM access and the three chained
+	// 64-bit divisions it otherwise needs dominate its cost.
+	pow2Route bool
+	chShift   uint
+	chMask    uint64
+	bankMask  uint64
+	rowShift  uint
 }
 
 // NewController builds a controller with the given configuration and drop
@@ -133,7 +146,18 @@ func NewController(cfg Config, policy DropPolicy, seed uint64) *Controller {
 	for i := range chans {
 		chans[i].banks = make([]bank, cfg.RanksPerChan*cfg.BanksPerRank)
 	}
-	return &Controller{cfg: cfg, chans: chans, policy: policy, rng: seed | 1}
+	c := &Controller{cfg: cfg, chans: chans, policy: policy, rng: seed | 1}
+	nch := uint64(cfg.Channels)
+	nb := uint64(cfg.RanksPerChan * cfg.BanksPerRank)
+	lpr := uint64(cfg.RowBytes) / cache.LineBytes
+	if lpr > 0 && nch&(nch-1) == 0 && nb&(nb-1) == 0 && lpr&(lpr-1) == 0 {
+		c.pow2Route = true
+		c.chShift = uint(bits.TrailingZeros64(nch))
+		c.chMask = nch - 1
+		c.bankMask = nb - 1
+		c.rowShift = uint(bits.TrailingZeros64(nb) + bits.TrailingZeros64(lpr))
+	}
+	return c
 }
 
 // SetPolicy changes the drop policy (used by the drop-policy experiment).
@@ -149,6 +173,11 @@ func (c *Controller) rand() uint64 {
 
 func (c *Controller) route(lineAddr cache.Line) (ch *channel, b *bank, row uint64) {
 	lineIdx := lineAddr.Index()
+	if c.pow2Route {
+		ch = &c.chans[lineIdx&c.chMask]
+		perChan := lineIdx >> c.chShift
+		return ch, &ch.banks[perChan&c.bankMask], perChan >> c.rowShift
+	}
 	chIdx := int(lineIdx) & (c.cfg.Channels - 1)
 	if c.cfg.Channels&(c.cfg.Channels-1) != 0 {
 		chIdx = int(lineIdx % uint64(c.cfg.Channels))

@@ -229,27 +229,42 @@ func (h *Hierarchy) writeback(from Level, ev cache.Eviction, at uint64) {
 	}
 }
 
-// admit gates a miss on MSHR availability BEFORE it descends: the request
-// waits until a register frees and returns the admission time. Gating at
-// admission (rather than charging a stall after the fact) is what bounds a
-// core's outstanding misses to its MSHR count, as in hardware.
-func admit(m *cache.MSHR, at uint64) uint64 {
-	t := m.NextFree(at)
-	if t > at {
-		m.FullStalls++
-	}
-	return t
-}
+// Misses are gated on MSHR availability BEFORE they descend: the request
+// waits until a register frees (the nextFree time the combined
+// PendingOrNextFree sweep reports) and that becomes the admission time.
+// Gating at admission (rather than charging a stall after the fact) is what
+// bounds a core's outstanding misses to its MSHR count, as in hardware; a
+// delayed admission is charged to the cache's FullStalls counter at each
+// miss site.
 
 // Access performs a demand access at cycle `at` and returns its latency and
 // the L1D-view event for prefetcher training and metrics.
 func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Event) {
+	var ev Event
+	lat := h.AccessInto(pc, addr, at, store, &ev)
+	return lat, ev
+}
+
+// AccessInto is Access writing the event into a caller-owned buffer — the
+// simulator's per-instruction path reuses one Event and avoids copying the
+// struct through two return values every access.
+func (h *Hierarchy) AccessInto(pc, addr uint64, at uint64, store bool, ev *Event) uint64 {
 	h.Stats.DemandAccesses++
 	if at > h.now {
 		h.now = at
 	}
 	lineAddr := ToLine(addr)
-	ev := Event{PC: pc, Addr: addr, LineAddr: lineAddr, Cycle: at, Store: store, OwnerL1: cache.NoOwner, OwnerL2: cache.NoOwner, MemLat: h.memLat >> 6}
+	// Zero-then-set instead of a composite literal: the literal builds a
+	// ~100-byte temp and copies it through this pointer on every access.
+	*ev = Event{}
+	ev.PC = pc
+	ev.Addr = addr
+	ev.LineAddr = lineAddr
+	ev.Cycle = at
+	ev.Store = store
+	ev.OwnerL1 = cache.NoOwner
+	ev.OwnerL2 = cache.NoOwner
+	ev.MemLat = h.memLat >> 6
 
 	l1lat := h.L1D.Config().LatCycles
 
@@ -265,21 +280,25 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 			h.L1D.MarkDirty(lineAddr)
 		}
 		h.updateAMAT(ev.Latency)
-		return ev.Latency, ev
+		return ev.Latency
 	}
 
-	// L1 miss: merge with a pending fetch if one exists.
-	if readyAt, ok := h.L1D.MSHR().Pending(lineAddr, at); ok {
+	// L1 miss: merge with a pending fetch if one exists. The pending probe
+	// and the MSHR admission gate share one register-file sweep.
+	pendAt, pending, adm := h.L1D.MSHR().PendingOrNextFree(lineAddr, at, at)
+	if pending {
 		ev.Secondary = true
-		ev.Latency = (readyAt - at) + l1lat
+		ev.Latency = (pendAt - at) + l1lat
 		h.updateAMAT(ev.Latency)
 		// The line will be filled by the primary miss; just account.
-		return ev.Latency, ev
+		return ev.Latency
 	}
 	ev.MissL1 = true
 
-	adm := admit(h.L1D.MSHR(), at)
-	below := h.lookupL2(lineAddr, adm+l1lat, &ev)
+	if adm > at {
+		h.L1D.MSHR().FullStalls++
+	}
+	below := h.lookupL2(lineAddr, adm+l1lat, ev)
 	readyAt := adm + l1lat + below
 	h.L1D.MSHR().Allocate(lineAddr, adm, readyAt, false)
 	lat := readyAt - at
@@ -294,7 +313,7 @@ func (h *Hierarchy) Access(pc, addr uint64, at uint64, store bool) (uint64, Even
 	}
 	ev.Latency = lat
 	h.updateAMAT(lat)
-	return lat, ev
+	return lat
 }
 
 // lookupL2 resolves a miss below L1 and returns the latency from L2 access
@@ -309,12 +328,15 @@ func (h *Hierarchy) lookupL2(lineAddr Line, at uint64, ev *Event) uint64 {
 		}
 		return l2lat + r.ExtraWait
 	}
-	if readyAt, ok := h.L2.MSHR().Pending(lineAddr, at); ok {
-		return (readyAt - at) + l2lat
+	pendAt, pending, adm := h.L2.MSHR().PendingOrNextFree(lineAddr, at, at)
+	if pending {
+		return (pendAt - at) + l2lat
 	}
 	ev.MissL2 = true
 
-	adm := admit(h.L2.MSHR(), at)
+	if adm > at {
+		h.L2.MSHR().FullStalls++
+	}
 	below := h.lookupL3(lineAddr, adm+l2lat, false, cache.NoOwner, 0)
 	readyAt := adm + l2lat + below
 	h.L2.MSHR().Allocate(lineAddr, adm, readyAt, false)
@@ -339,18 +361,29 @@ func (h *Hierarchy) lookupL3(lineAddr Line, at uint64, prefetch bool, owner, pri
 		}
 		return l3lat + r.ExtraWait
 	}
-	if readyAt, ok := l3.MSHR().Pending(lineAddr, at); ok {
-		return (readyAt - at) + l3lat
+	// One sweep answers both the pending probe and the availability check
+	// (demand admission gate, or the prefetch shed decision at the monotone
+	// clock).
+	t2 := at
+	if prefetch {
+		t2 = h.nowOrLater(at)
+	}
+	pendAt, pending, nf := l3.MSHR().PendingOrNextFree(lineAddr, at, t2)
+	if pending {
+		return (pendAt - at) + l3lat
 	}
 	var adm uint64
 	if prefetch {
 		// Prefetches never wait for an MSHR; they are shed instead.
-		if l3.MSHR().Full(h.nowOrLater(at)) {
+		if nf > t2 {
 			return dropMSHRSentinel
 		}
 		adm = at
 	} else {
-		adm = admit(l3.MSHR(), at)
+		adm = nf
+		if adm > at {
+			l3.MSHR().FullStalls++
+		}
 	}
 	dlat, dropped := h.sys.Mem.Access(dram.Request{LineAddr: lineAddr, Prefetch: prefetch, Owner: owner, Priority: priority}, adm+l3lat)
 	if dropped {
@@ -503,13 +536,15 @@ func (h *Hierarchy) prefetchIntoL2Path(lineAddr Line, at uint64, owner, priority
 		h.L2.Touch(lineAddr)
 		return l2lat
 	}
-	if readyAt, ok := h.L2.MSHR().Pending(lineAddr, h.nowOrLater(at)); ok {
-		if readyAt <= at {
+	now := h.nowOrLater(at)
+	pendAt, pending, nf := h.L2.MSHR().PendingOrNextFree(lineAddr, now, now)
+	if pending {
+		if pendAt <= at {
 			return l2lat
 		}
-		return (readyAt - at) + l2lat
+		return (pendAt - at) + l2lat
 	}
-	if h.L2.MSHR().Full(h.nowOrLater(at)) {
+	if nf > now {
 		return dropMSHRSentinel
 	}
 	// The L2 copy left along an L1-destined fill path is a shadow, not the

@@ -94,23 +94,27 @@ func (p *Markov) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		line uint64
 		conf uint8
 	}
-	var cs []cand
+	// At most len(e.succ) candidates — a fixed array keeps the per-miss
+	// prediction step off the heap.
+	var cs [4]cand
+	n := 0
 	for i := range e.succ {
 		if e.conf[i] >= 2 {
-			cs = append(cs, cand{e.succ[i], e.conf[i]})
+			cs[n] = cand{e.succ[i], e.conf[i]}
+			n++
 		}
 	}
 	// Selection by confidence, bounded by degree.
-	for issued := 0; issued < p.degree && len(cs) > 0; issued++ {
+	for issued := 0; issued < p.degree && n > 0; issued++ {
 		best := 0
-		for i := range cs {
+		for i := 0; i < n; i++ {
 			if cs[i].conf > cs[best].conf {
 				best = i
 			}
 		}
 		issue(p.Req(mem.LineAt(cs[best].line), p.dest, 1))
-		cs[best] = cs[len(cs)-1]
-		cs = cs[:len(cs)-1]
+		cs[best] = cs[n-1]
+		n--
 	}
 }
 

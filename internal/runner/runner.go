@@ -80,6 +80,17 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[Key]*entry
 
+	// recs memoizes pre-generated instruction buffers per (workload, seed,
+	// budget): the matrix simulates each workload once per prefetcher
+	// column, and generation is ~a tenth of a run, so the first column
+	// records the stream and the rest replay it (byte-identical — see
+	// sim.Record). recBytes bounds the memory spent on recordings; points
+	// over budget fall back to live generation, which changes nothing
+	// observable.
+	recMu    sync.Mutex
+	recs     map[recKey]*recEntry
+	recBytes int64
+
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	skips  atomic.Uint64 // uncacheable runs
@@ -236,6 +247,60 @@ func keyFor(workload, pf string, multi bool, cfg sim.Config, destTag string) (Ke
 	}, true
 }
 
+// recKey identifies one pre-recorded instruction stream.
+type recKey struct {
+	Workload string
+	Seed     uint64
+	Insts    uint64
+}
+
+// recEntry is one recording slot (claim pattern as for results). rec stays
+// nil when the budget was exhausted; waiters then generate live.
+type recEntry struct {
+	done chan struct{}
+	rec  *sim.Recorded
+}
+
+// Recording budget: a generous bound on total buffered instructions so an
+// unbounded sweep cannot hold every stream it ever simulated. 48 bytes is
+// the recorded-instruction footprint estimate.
+const (
+	recInstBytes   = 48
+	recBudgetBytes = 384 << 20
+)
+
+// instanceFor returns a replay cursor for (w, seed, insts), recording the
+// stream on first use, or nil (meaning: build live) when recording is over
+// budget. Results are identical either way; only generation cost differs.
+func (e *Engine) instanceFor(w workloads.Workload, seed, insts uint64) workloads.Instance {
+	k := recKey{Workload: w.Name, Seed: seed, Insts: insts}
+	e.recMu.Lock()
+	ent, ok := e.recs[k]
+	if !ok {
+		ent = &recEntry{done: make(chan struct{})}
+		if e.recs == nil {
+			e.recs = make(map[recKey]*recEntry)
+		}
+		e.recs[k] = ent
+		overBudget := e.recBytes+int64(insts)*recInstBytes > recBudgetBytes
+		if !overBudget {
+			e.recBytes += int64(insts) * recInstBytes
+		}
+		e.recMu.Unlock()
+		if !overBudget {
+			ent.rec = sim.Record(w, seed, insts)
+		}
+		close(ent.done)
+	} else {
+		e.recMu.Unlock()
+		<-ent.done
+	}
+	if ent.rec == nil {
+		return nil
+	}
+	return ent.rec.Instance()
+}
+
 // claim returns the cache entry for k and whether the caller owns it (owner
 // must simulate, fill the entry and close done).
 func (e *Engine) claim(k Key) (ent *entry, owner bool) {
@@ -255,7 +320,7 @@ func (e *Engine) Single(j Job) *sim.Result {
 	k, cacheable := keyFor(j.Workload.Name, j.Prefetcher.Name, false, cfg, j.DestTag)
 	if !cacheable {
 		e.skips.Add(1)
-		r := sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+		r := sim.RunSingleOn(e.instanceFor(j.Workload, cfg.Seed, cfg.Insts), j.Workload, j.Prefetcher.Factory, cfg)
 		e.jobDone(false)
 		return r
 	}
@@ -263,7 +328,7 @@ func (e *Engine) Single(j Job) *sim.Result {
 	if owner {
 		e.misses.Add(1)
 		defer close(ent.done)
-		ent.single = sim.RunSingle(j.Workload, j.Prefetcher.Factory, cfg)
+		ent.single = sim.RunSingleOn(e.instanceFor(j.Workload, cfg.Seed, cfg.Insts), j.Workload, j.Prefetcher.Factory, cfg)
 	} else {
 		e.hits.Add(1)
 		<-ent.done
@@ -279,7 +344,7 @@ func (e *Engine) Multi(j MultiJob) []*sim.Result {
 	k, cacheable := keyFor(j.Mix.Name, j.Prefetcher.Name, true, cfg, "")
 	if !cacheable {
 		e.skips.Add(1)
-		r := sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+		r := sim.RunMultiOn(e.mixInstances(j.Mix, cfg), j.Mix, j.Prefetcher.Factory, cfg)
 		e.jobDone(false)
 		return r
 	}
@@ -287,13 +352,23 @@ func (e *Engine) Multi(j MultiJob) []*sim.Result {
 	if owner {
 		e.misses.Add(1)
 		defer close(ent.done)
-		ent.multi = sim.RunMulti(j.Mix, j.Prefetcher.Factory, cfg)
+		ent.multi = sim.RunMultiOn(e.mixInstances(j.Mix, cfg), j.Mix, j.Prefetcher.Factory, cfg)
 	} else {
 		e.hits.Add(1)
 		<-ent.done
 	}
 	e.jobDone(!owner)
 	return ent.multi
+}
+
+// mixInstances returns per-core replay cursors for a mix's apps (nil slots
+// where recording is over budget; RunMultiOn then builds those live).
+func (e *Engine) mixInstances(mix workloads.Mix, cfg sim.Config) []workloads.Instance {
+	insts := make([]workloads.Instance, len(mix.Apps))
+	for i, app := range mix.Apps {
+		insts[i] = e.instanceFor(app, sim.MixSeed(cfg, i), cfg.Insts)
+	}
+	return insts
 }
 
 // RunBatch executes the jobs on the pool and returns results in job order.

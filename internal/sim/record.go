@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"divlab/internal/cache"
+	"divlab/internal/trace"
+	"divlab/internal/vmem"
+	"divlab/internal/workloads"
+)
+
+// Recorded is a pre-generated instruction buffer for one (workload, seed,
+// budget) point. Generating a workload's instruction stream costs around a
+// tenth of a simulation; the experiment matrix simulates every workload once
+// per prefetcher column, so the engine records each stream once and replays
+// it for the remaining columns. Replay is byte-for-byte the live stream:
+// phases are deterministic in the seed, and the value memory is written only
+// while the instance is built, never while instructions are generated, so a
+// replayed P1 dereferences exactly the pointers the live run would.
+//
+// A Recorded is immutable after Record returns and safe for concurrent
+// replays; each Instance carries its own cursor while sharing the buffer,
+// memory and ground-truth classifier.
+type Recorded struct {
+	insts []trace.Inst
+	base  workloads.Instance
+}
+
+// Record generates the first n instructions of w at the given seed.
+func Record(w workloads.Workload, seed, n uint64) *Recorded {
+	base := w.New(seed)
+	rec := &Recorded{insts: make([]trace.Inst, 0, n), base: base}
+	lim := &trace.Limit{Src: base, N: n}
+	for {
+		b := lim.NextBatch(1 << 16)
+		if len(b) == 0 {
+			break
+		}
+		// NextBatch hands out views into the generator's emission buffer,
+		// which the next refill overwrites; append copies them out first.
+		rec.insts = append(rec.insts, b...)
+	}
+	return rec
+}
+
+// Insts returns the number of recorded instructions.
+func (rec *Recorded) Insts() int { return len(rec.insts) }
+
+// Instance returns a fresh replay cursor over the recording, implementing
+// workloads.Instance exactly like a live instance would.
+func (rec *Recorded) Instance() workloads.Instance { return &replayInstance{rec: rec} }
+
+// replayInstance replays a recording. Memory and Classify delegate to the
+// recorded base instance, both read-only after build.
+type replayInstance struct {
+	rec *Recorded
+	pos int
+}
+
+func (r *replayInstance) Next(out *trace.Inst) bool {
+	if r.pos >= len(r.rec.insts) {
+		return false
+	}
+	*out = r.rec.insts[r.pos]
+	r.pos++
+	return true
+}
+
+// NextBatch implements trace.BatchSource with zero-copy views of the buffer.
+func (r *replayInstance) NextBatch(max int) []trace.Inst {
+	b := r.rec.insts[r.pos:]
+	if len(b) > max {
+		b = b[:max]
+	}
+	r.pos += len(b)
+	return b
+}
+
+func (r *replayInstance) Memory() vmem.Memory { return r.rec.base.Memory() }
+
+func (r *replayInstance) Classify(lineAddr cache.Line) workloads.Category {
+	return r.rec.base.Classify(lineAddr)
+}

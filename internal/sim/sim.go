@@ -74,15 +74,19 @@ type Result struct {
 	// IssuedDest splits Issued by destination level (L1/L2/L3).
 	IssuedDest [3]uint64
 
-	// PerOwner maps component id -> issued prefetch count.
-	PerOwner map[int]uint64
+	// perOwner counts issued prefetches per component, indexed by the
+	// already-contiguous component id (prefetch.AssignIDs starts at 1;
+	// index 0 is unused). Dense slices keep the per-issue accounting off
+	// the heap; the map-shaped views live behind PerOwner/PerOwnerCat.
+	perOwner []uint64
 	// CatIssued counts issued prefetches by ground-truth category.
 	CatIssued [workloads.NumCategories]uint64
 	// CatIssuedL1 counts only L1-destined issues by category, so accuracy
 	// can be judged at each prefetch's own destination level.
 	CatIssuedL1 [workloads.NumCategories]uint64
-	// PerOwnerCat maps component id -> per-category issued counts.
-	PerOwnerCat map[int][workloads.NumCategories]uint64
+	// perOwnerCat counts issued prefetches per component per ground-truth
+	// category, indexed like perOwner.
+	perOwnerCat [][workloads.NumCategories]uint64
 	// CatL1Misses counts primary L1 misses by category.
 	CatL1Misses [workloads.NumCategories]uint64
 	// CatL2Misses counts primary L2 misses by category.
@@ -98,8 +102,9 @@ type Result struct {
 	// IssuedLines is the post-filter per-line issued prefetch count
 	// (CollectFootprint only), used for region-restricted accuracy.
 	IssuedLines map[mem.Line]uint32
-	// OwnerSlots maps component id -> bit position in Attempted masks.
-	OwnerSlots map[int]uint
+	// ownerSlots maps component id (dense index) -> bit position in
+	// Attempted masks; see OwnerSlots for the map-shaped view.
+	ownerSlots []uint8
 	// Names maps component id -> component name.
 	Names map[int]string
 
@@ -118,6 +123,52 @@ type Result struct {
 // IPC returns the run's instructions per cycle.
 func (r *Result) IPC() float64 { return r.Core.IPC() }
 
+// PerOwner returns the issued prefetch count per component id — the
+// map-shaped view of the dense per-owner counters, built on demand for
+// report and test consumers (ids that never issued are omitted, matching
+// the historical map-based accounting).
+func (r *Result) PerOwner() map[int]uint64 {
+	m := make(map[int]uint64, len(r.perOwner))
+	for id, n := range r.perOwner {
+		if n != 0 {
+			m[id] = n
+		}
+	}
+	return m
+}
+
+// PerOwnerIssued returns the issued prefetch count for one component id.
+func (r *Result) PerOwnerIssued(id int) uint64 {
+	if id < 0 || id >= len(r.perOwner) {
+		return 0
+	}
+	return r.perOwner[id]
+}
+
+// PerOwnerCat returns per-component per-category issued counts, map-shaped
+// (ids with no issues are omitted, matching the historical map accounting).
+func (r *Result) PerOwnerCat() map[int][workloads.NumCategories]uint64 {
+	m := make(map[int][workloads.NumCategories]uint64, len(r.perOwnerCat))
+	for id, c := range r.perOwnerCat {
+		if c != ([workloads.NumCategories]uint64{}) {
+			m[id] = c
+		}
+	}
+	return m
+}
+
+// OwnerSlots returns component id -> bit position in Attempted masks,
+// map-shaped for footprint consumers.
+func (r *Result) OwnerSlots() map[int]uint {
+	m := make(map[int]uint, len(r.Names))
+	for id := range r.ownerSlots {
+		if _, ok := r.Names[id]; ok {
+			m[id] = uint(r.ownerSlots[id])
+		}
+	}
+	return m
+}
+
 // MPKI returns primary L1 misses per kilo-instruction.
 func (r *Result) MPKI() float64 {
 	if r.Core.Insts == 0 {
@@ -135,33 +186,52 @@ type runner struct {
 	pfInst prefetch.InstObserver
 	res    *Result
 	queue  []prefetch.Request
+	// issuer is the bound issue method, captured once: passing r.issue at
+	// every dispatch would allocate a fresh method-value closure per
+	// instruction — the single largest garbage source of the old hot path.
+	issuer prefetch.Issuer
+	// ev is the reusable demand-event buffer handed to OnAccess; taking the
+	// address of a stack copy would force a heap escape per access.
+	ev mem.Event
+}
+
+func newRunner(cfg Config, inst workloads.Instance, hier *mem.Hierarchy, pf prefetch.Component, res *Result) *runner {
+	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: pf, res: res,
+		queue: make([]prefetch.Request, 0, 256)}
+	r.issuer = r.issue
+	if o, ok := pf.(prefetch.InstObserver); ok {
+		r.pfInst = o
+	}
+	return r
 }
 
 // Access implements cpu.MemPort.
 func (r *runner) Access(pc, addr uint64, at uint64, store bool) uint64 {
-	lat, ev := r.hier.Access(pc, addr, at, store)
+	lat := r.hier.AccessInto(pc, addr, at, store, &r.ev)
 	res := r.res
-	cat := r.inst.Classify(ev.LineAddr)
-	if ev.MissL1 {
+	cat := r.inst.Classify(r.ev.LineAddr)
+	if r.ev.MissL1 {
 		res.L1Misses++
 		res.CatL1Misses[cat]++
 		if res.MissL1Lines != nil {
-			res.MissL1Lines[ev.LineAddr]++
+			res.MissL1Lines[r.ev.LineAddr]++
 		}
 	}
-	if ev.Secondary {
+	if r.ev.Secondary {
 		res.L1Secondary++
 	}
-	if ev.MissL2 {
+	if r.ev.MissL2 {
 		res.L2Misses++
 		res.CatL2Misses[cat]++
 		if res.MissL2Lines != nil {
-			res.MissL2Lines[ev.LineAddr]++
+			res.MissL2Lines[r.ev.LineAddr]++
 		}
 	}
 	if r.pf != nil {
-		r.pf.OnAccess(&ev, r.issue)
-		r.drain(at)
+		r.pf.OnAccess(&r.ev, r.issuer)
+		if len(r.queue) != 0 {
+			r.drain(at)
+		}
 	}
 	return lat
 }
@@ -171,8 +241,11 @@ func (r *runner) hook(in *trace.Inst, cycle uint64) {
 	if r.pfInst == nil {
 		return
 	}
-	r.pfInst.OnInst(in, cycle, r.issue)
-	r.drain(cycle)
+	r.pfInst.OnInst(in, cycle, r.issuer)
+	// Most instructions issue nothing; skip the call, not just the loop.
+	if len(r.queue) != 0 {
+		r.drain(cycle)
+	}
 }
 
 // issue queues a component's request; drain processes it after the handler
@@ -186,15 +259,17 @@ func (r *runner) issue(req prefetch.Request) {
 func (r *runner) drain(at uint64) {
 	res := r.res
 	for _, req := range r.queue {
-		cat := r.inst.Classify(req.LineAddr)
 		dest := req.Dest
 		if r.cfg.DestOverride != nil {
-			dest = r.cfg.DestOverride(req, cat)
+			dest = r.cfg.DestOverride(req, r.inst.Classify(req.LineAddr))
 		}
 		if res.Attempted != nil {
-			res.Attempted[req.LineAddr] |= 1 << res.OwnerSlots[req.Owner]
+			res.Attempted[req.LineAddr] |= 1 << res.slot(req.Owner)
 		}
 		if r.hier.Prefetch(req.LineAddr, dest, req.Owner, req.Priority, at) {
+			// Classification is pure, so deduped and dropped requests —
+			// which record no per-category state — never pay for it.
+			cat := r.inst.Classify(req.LineAddr)
 			res.Issued++
 			res.IssuedDest[dest]++
 			if res.IssuedLines != nil {
@@ -204,33 +279,41 @@ func (r *runner) drain(at uint64) {
 			if dest == mem.L1 {
 				res.CatIssuedL1[cat]++
 			}
-			res.PerOwner[req.Owner]++
-			pc := res.PerOwnerCat[req.Owner]
-			pc[cat]++
-			res.PerOwnerCat[req.Owner] = pc
+			if o := req.Owner; o >= 0 && o < len(res.perOwner) {
+				res.perOwner[o]++
+				res.perOwnerCat[o][cat]++
+			}
 		}
 	}
 	r.queue = r.queue[:0]
 }
 
-func newResult(cfg Config, names map[int]string) *Result {
-	res := &Result{
-		PerOwner:    make(map[int]uint64),
-		PerOwnerCat: make(map[int][workloads.NumCategories]uint64),
-		Names:       names,
-		OwnerSlots:  make(map[int]uint),
+// slot returns the Attempted-mask bit position for a component id.
+func (r *Result) slot(owner int) uint {
+	if owner < 0 || owner >= len(r.ownerSlots) {
+		return 0
 	}
-	// Deterministic slot assignment by id order.
-	slot := uint(0)
+	return uint(r.ownerSlots[owner])
+}
+
+func newResult(cfg Config, names map[int]string) *Result {
+	res := &Result{Names: names}
+	// Deterministic slot assignment by id order. Component ids are
+	// contiguous from 1 (prefetch.AssignIDs), but tolerate gaps: the dense
+	// arrays span up to the highest id.
+	slot := uint8(0)
 	maxID := 0
 	for id := range names {
 		if id > maxID {
 			maxID = id
 		}
 	}
+	res.perOwner = make([]uint64, maxID+1)
+	res.perOwnerCat = make([][workloads.NumCategories]uint64, maxID+1)
+	res.ownerSlots = make([]uint8, maxID+1)
 	for id := 1; id <= maxID; id++ {
 		if _, ok := names[id]; ok {
-			res.OwnerSlots[id] = slot
+			res.ownerSlots[id] = slot
 			slot++
 		}
 	}
@@ -267,13 +350,22 @@ func closeLifecycle(res *Result) {
 // RunSingle executes one workload on one core with the given prefetcher
 // factory (nil for the no-prefetch baseline).
 func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
+	return RunSingleOn(nil, w, factory, cfg)
+}
+
+// RunSingleOn is RunSingle over a caller-provided workload instance — the
+// runner's pre-recorded replays enter here. A nil inst builds the workload
+// live, exactly as RunSingle always has.
+func RunSingleOn(inst workloads.Instance, w workloads.Workload, factory Factory, cfg Config) *Result {
 	if cfg.Cores == 0 {
 		cfg.Cores = 1
 	}
 	if cfg.CoreParams.Width == 0 {
 		cfg.CoreParams = cpu.DefaultParams()
 	}
-	inst := w.New(cfg.Seed)
+	if inst == nil {
+		inst = w.New(cfg.Seed)
+	}
 	sys := mem.NewSystem(mem.DefaultConfig(1), cfg.DropPolicy, cfg.Seed)
 	hier := mem.NewHierarchy(mem.DefaultConfig(1), sys)
 
@@ -285,10 +377,7 @@ func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
 	}
 	res := newResult(cfg, names)
 	attachLifecycle(cfg, hier, res, names)
-	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
-	if o, ok := comp.(prefetch.InstObserver); ok {
-		r.pfInst = o
-	}
+	r := newRunner(cfg, inst, hier, comp, res)
 
 	params := cfg.CoreParams
 	if cfg.UseBPred {
@@ -314,6 +403,16 @@ func RunSingle(w workloads.Workload, factory Factory, cfg Config) *Result {
 // Cores are interleaved in simulated-time order so contention at the shared
 // levels is honored. The i-th result corresponds to the i-th app.
 func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
+	return RunMultiOn(nil, mix, factory, cfg)
+}
+
+// MixSeed returns the workload seed RunMulti derives for core i — the value
+// a caller pre-building (or pre-recording) per-core instances must use.
+func MixSeed(cfg Config, i int) uint64 { return cfg.Seed + uint64(i)*7919 }
+
+// RunMultiOn is RunMulti over caller-provided per-core instances (nil, or
+// nil slots, build the corresponding apps live at their MixSeed).
+func RunMultiOn(insts []workloads.Instance, mix workloads.Mix, factory Factory, cfg Config) []*Result {
 	cores := cfg.Cores
 	if cores <= 0 || cores > 4 {
 		cores = 4
@@ -332,7 +431,13 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 	states := make([]*coreState, cores)
 	results := make([]*Result, cores)
 	for i := 0; i < cores; i++ {
-		inst := mix.Apps[i].New(cfg.Seed + uint64(i)*7919)
+		var inst workloads.Instance
+		if i < len(insts) {
+			inst = insts[i]
+		}
+		if inst == nil {
+			inst = mix.Apps[i].New(MixSeed(cfg, i))
+		}
 		hier := mem.NewHierarchy(mem.DefaultConfig(cores), sys)
 		var comp prefetch.Component
 		names := map[int]string{}
@@ -342,10 +447,7 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 		}
 		res := newResult(cfg, names)
 		attachLifecycle(cfg, hier, res, names)
-		r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
-		if o, ok := comp.(prefetch.InstObserver); ok {
-			r.pfInst = o
-		}
+		r := newRunner(cfg, inst, hier, comp, res)
 		params := cfg.CoreParams
 		if cfg.UseBPred {
 			params.Pred = bpred.New()
@@ -360,7 +462,6 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 
 	// Advance the core that is furthest behind in simulated time so shared
 	// resources see accesses in approximate time order.
-	var in trace.Inst
 	for {
 		pick := -1
 		var minCycle uint64 = ^uint64(0)
@@ -376,13 +477,20 @@ func RunMulti(mix workloads.Mix, factory Factory, cfg Config) []*Result {
 			break
 		}
 		st := states[pick]
-		// Step a small batch to amortize scheduling.
-		for k := 0; k < 64; k++ {
-			if !st.src.Next(&in) {
+		// Step a small batch to amortize scheduling. The quantum must stay
+		// exactly 64 instructions per pick: shared L3/DRAM state makes the
+		// interleaving observable, so a short NextBatch (a phase-buffer
+		// boundary) is topped up rather than ending the turn early.
+		for k := 0; k < 64; {
+			b := st.src.NextBatch(64 - k)
+			if len(b) == 0 {
 				st.done = true
 				break
 			}
-			st.core.Step(&in)
+			for i := range b {
+				st.core.Step(&b[i])
+			}
+			k += len(b)
 		}
 	}
 
@@ -436,10 +544,7 @@ func RunTrace(ft *trace.FileTrace, factory Factory, cfg Config) *Result {
 	}
 	res := newResult(cfg, names)
 	attachLifecycle(cfg, hier, res, names)
-	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: comp, res: res}
-	if o, ok := comp.(prefetch.InstObserver); ok {
-		r.pfInst = o
-	}
+	r := newRunner(cfg, inst, hier, comp, res)
 	params := cfg.CoreParams
 	if cfg.UseBPred {
 		params.Pred = bpred.New()

@@ -151,11 +151,12 @@ func TestPerOwnerAttribution(t *testing.T) {
 	cfg := DefaultConfig(120_000)
 	tpc, _ := ByName("tpc")
 	r := RunSingle(w, tpc.Factory, cfg)
-	if len(r.PerOwner) < 2 {
-		t.Fatalf("expected multiple components to issue, got %v (names %v)", r.PerOwner, r.Names)
+	perOwner := r.PerOwner()
+	if len(perOwner) < 2 {
+		t.Fatalf("expected multiple components to issue, got %v (names %v)", perOwner, r.Names)
 	}
 	var sum uint64
-	for _, n := range r.PerOwner {
+	for _, n := range perOwner {
 		sum += n
 	}
 	if sum != r.Issued {

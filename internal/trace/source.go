@@ -7,6 +7,17 @@ type Source interface {
 	Next(in *Inst) bool
 }
 
+// BatchSource is an optional fast path for sources that hold instructions in
+// contiguous runs: NextBatch consumes and returns up to max instructions as a
+// slice into the source's own storage, valid until the next call. It avoids
+// the per-instruction interface dispatch and copy of Next. An empty result
+// means the stream is exhausted. The instruction sequence is identical to
+// what repeated Next calls would produce.
+type BatchSource interface {
+	Source
+	NextBatch(max int) []Inst
+}
+
 // SliceSource replays a pre-built instruction slice; useful in tests.
 type SliceSource struct {
 	Insts []Inst
@@ -23,6 +34,16 @@ func (s *SliceSource) Next(in *Inst) bool {
 	return true
 }
 
+// NextBatch implements BatchSource.
+func (s *SliceSource) NextBatch(max int) []Inst {
+	b := s.Insts[s.pos:]
+	if len(b) > max {
+		b = b[:max]
+	}
+	s.pos += len(b)
+	return b
+}
+
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
@@ -31,6 +52,8 @@ type Limit struct {
 	Src Source
 	N   uint64
 	cnt uint64
+	// scratch backs NextBatch when Src is not itself a BatchSource.
+	scratch []Inst
 }
 
 // Next implements Source.
@@ -43,4 +66,33 @@ func (l *Limit) Next(in *Inst) bool {
 	}
 	l.cnt++
 	return true
+}
+
+// NextBatch implements BatchSource, delegating to the wrapped source's batch
+// path when it has one and otherwise gathering into a reused scratch buffer.
+func (l *Limit) NextBatch(max int) []Inst {
+	if max <= 0 || l.cnt >= l.N {
+		return nil
+	}
+	if rem := l.N - l.cnt; uint64(max) > rem {
+		max = int(rem)
+	}
+	if bs, ok := l.Src.(BatchSource); ok {
+		b := bs.NextBatch(max)
+		l.cnt += uint64(len(b))
+		return b
+	}
+	if cap(l.scratch) == 0 {
+		l.scratch = make([]Inst, 256)
+	}
+	b := l.scratch[:cap(l.scratch)]
+	if len(b) > max {
+		b = b[:max]
+	}
+	n := 0
+	for n < len(b) && l.Src.Next(&b[n]) {
+		n++
+	}
+	l.cnt += uint64(n)
+	return b[:n]
 }

@@ -161,6 +161,29 @@ func (in *instance) Next(out *trace.Inst) bool {
 	return true
 }
 
+// NextBatch implements trace.BatchSource: it hands out the emission buffer's
+// unconsumed run directly, refilling exactly as Next would. The instruction
+// sequence is byte-for-byte the one Next produces.
+func (in *instance) NextBatch(max int) []trace.Inst {
+	for in.pos >= len(in.q.buf) {
+		in.q.buf = in.q.buf[:0]
+		in.pos = 0
+		if len(in.phases) == 0 {
+			return nil
+		}
+		if !in.phases[in.cur].fill(&in.q) {
+			in.phases[in.cur].reset()
+			in.cur = (in.cur + 1) % len(in.phases)
+		}
+	}
+	b := in.q.buf[in.pos:]
+	if len(b) > max {
+		b = b[:max]
+	}
+	in.pos += len(b)
+	return b
+}
+
 // Memory implements Instance.
 func (in *instance) Memory() vmem.Memory {
 	if in.mem == nil {
