@@ -37,6 +37,7 @@ import (
 	"divlab/internal/obs"
 	"divlab/internal/runner"
 	"divlab/internal/sim"
+	"divlab/internal/store"
 	"divlab/internal/workloads"
 )
 
@@ -64,8 +65,18 @@ func run() error {
 		progress  = flag.Bool("progress", false, "live progress line (runs, cache hits, sims/sec) on stderr")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		validate  = flag.String("validate", "", "validate a JSON report file and exit")
+		storeDir  = flag.String("store", "", "persistent result store directory (read-through/write-behind below the run cache)")
+		keyOnly   = flag.Bool("key", false, "print the content address (canonical key + digest) for -workload/-prefetcher and exit")
 	)
 	flag.Parse()
+
+	if *storeDir != "" {
+		fsStore, err := store.OpenFS(*storeDir)
+		if err != nil {
+			return err
+		}
+		runner.Default().SetStore(fsStore)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -81,11 +92,21 @@ func run() error {
 	case *list:
 		printList(os.Stdout)
 		return nil
+	case *keyOnly:
+		return printKey(*workload, *pf, *insts, *seed, *useBPred)
 	case *expName != "":
-		return runExperiments(*expName, exp.Options{
+		err := runExperiments(*expName, exp.Options{
 			Insts: *insts, Seed: *seed, MixCount: *mixes,
 			Workers: *jobs, Lifecycle: *lifecycle || *jsonOut,
 		}, *jsonOut, *progress)
+		if *storeDir != "" && err == nil {
+			e := runner.Default()
+			cacheHits, _ := e.Stats()
+			s := e.StoreStats()
+			fmt.Fprintf(os.Stderr, "store: jobs=%d cache-hits=%d store-hits=%d sims=%d puts=%d errs=%d\n",
+				e.Jobs(), cacheHits, s.Hits, e.Sims(), s.Puts, s.Errs)
+		}
+		return err
 	case *workload != "":
 		return runWorkload(*workload, *pf, *insts, *seed, *useBPred, *traceN, *jsonOut)
 	default:
@@ -228,6 +249,38 @@ func runWorkload(workload, pfSpec string, insts, seed uint64, useBPred bool, tra
 		}
 		return obs.EncodeReports(os.Stdout, []*obs.Report{report})
 	}
+	return nil
+}
+
+// printKey prints the content address — the canonical versioned key text and
+// its SHA-256 digest — that the engine and persistent store would use for the
+// given (workload, prefetcher) run. Useful for locating a run's record in a
+// store directory or checking what a config change does to run identity.
+func printKey(workload, pfSpec string, insts, seed uint64, useBPred bool) error {
+	if workload == "" {
+		return fmt.Errorf("-key needs -workload (and optionally -prefetcher)")
+	}
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	cfg := sim.DefaultConfig(insts)
+	cfg.Seed = seed
+	cfg.UseBPred = useBPred
+	j := runner.Job{Workload: w, Config: cfg}
+	if pfSpec != "" && pfSpec != "none" {
+		n, err := sim.ByName(pfSpec)
+		if err != nil {
+			return err
+		}
+		j.Prefetcher = n
+	}
+	k, ok := runner.KeyOf(j)
+	if !ok {
+		return fmt.Errorf("job is uncacheable (no stable key)")
+	}
+	fmt.Print(k.Canonical())
+	fmt.Println("digest=" + k.Digest())
 	return nil
 }
 

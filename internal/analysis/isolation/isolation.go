@@ -69,7 +69,10 @@ const (
 )
 
 // simEntryFuncs are the exported simulation drivers in divlab/internal/sim.
-var simEntryFuncs = []string{"RunSingle", "RunMulti", "RunTrace"}
+// The *On variants matter doubly now that results persist across processes:
+// a global write reachable from them would not just break same-process
+// byte-identity, it would poison store records served to future processes.
+var simEntryFuncs = []string{"RunSingle", "RunSingleOn", "RunMulti", "RunMultiOn", "RunTrace"}
 
 // hookMethods maps a hook method name to the prefetch interface whose
 // implementers the simulator calls it through.

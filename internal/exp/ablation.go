@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -94,7 +95,7 @@ func geoSpeedup(apps []workloads.Workload, pf sim.Named, o Options) float64 {
 			runner.Job{Workload: w, Prefetcher: sim.Baseline(), Config: cfg},
 			runner.Job{Workload: w, Prefetcher: pf, Config: cfg})
 	}
-	res := o.engine().RunBatch(jobs)
+	res := o.engine().Run(context.Background(), jobs)
 	var xs []float64
 	for i := 0; i < len(jobs); i += 2 {
 		base, r := res[i], res[i+1]

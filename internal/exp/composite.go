@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -49,7 +50,7 @@ func fig14(w *Sink, o Options) error {
 				runner.Job{Workload: wl, Prefetcher: comp, Config: cfg})
 		}
 	}
-	res := o.engine().RunBatch(jobs)
+	res := o.engine().Run(context.Background(), jobs)
 
 	idx := 0
 	for _, name := range fig14Extras {
@@ -122,7 +123,7 @@ func fig15(w *Sink, o Options) error {
 				runner.Job{Workload: wl, Prefetcher: shunt, Config: cfg})
 		}
 	}
-	res := o.engine().RunBatch(jobs)
+	res := o.engine().Run(context.Background(), jobs)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "extra\tmode\tavg vs tpc\tmin\tmax")
@@ -195,7 +196,7 @@ func fig16(w *Sink, o Options) error {
 			}
 		}
 	}
-	res := o.engine().RunBatch(jobs)
+	res := o.engine().Run(context.Background(), jobs)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "prefetcher\tdest\tavg speedup\tmin\tmax")

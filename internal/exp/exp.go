@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -252,7 +253,7 @@ func runMatrix(apps []workloads.Workload, pfs []sim.Named, o Options, footprint 
 			jobs = append(jobs, runner.Job{Workload: w, Prefetcher: p, Config: cfg})
 		}
 	}
-	res := o.engine().RunBatch(jobs)
+	res := o.engine().Run(context.Background(), jobs)
 
 	out := make([]*appRun, 0, len(apps))
 	for i, w := range apps {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -117,6 +118,19 @@ func runSuiteGeomeans(apps []workloads.Workload, pfs []sim.Named, o Options) map
 	return out
 }
 
+// perJob regroups Engine.Run's flattened output back into one result slice
+// per job (each job owns Job.Results() consecutive slots).
+func perJob(flat []*sim.Result, jobs []runner.Job) [][]*sim.Result {
+	out := make([][]*sim.Result, len(jobs))
+	off := 0
+	for i := range jobs {
+		n := jobs[i].Results()
+		out[i] = flat[off : off+n]
+		off += n
+	}
+	return out
+}
+
 // runMixes returns, per prefetcher, the geomean over mixes of the mean
 // per-core relative IPC (weighted-speedup analogue against the shared
 // no-prefetch baseline). All (mix × prefetcher) runs go out as one batch.
@@ -126,14 +140,14 @@ func runMixes(pfs []sim.Named, o Options) map[string]float64 {
 	cfg.Cores = 4
 	cfg.Seed = o.Seed
 	cols := len(pfs) + 1
-	jobs := make([]runner.MultiJob, 0, len(mixes)*cols)
+	jobs := make([]runner.Job, 0, len(mixes)*cols)
 	for _, mix := range mixes {
-		jobs = append(jobs, runner.MultiJob{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg})
+		jobs = append(jobs, runner.Job{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg})
 		for _, p := range pfs {
-			jobs = append(jobs, runner.MultiJob{Mix: mix, Prefetcher: p, Config: cfg})
+			jobs = append(jobs, runner.Job{Mix: mix, Prefetcher: p, Config: cfg})
 		}
 	}
-	res := o.engine().RunMultiBatch(jobs)
+	res := perJob(o.engine().Run(context.Background(), jobs), jobs)
 
 	perPF := make(map[string][]float64)
 	for mi := range mixes {
@@ -214,14 +228,14 @@ func dropPolicy(w *Sink, o Options) error {
 	cfgPri.DropPolicy = dram.DropLowPriorityPrefetch
 	cfg.DropPolicy = dram.DropRandomPrefetch
 
-	jobs := make([]runner.MultiJob, 0, 3*len(mixes))
+	jobs := make([]runner.Job, 0, 3*len(mixes))
 	for _, mix := range mixes {
 		jobs = append(jobs,
-			runner.MultiJob{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg},
-			runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfg},
-			runner.MultiJob{Mix: mix, Prefetcher: tpcN, Config: cfgPri})
+			runner.Job{Mix: mix, Prefetcher: sim.Baseline(), Config: cfg},
+			runner.Job{Mix: mix, Prefetcher: tpcN, Config: cfg},
+			runner.Job{Mix: mix, Prefetcher: tpcN, Config: cfgPri})
 	}
-	res := o.engine().RunMultiBatch(jobs)
+	res := perJob(o.engine().Run(context.Background(), jobs), jobs)
 
 	var rnd, lowpri []float64
 	for mi := range mixes {

@@ -1,0 +1,61 @@
+package exp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"divlab/internal/exp"
+	"divlab/internal/runner"
+	"divlab/internal/store"
+)
+
+// TestRunAllWarmStoreByteIdentical is the tentpole gate: a cold full suite
+// populates the store; a second engine sharing only that store must answer
+// every job from it — zero simulations — and render a byte-identical report.
+// This is what licenses the read-through tier to ever short-circuit a
+// simulation.
+func TestRunAllWarmStoreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite twice")
+	}
+	st := store.NewMem()
+	o := exp.QuickOptions()
+
+	var cold bytes.Buffer
+	o.Engine = runner.New(runner.WithStore(st))
+	if err := exp.RunAll(exp.TextSink(&cold), o); err != nil {
+		t.Fatal(err)
+	}
+	coldEngine := o.Engine
+	if s := coldEngine.StoreStats(); s.Puts == 0 || s.Errs != 0 {
+		t.Fatalf("cold run store stats %+v: expected persists and no errors", s)
+	}
+
+	var warm bytes.Buffer
+	o.Engine = runner.New(runner.WithStore(st))
+	if err := exp.RunAll(exp.TextSink(&warm), o); err != nil {
+		t.Fatal(err)
+	}
+	e := o.Engine
+	if sims := e.Sims(); sims != 0 {
+		t.Errorf("warm run executed %d simulations, want 0", sims)
+	}
+	s := e.StoreStats()
+	if s.Errs != 0 {
+		t.Errorf("warm run store errors: %+v", s)
+	}
+	cacheHits, _ := e.Stats()
+	if jobs := e.Jobs(); s.Hits == 0 || s.Hits+cacheHits != jobs {
+		t.Errorf("warm run: %d jobs, %d store hits, %d cache hits — every job must be a store or cache hit", jobs, s.Hits, cacheHits)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		diffAt := len(cold.Bytes())
+		for i := 0; i < cold.Len() && i < warm.Len(); i++ {
+			if cold.Bytes()[i] != warm.Bytes()[i] {
+				diffAt = i
+				break
+			}
+		}
+		t.Fatalf("warm-store report diverged from cold run at byte %d", diffAt)
+	}
+}

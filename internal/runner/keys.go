@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// DigestVersion is the version of the key-digest scheme. It is baked into
+// the hashed text, so bumping it changes every digest at once.
+//
+// Bump this whenever Key semantics change — a field is added, removed, or
+// reinterpreted, or anything a Key names (workload generation, prefetcher
+// meaning under an unchanged spec string, core-model timing) changes
+// observable results. Old store records then read as misses and are
+// re-simulated, rather than serving stale numbers under a reused address.
+const DigestVersion = 1
+
+// Canonical renders the key as stable, versioned, line-oriented text — the
+// exact byte sequence the digest hashes. It is also stored in each record's
+// envelope, so readers can verify a fetched record describes the run they
+// asked for (guarding against digest-version drift and hash collisions).
+func (k Key) Canonical() string {
+	return fmt.Sprintf("divlab.key/v%d\n"+
+		"workload=%s\nprefetcher=%s\nmulti=%t\nseed=%d\ninsts=%d\ncores=%d\n"+
+		"drop=%d\nfootprint=%t\nbpred=%t\ntrace=%t\ndest=%s\n"+
+		"width=%d\nrob=%d\nfrontend=%d\nmispred=%d\nstoreports=%t\n",
+		DigestVersion,
+		k.Workload, k.Prefetcher, k.Multi, k.Seed, k.Insts, k.Cores,
+		k.Drop, k.Footprint, k.UseBPred, k.Trace, k.DestTag,
+		k.Params.Width, k.Params.ROB, k.Params.FrontendDepth,
+		k.Params.MispredPenalty, k.Params.StorePorts)
+}
+
+// Digest returns the key's content address: the hex SHA-256 of Canonical().
+// It is stable across processes and platforms — equal keys digest equally
+// forever within one DigestVersion — and is what the persistent store files
+// results under.
+func (k Key) Digest() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// KeyOf builds the memo/store key for a job after the same config
+// normalization the engine applies, so callers (CLI -key, sweep sharding)
+// compute exactly the key the engine will use. ok is false when the job is
+// uncacheable: an unnamed DestOverride, a directly-installed branch
+// predictor, or a live trace sink.
+func KeyOf(j Job) (Key, bool) {
+	multi := j.isMix()
+	cfg := normalize(j.Config, multi)
+	name := j.Workload.Name
+	if multi {
+		name = j.Mix.Name
+	}
+	return keyFor(name, j.Prefetcher.Name, multi, cfg, j.DestTag)
+}

@@ -1,12 +1,16 @@
 // Package runner is the parallel experiment engine: a worker-pool executor
-// that fans out independent simulations (sim.RunSingle / sim.RunMulti jobs)
-// across GOMAXPROCS goroutines, plus a memoized run cache so the same
-// (workload, prefetcher, config) point is simulated exactly once per process
-// no matter how many experiments ask for it. Every simulation is a pure
-// function of its key — workload instances, the memory system and all
-// per-run state are constructed fresh inside sim — so results are shared by
-// pointer and must be treated as read-only by consumers (the metrics layer
-// already is).
+// that fans out independent simulations across GOMAXPROCS goroutines behind
+// one entry point — Engine.Run(ctx, jobs) — plus a two-tier result cache.
+// The in-process memo tier guarantees the same (workload, prefetcher,
+// config) point is simulated exactly once per process no matter how many
+// experiments ask for it; an optional persistent tier (SetStore) extends
+// that guarantee across processes, answering repeat points from disk by
+// their Key.Digest content address. Every simulation is a pure function of
+// its key — workload instances, the memory system and all per-run state are
+// constructed fresh inside sim — so results are shared by pointer and must
+// be treated as read-only by consumers (the metrics layer already is); that
+// same purity is what makes a persisted result byte-equivalent to a fresh
+// simulation.
 //
 // Determinism: batch results are returned in job order regardless of
 // completion order, and each run's randomness is derived from its seed, so a
@@ -15,6 +19,7 @@
 package runner
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -25,6 +30,7 @@ import (
 	"divlab/internal/dram"
 	"divlab/internal/obs"
 	"divlab/internal/sim"
+	"divlab/internal/store"
 	"divlab/internal/workloads"
 )
 
@@ -79,6 +85,10 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[Key]*entry
+	// store, when non-nil, is the persistent tier below the in-process
+	// cache (read-through on miss, write-behind after simulation); see
+	// store.go for the full contract.
+	store store.Store
 
 	// recs memoizes pre-generated instruction buffers per (workload, seed,
 	// budget): the matrix simulates each workload once per prefetcher
@@ -94,6 +104,10 @@ type Engine struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	skips  atomic.Uint64 // uncacheable runs
+
+	storeHits atomic.Uint64
+	storePuts atomic.Uint64
+	storeErrs atomic.Uint64
 
 	// progress, when set, is notified after every job (CLI reporting).
 	progress atomic.Pointer[obs.Progress]
@@ -178,9 +192,15 @@ func (e *Engine) HitRate() float64 {
 	return float64(h) / float64(h+m)
 }
 
-// Job is one single-core simulation request.
+// Job is one simulation request: a single-core run of Workload, or — when
+// Mix is set — a multicore run of the 4-app mix. Mix and Workload are
+// mutually exclusive; a set Mix wins.
 type Job struct {
-	Workload   workloads.Workload
+	Workload workloads.Workload
+	// Mix, when set (non-empty name or apps), makes this a multicore job;
+	// Workload is then ignored. The mix name is the cache identity, so
+	// caller-built mixes must be named.
+	Mix        workloads.Mix
 	Prefetcher sim.Named
 	Config     sim.Config
 	// DestTag names Config.DestOverride for the cache key. Jobs with an
@@ -188,7 +208,32 @@ type Job struct {
 	DestTag string
 }
 
+// isMix reports whether the job is a multicore mix run.
+func (j Job) isMix() bool {
+	if j.Mix.Name != "" {
+		return true
+	}
+	for _, app := range j.Mix.Apps {
+		if app.Name != "" || app.New != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Results reports how many results the job contributes to Engine.Run's
+// flattened output: 1 for a single-core job, the (normalized) core count for
+// a mix.
+func (j Job) Results() int {
+	if !j.isMix() {
+		return 1
+	}
+	return normalize(j.Config, true).Cores
+}
+
 // MultiJob is one multicore (4-app mix) simulation request.
+//
+// Deprecated: set Job.Mix and use Engine.Run.
 type MultiJob struct {
 	Mix        workloads.Mix
 	Prefetcher sim.Named
@@ -314,8 +359,8 @@ func (e *Engine) claim(k Key) (ent *entry, owner bool) {
 	return ent, true
 }
 
-// Single runs (or returns the memoized result of) one single-core job.
-func (e *Engine) Single(j Job) *sim.Result {
+// runSingle executes one single-core job through the cache tiers.
+func (e *Engine) runSingle(j Job) *sim.Result {
 	cfg := normalize(j.Config, false)
 	k, cacheable := keyFor(j.Workload.Name, j.Prefetcher.Name, false, cfg, j.DestTag)
 	if !cacheable {
@@ -325,23 +370,34 @@ func (e *Engine) Single(j Job) *sim.Result {
 		return r
 	}
 	ent, owner := e.claim(k)
-	if owner {
-		e.misses.Add(1)
-		defer close(ent.done)
-		ent.single = sim.RunSingleOn(e.instanceFor(j.Workload, cfg.Seed, cfg.Insts), j.Workload, j.Prefetcher.Factory, cfg)
-	} else {
+	if !owner {
 		e.hits.Add(1)
 		<-ent.done
+		e.jobDone(true)
+		return ent.single
 	}
-	e.jobDone(!owner)
+	if rs, ok := e.storeGet(k, 1); ok {
+		ent.single = rs[0]
+		close(ent.done)
+		e.jobDone(true)
+		return ent.single
+	}
+	e.misses.Add(1)
+	func() {
+		// done must close even if the simulation panics, or waiters hang.
+		defer close(ent.done)
+		ent.single = sim.RunSingleOn(e.instanceFor(j.Workload, cfg.Seed, cfg.Insts), j.Workload, j.Prefetcher.Factory, cfg)
+	}()
+	e.storePut(k, []*sim.Result{ent.single})
+	e.jobDone(false)
 	return ent.single
 }
 
-// Multi runs (or returns the memoized result of) one multicore job. The
-// returned slice and its results are shared — read-only.
-func (e *Engine) Multi(j MultiJob) []*sim.Result {
+// runMulti executes one multicore job through the cache tiers. The returned
+// slice and its results are shared — read-only.
+func (e *Engine) runMulti(j Job) []*sim.Result {
 	cfg := normalize(j.Config, true)
-	k, cacheable := keyFor(j.Mix.Name, j.Prefetcher.Name, true, cfg, "")
+	k, cacheable := keyFor(j.Mix.Name, j.Prefetcher.Name, true, cfg, j.DestTag)
 	if !cacheable {
 		e.skips.Add(1)
 		r := sim.RunMultiOn(e.mixInstances(j.Mix, cfg), j.Mix, j.Prefetcher.Factory, cfg)
@@ -349,16 +405,39 @@ func (e *Engine) Multi(j MultiJob) []*sim.Result {
 		return r
 	}
 	ent, owner := e.claim(k)
-	if owner {
-		e.misses.Add(1)
-		defer close(ent.done)
-		ent.multi = sim.RunMultiOn(e.mixInstances(j.Mix, cfg), j.Mix, j.Prefetcher.Factory, cfg)
-	} else {
+	if !owner {
 		e.hits.Add(1)
 		<-ent.done
+		e.jobDone(true)
+		return ent.multi
 	}
-	e.jobDone(!owner)
+	if rs, ok := e.storeGet(k, cfg.Cores); ok {
+		ent.multi = rs
+		close(ent.done)
+		e.jobDone(true)
+		return ent.multi
+	}
+	e.misses.Add(1)
+	func() {
+		defer close(ent.done)
+		ent.multi = sim.RunMultiOn(e.mixInstances(j.Mix, cfg), j.Mix, j.Prefetcher.Factory, cfg)
+	}()
+	e.storePut(k, ent.multi)
+	e.jobDone(false)
 	return ent.multi
+}
+
+// Single runs (or returns the memoized result of) one single-core job.
+//
+// Deprecated: use Engine.Run.
+func (e *Engine) Single(j Job) *sim.Result { return e.runSingle(j) }
+
+// Multi runs (or returns the memoized result of) one multicore job. The
+// returned slice and its results are shared — read-only.
+//
+// Deprecated: set Job.Mix and use Engine.Run.
+func (e *Engine) Multi(j MultiJob) []*sim.Result {
+	return e.runMulti(Job{Mix: j.Mix, Prefetcher: j.Prefetcher, Config: j.Config})
 }
 
 // mixInstances returns per-core replay cursors for a mix's apps (nil slots
@@ -371,18 +450,58 @@ func (e *Engine) mixInstances(mix workloads.Mix, cfg sim.Config) []workloads.Ins
 	return insts
 }
 
-// RunBatch executes the jobs on the pool and returns results in job order.
-// Duplicate keys within a batch simulate once.
-func (e *Engine) RunBatch(jobs []Job) []*sim.Result {
-	out := make([]*sim.Result, len(jobs))
-	e.forEach(len(jobs), func(i int) { out[i] = e.Single(jobs[i]) })
+// Run executes the jobs on the worker pool and returns results flattened in
+// job order: each job contributes Job.Results() consecutive slots (1 for a
+// single-core job, one per core for a mix). Duplicate keys within a batch
+// simulate once; results are deterministic at any worker count.
+//
+// ctx cancels the remainder of the batch: jobs not yet dispatched when ctx
+// is done are skipped and leave nil results (in-flight simulations run to
+// completion, so the cache never holds a partial entry). A nil ctx means
+// never cancel.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []*sim.Result {
+	offs := make([]int, len(jobs)+1)
+	for i, j := range jobs {
+		offs[i+1] = offs[i] + j.Results()
+	}
+	out := make([]*sim.Result, offs[len(jobs)])
+	e.forEach(len(jobs), func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		if j := jobs[i]; j.isMix() {
+			copy(out[offs[i]:offs[i+1]], e.runMulti(j))
+		} else {
+			out[offs[i]] = e.runSingle(j)
+		}
+	})
 	return out
 }
 
+// RunBatch executes the jobs on the pool and returns results in job order.
+// Duplicate keys within a batch simulate once.
+//
+// Deprecated: use Engine.Run.
+func (e *Engine) RunBatch(jobs []Job) []*sim.Result {
+	return e.Run(context.Background(), jobs)
+}
+
 // RunMultiBatch is RunBatch for multicore jobs.
+//
+// Deprecated: set Job.Mix and use Engine.Run.
 func (e *Engine) RunMultiBatch(jobs []MultiJob) [][]*sim.Result {
+	flat := make([]Job, len(jobs))
+	for i, j := range jobs {
+		flat[i] = Job{Mix: j.Mix, Prefetcher: j.Prefetcher, Config: j.Config}
+	}
+	res := e.Run(context.Background(), flat)
 	out := make([][]*sim.Result, len(jobs))
-	e.forEach(len(jobs), func(i int) { out[i] = e.Multi(jobs[i]) })
+	off := 0
+	for i := range flat {
+		n := flat[i].Results()
+		out[i] = res[off : off+n]
+		off += n
+	}
 	return out
 }
 

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"divlab/internal/cache"
+	"divlab/internal/cpu"
+	"divlab/internal/dram"
+	"divlab/internal/mem"
+	"divlab/internal/workloads"
+)
+
+// resultWire is the JSON shape of a Result. It exists so the unexported dense
+// counters (perOwner, perOwnerCat, ownerSlots) survive the round-trip, and so
+// the wire format is explicit rather than an accident of field visibility.
+//
+// Losslessness contract: every field round-trips bit-exactly. All counters
+// are integers; the line maps carry no omitempty so a nil map (footprint off)
+// stays nil and an empty-but-allocated map stays allocated — consumers
+// distinguish the two. ownerSlots widens to []uint16 on the wire because
+// encoding/json would base64 a []uint8.
+type resultWire struct {
+	Core cpu.Result `json:"core"`
+
+	L1Misses    uint64 `json:"l1_misses"`
+	L1Secondary uint64 `json:"l1_secondary"`
+	L2Misses    uint64 `json:"l2_misses"`
+	Traffic     uint64 `json:"traffic"`
+
+	Issued     uint64    `json:"issued"`
+	Filtered   uint64    `json:"filtered"`
+	Dropped    uint64    `json:"dropped"`
+	IssuedDest [3]uint64 `json:"issued_dest"`
+
+	PerOwner    []uint64                               `json:"per_owner"`
+	CatIssued   [workloads.NumCategories]uint64        `json:"cat_issued"`
+	CatIssuedL1 [workloads.NumCategories]uint64        `json:"cat_issued_l1"`
+	PerOwnerCat [][workloads.NumCategories]uint64      `json:"per_owner_cat"`
+	CatL1Misses [workloads.NumCategories]uint64        `json:"cat_l1_misses"`
+	CatL2Misses [workloads.NumCategories]uint64        `json:"cat_l2_misses"`
+
+	MissL1Lines map[mem.Line]uint32 `json:"miss_l1_lines"`
+	MissL2Lines map[mem.Line]uint32 `json:"miss_l2_lines"`
+	Attempted   map[mem.Line]uint32 `json:"attempted"`
+	IssuedLines map[mem.Line]uint32 `json:"issued_lines"`
+	OwnerSlots  []uint16            `json:"owner_slots"`
+	Names       map[int]string      `json:"names"`
+
+	L1Stats cache.Stats `json:"l1_stats"`
+	L2Stats cache.Stats `json:"l2_stats"`
+	DRAM    dram.Stats  `json:"dram"`
+}
+
+// MarshalJSON serializes the full measurement set, including the dense
+// per-owner counters. A Result carrying a Lifecycle tracker refuses to
+// serialize: lifecycle state is an in-process object graph, and the store
+// must never hold a lossy rendering of it.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	if r.Lifecycle != nil {
+		return nil, errors.New("sim: Result with attached Lifecycle is not serializable")
+	}
+	w := resultWire{
+		Core:        r.Core,
+		L1Misses:    r.L1Misses,
+		L1Secondary: r.L1Secondary,
+		L2Misses:    r.L2Misses,
+		Traffic:     r.Traffic,
+		Issued:      r.Issued,
+		Filtered:    r.Filtered,
+		Dropped:     r.Dropped,
+		IssuedDest:  r.IssuedDest,
+		PerOwner:    r.perOwner,
+		CatIssued:   r.CatIssued,
+		CatIssuedL1: r.CatIssuedL1,
+		PerOwnerCat: r.perOwnerCat,
+		CatL1Misses: r.CatL1Misses,
+		CatL2Misses: r.CatL2Misses,
+		MissL1Lines: r.MissL1Lines,
+		MissL2Lines: r.MissL2Lines,
+		Attempted:   r.Attempted,
+		IssuedLines: r.IssuedLines,
+		Names:       r.Names,
+		L1Stats:     r.L1Stats,
+		L2Stats:     r.L2Stats,
+		DRAM:        r.DRAM,
+	}
+	if r.ownerSlots != nil {
+		w.OwnerSlots = make([]uint16, len(r.ownerSlots))
+		for i, s := range r.ownerSlots {
+			w.OwnerSlots[i] = uint16(s)
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a Result serialized by MarshalJSON.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("sim: decode result: %w", err)
+	}
+	*r = Result{
+		Core:        w.Core,
+		L1Misses:    w.L1Misses,
+		L1Secondary: w.L1Secondary,
+		L2Misses:    w.L2Misses,
+		Traffic:     w.Traffic,
+		Issued:      w.Issued,
+		Filtered:    w.Filtered,
+		Dropped:     w.Dropped,
+		IssuedDest:  w.IssuedDest,
+		perOwner:    w.PerOwner,
+		CatIssued:   w.CatIssued,
+		CatIssuedL1: w.CatIssuedL1,
+		perOwnerCat: w.PerOwnerCat,
+		CatL1Misses: w.CatL1Misses,
+		CatL2Misses: w.CatL2Misses,
+		MissL1Lines: w.MissL1Lines,
+		MissL2Lines: w.MissL2Lines,
+		Attempted:   w.Attempted,
+		IssuedLines: w.IssuedLines,
+		Names:       w.Names,
+		L1Stats:     w.L1Stats,
+		L2Stats:     w.L2Stats,
+		DRAM:        w.DRAM,
+	}
+	if w.OwnerSlots != nil {
+		r.ownerSlots = make([]uint8, len(w.OwnerSlots))
+		for i, s := range w.OwnerSlots {
+			if s > 255 {
+				return fmt.Errorf("sim: decode result: owner slot %d out of range", s)
+			}
+			r.ownerSlots[i] = uint8(s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"divlab/internal/obs"
+	"divlab/internal/workloads"
+)
+
+// TestResultCodecRoundTrip runs a real simulation and requires the decoded
+// Result to be deep-equal to the original — including the unexported dense
+// counters and the nil-vs-allocated state of the footprint maps.
+func TestResultCodecRoundTrip(t *testing.T) {
+	for _, footprint := range []bool{false, true} {
+		cfg := DefaultConfig(20000)
+		cfg.CollectFootprint = footprint
+		res := RunSingle(workloads.SPEC()[0], MustByName("stride").Factory, cfg)
+
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("footprint=%v: marshal: %v", footprint, err)
+		}
+		var back Result
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("footprint=%v: unmarshal: %v", footprint, err)
+		}
+		if !reflect.DeepEqual(res, &back) {
+			t.Errorf("footprint=%v: round trip not lossless:\n got %+v\nwant %+v", footprint, back, *res)
+		}
+		if footprint && back.MissL1Lines == nil {
+			t.Error("allocated footprint map decoded as nil")
+		}
+		if !footprint && back.MissL1Lines != nil {
+			t.Error("nil footprint map decoded as allocated")
+		}
+
+		// A second encode of the decoded result must be byte-identical: the
+		// store's concurrent-writer safety rests on encoding determinism.
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("footprint=%v: re-encode differs from first encode", footprint)
+		}
+	}
+}
+
+// TestResultCodecBaseline covers the factory-nil (no-prefetch) shape, whose
+// owner tables are minimal.
+func TestResultCodecBaseline(t *testing.T) {
+	res := RunSingle(workloads.SPEC()[0], nil, DefaultConfig(20000))
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, &back) {
+		t.Errorf("baseline round trip not lossless")
+	}
+}
+
+// TestResultCodecRefusesLifecycle: lifecycle state must never be persisted
+// lossily — serialization errors out instead.
+func TestResultCodecRefusesLifecycle(t *testing.T) {
+	res := &Result{Lifecycle: obs.NewLifecycle(1)}
+	if _, err := json.Marshal(res); err == nil {
+		t.Error("Result with Lifecycle marshaled; want error")
+	}
+}

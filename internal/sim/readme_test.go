@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestREADMEPrefetcherTable keeps README.md's generated prefetcher table in
+// lockstep with the registry: the block between the markers must be exactly
+// MarkdownTable()'s output.
+func TestREADMEPrefetcherTable(t *testing.T) {
+	const (
+		begin = "<!-- BEGIN PREFETCHER TABLE -->"
+		end   = "<!-- END PREFETCHER TABLE -->"
+	)
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	got := s[i+len(begin) : j]
+	want := "\n" + MarkdownTable()
+	if got != want {
+		t.Errorf("README.md prefetcher table is stale; replace the marker block with sim.MarkdownTable():\n%s", MarkdownTable())
+	}
+}

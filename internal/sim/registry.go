@@ -42,6 +42,10 @@ type regEntry struct {
 	hasDest bool
 	// mono marks the Table II monolithic lineup, in registry order.
 	mono bool
+	// arity is the number of cooperating prefetch components the entry
+	// instantiates (the division-of-labor composites: t2=1, t2+p1=2, tpc=3).
+	// Zero means a single monolithic component.
+	arity int
 	// build constructs the factory from the resolved destination and the
 	// fully-defaulted parameter map.
 	build func(dest mem.Level, v map[string]int) Factory
@@ -156,7 +160,7 @@ var registry = []regEntry{
 		},
 	},
 	{
-		name: "t2",
+		name: "t2", arity: 1,
 		desc: "division-of-labor T2 (regular targets) alone",
 		build: func(mem.Level, map[string]int) Factory {
 			return func(inst workloads.Instance) prefetch.Component {
@@ -165,7 +169,7 @@ var registry = []regEntry{
 		},
 	},
 	{
-		name: "t2+p1",
+		name: "t2+p1", arity: 2,
 		desc: "T2 plus P1 (pointer chains)",
 		build: func(mem.Level, map[string]int) Factory {
 			return func(inst workloads.Instance) prefetch.Component {
@@ -174,7 +178,7 @@ var registry = []regEntry{
 		},
 	},
 	{
-		name: "tpc",
+		name: "tpc", arity: 3,
 		desc: "full T2+P1+C1 division-of-labor composite",
 		build: func(mem.Level, map[string]int) Factory {
 			return func(inst workloads.Instance) prefetch.Component {
@@ -412,11 +416,20 @@ func editDistance(a, b string) int {
 	return prev[len(b)]
 }
 
-// Info describes one registry entry for CLI help output.
+// Info describes one registry entry for CLI help output and documentation
+// generation.
 type Info struct {
 	Name    string
 	Aliases []string
 	Desc    string
+	// Spec is the normalized spec string for the all-defaults configuration —
+	// what Normalize returns for the entry's name, and what the runner's memo
+	// cache and the persistent store key on.
+	Spec string
+	// Arity is the number of cooperating prefetch components the entry
+	// instantiates: 1 for monolithic prefetchers and t2 alone, 2 for t2+p1,
+	// 3 for the full tpc composite.
+	Arity int
 	// Params lists the accepted knobs as "key=default" strings ("dest=l1"
 	// included when the destination is overridable).
 	Params []string
@@ -429,7 +442,10 @@ func List() []Info {
 	out := make([]Info, 0, len(registry))
 	for i := range registry {
 		e := &registry[i]
-		inf := Info{Name: e.name, Aliases: append([]string(nil), e.aliases...), Desc: e.desc}
+		inf := Info{
+			Name: e.name, Aliases: append([]string(nil), e.aliases...), Desc: e.desc,
+			Spec: e.named(mem.L1, nil).Name, Arity: max(e.arity, 1),
+		}
 		for _, p := range e.params {
 			inf.Params = append(inf.Params, fmt.Sprintf("%s=%d", p.key, p.def))
 		}
@@ -442,6 +458,27 @@ func List() []Info {
 		return findEntry(out[i].Name).mono && !findEntry(out[j].Name).mono
 	})
 	return out
+}
+
+// MarkdownTable renders the registry as a GitHub-flavored markdown table.
+// README.md's prefetcher table is this output verbatim (between the
+// PREFETCHER TABLE markers); a sim test keeps the two in sync.
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| spec | aliases | components | parameters (defaults) | description |\n")
+	b.WriteString("|------|---------|------------|-----------------------|-------------|\n")
+	for _, inf := range List() {
+		aliases, params := "—", "—"
+		if len(inf.Aliases) > 0 {
+			aliases = "`" + strings.Join(inf.Aliases, "`, `") + "`"
+		}
+		if len(inf.Params) > 0 {
+			params = "`" + strings.Join(inf.Params, "`, `") + "`"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %d | %s | %s |\n",
+			inf.Spec, aliases, inf.Arity, params, inf.Desc)
+	}
+	return b.String()
 }
 
 // Monolithic returns the paper's seven comparison prefetchers in Table II

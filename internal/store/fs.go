@@ -1,0 +1,201 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FS is the on-disk backend. Layout under the root:
+//
+//	objects/<digest[:2]>/<digest>.rec   framed records, sharded by prefix
+//	leases/<name>.lock                  advisory leases (JSON: owner, expiry)
+//	tmp/                                staging for atomic write-rename
+//
+// Writes stage into tmp/ and publish with an atomic rename, so readers never
+// observe a torn record; because a record's bytes are a pure function of its
+// digest, concurrent writers racing on one key rename identical content and
+// last-wins is harmless. The backend is safe for concurrent use within a
+// process and across processes sharing the directory.
+//
+// Lease expiry is wall-clock by design (it bounds how long a crashed process
+// can block a sweep point); the clock is injectable so tests exercise expiry
+// deterministically. Nothing under objects/ depends on time.
+type FS struct {
+	root string
+	now  func() time.Time
+}
+
+// seq disambiguates staging filenames within a process.
+var seq atomic.Uint64
+
+// OpenFS opens (creating if needed) a store rooted at dir.
+func OpenFS(dir string) (*FS, error) {
+	for _, sub := range []string{"objects", "leases", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &FS{root: dir, now: time.Now}, nil
+}
+
+// WithClock replaces the lease clock (tests drive expiry with a fake clock).
+func (s *FS) WithClock(now func() time.Time) *FS {
+	s.now = now
+	return s
+}
+
+// Root returns the store's root directory.
+func (s *FS) Root() string { return s.root }
+
+func (s *FS) objectPath(digest string) string {
+	prefix := digest
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(s.root, "objects", prefix, digest+".rec")
+}
+
+// Get implements Store.
+func (s *FS) Get(digest string) (*Record, error) {
+	data, err := os.ReadFile(s.objectPath(digest))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", digest, err)
+	}
+	return Decode(digest, data)
+}
+
+// Put implements Store: stage into tmp/, fsync-free atomic rename into place.
+func (s *FS) Put(rec *Record) error {
+	data, err := Encode(rec)
+	if err != nil {
+		return err
+	}
+	final := s.objectPath(rec.Digest)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", rec.Digest, err)
+	}
+	tmp := filepath.Join(s.root, "tmp", fmt.Sprintf("put-%d-%d", os.Getpid(), seq.Add(1)))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: stage %s: %w", rec.Digest, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish %s: %w", rec.Digest, err)
+	}
+	return nil
+}
+
+// Len reports the number of stored records (diagnostics and tests).
+func (s *FS) Len() int {
+	n := 0
+	filepath.WalkDir(filepath.Join(s.root, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rec") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Digests enumerates the stored digests in sorted order.
+func (s *FS) Digests() []string {
+	var out []string
+	filepath.WalkDir(filepath.Join(s.root, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rec") {
+			out = append(out, strings.TrimSuffix(filepath.Base(path), ".rec"))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}
+
+// leaseFile is the on-disk lease content.
+type leaseFile struct {
+	Owner   string `json:"owner"`
+	Expires int64  `json:"expires_unix_ns"`
+}
+
+// TryLease implements Store. The lockfile is created with O_EXCL; an
+// existing, unexpired lease loses the race. An expired lease is broken by
+// atomically renaming it aside — of several processes racing to break the
+// same stale lock, rename succeeds for exactly one — before re-creating.
+func (s *FS) TryLease(name string, ttl time.Duration) (func() error, bool, error) {
+	if strings.ContainsAny(name, "/\\ \t\n") {
+		return nil, false, fmt.Errorf("store: lease name %q is not filesystem-safe", name)
+	}
+	if ttl <= 0 {
+		return nil, false, fmt.Errorf("store: lease ttl %v must be positive", ttl)
+	}
+	path := filepath.Join(s.root, "leases", name+".lock")
+	token := fmt.Sprintf("%d-%d", os.Getpid(), seq.Add(1))
+	body, err := json.Marshal(leaseFile{Owner: token, Expires: s.now().Add(ttl).UnixNano()})
+	if err != nil {
+		return nil, false, err
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := f.Write(body)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, false, fmt.Errorf("store: write lease %s: %w", name, werr)
+			}
+			return func() error { return s.releaseLease(path, token) }, true, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, false, fmt.Errorf("store: lease %s: %w", name, err)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue // released between our create and read; retry
+			}
+			return nil, false, fmt.Errorf("store: lease %s: %w", name, rerr)
+		}
+		var lf leaseFile
+		if json.Unmarshal(data, &lf) == nil && s.now().UnixNano() < lf.Expires {
+			return nil, false, nil // held and fresh
+		}
+		// Stale (or unreadable) lease: break it by renaming aside. Exactly
+		// one breaker wins the rename; everyone retries the exclusive create
+		// and at most one acquires.
+		aside := filepath.Join(s.root, "tmp", fmt.Sprintf("stale-%s-%s.lock", name, token))
+		if os.Rename(path, aside) == nil {
+			os.Remove(aside)
+		}
+	}
+	return nil, false, nil
+}
+
+// releaseLease removes the lockfile iff we still own it (an expired lease
+// may have been broken and re-acquired by another process; removing theirs
+// would double-grant the next acquire).
+func (s *FS) releaseLease(path, token string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var lf leaseFile
+	if json.Unmarshal(data, &lf) == nil && lf.Owner != token {
+		return nil // stolen after expiry; not ours to remove
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,189 @@
+// Package store is the persistent content-addressed result store: the tier
+// below internal/runner's in-process memo cache that survives the process.
+// Records are addressed by a stable digest (runner.Key.Digest for simulation
+// results, sweep point digests for sweep rows), wrapped in a versioned
+// divlab.store/v1 envelope, and guarded end to end by a CRC so a torn or
+// bit-rotted record reads as corrupt — never as a silently wrong result.
+//
+// Two backends implement Store: FS, the on-disk backend with a
+// sharded-by-digest-prefix directory layout and atomic write-rename
+// publication, and Mem, an in-memory backend for tests that runs the same
+// encode/decode path. Both also grant advisory leases (lockfile-with-expiry
+// on FS), which resumable sharded sweeps use so concurrent processes — or a
+// re-run after a kill — never duplicate in-flight work.
+//
+// The store holds only validated, deterministic artifacts: a record's
+// payload is a pure function of its digest (the digest covers every input of
+// the simulation), so concurrent writers racing on one key write identical
+// bytes and last-rename-wins is sound.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the record envelope. Bump it on any incompatible
+// change to the framing or the Record shape; old records then read as
+// corrupt and are re-simulated rather than misinterpreted.
+const SchemaVersion = "divlab.store/v1"
+
+// Well-known record kinds. The store itself never interprets payloads; the
+// kind tells readers which decoder to apply.
+const (
+	// KindResults marks a runner result set: the payload is a JSON array of
+	// sim.Result objects (one for single-core runs, one per core for mixes).
+	KindResults = "runner.results/v1"
+	// KindSweepPoint marks one sweep grid point: the payload is a validated
+	// divlab.exp/v1 report holding that point's rows.
+	KindSweepPoint = "sweep.point/v1"
+)
+
+// Record is one stored artifact: the envelope around a validated payload.
+type Record struct {
+	Schema string `json:"schema"`
+	// Digest is the content address — the versioned hash of the canonical
+	// key description below. Get(digest) must return a record whose Digest
+	// field matches, or corrupt.
+	Digest string `json:"digest"`
+	// Key is the canonical, human-readable description of what the digest
+	// hashes (e.g. runner.Key.Canonical()). Readers compare it against their
+	// own canonical form, so a digest-version bump or a (vanishingly
+	// unlikely) hash collision reads as a miss, never as a wrong result.
+	Key string `json:"key"`
+	// Kind discriminates the payload decoder (KindResults, KindSweepPoint).
+	Kind string `json:"kind"`
+	// Payload is the wrapped artifact, stored verbatim.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Validate checks the envelope invariants before a Put.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("store: record schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.Digest == "" {
+		return errors.New("store: record has no digest")
+	}
+	if strings.ContainsAny(r.Digest, "/\\ \t\n") {
+		return fmt.Errorf("store: digest %q is not filesystem-safe", r.Digest)
+	}
+	if r.Kind == "" {
+		return errors.New("store: record has no kind")
+	}
+	if len(r.Payload) == 0 {
+		return errors.New("store: record has no payload")
+	}
+	return nil
+}
+
+// ErrNotFound is returned by Get when no record exists under the digest.
+var ErrNotFound = errors.New("store: record not found")
+
+// CorruptError reports a record that exists but cannot be trusted: truncated
+// framing, a CRC mismatch, undecodable JSON, or an envelope whose digest
+// disagrees with its address. Callers treat corruption as a miss (and
+// typically overwrite on the next Put) but may count or log it.
+type CorruptError struct {
+	Digest string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: record %s corrupt: %s", e.Digest, e.Reason)
+}
+
+// IsCorrupt reports whether err (or anything it wraps) is a CorruptError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Store is the content-addressed record store. Implementations are safe for
+// concurrent use by multiple goroutines; FS is additionally safe across
+// processes sharing one directory.
+type Store interface {
+	// Get returns the record stored under digest. It returns ErrNotFound
+	// when absent and a CorruptError when present but unreadable.
+	Get(digest string) (*Record, error)
+	// Put stores the record under rec.Digest, replacing any existing record.
+	// Publication is atomic: concurrent readers see either the old record or
+	// the new one, never a torn write.
+	Put(rec *Record) error
+	// TryLease attempts to acquire an advisory lease on name for ttl.
+	// It returns (release, true, nil) on success; (nil, false, nil) when the
+	// lease is held, unexpired, by someone else. Expired leases are broken
+	// and re-acquired. Leases are advisory: they serialize work, not data —
+	// Put never requires one.
+	TryLease(name string, ttl time.Duration) (release func() error, ok bool, err error)
+}
+
+// crcTable is the Castagnoli polynomial, the conventional choice for storage
+// checksums (hardware-accelerated on common platforms).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames a record for storage: a one-line header carrying the schema,
+// the body length and a CRC32-C over the body, followed by the JSON body.
+// The header guards the body, so any truncation or corruption of either is
+// detected on decode.
+func Encode(rec *Record) ([]byte, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record %s: %w", rec.Digest, err)
+	}
+	header := fmt.Sprintf("%s len=%d crc32c=%08x\n", SchemaVersion, len(body), crc32.Checksum(body, crcTable))
+	return append([]byte(header), body...), nil
+}
+
+// Decode parses a framed record, verifying the header, length and CRC. The
+// digest parameter is the address the record was fetched under; a mismatch
+// with the envelope's own digest is corruption.
+func Decode(digest string, data []byte) (*Record, error) {
+	corrupt := func(format string, args ...interface{}) error {
+		return &CorruptError{Digest: digest, Reason: fmt.Sprintf(format, args...)}
+	}
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, corrupt("no header line (truncated at %d bytes)", len(data))
+	}
+	var n int
+	var crc uint32
+	var schema string
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s len=%d crc32c=%x", &schema, &n, &crc); err != nil {
+		return nil, corrupt("unparseable header %q", string(data[:nl]))
+	}
+	if schema != SchemaVersion {
+		return nil, corrupt("schema %q, want %q", schema, SchemaVersion)
+	}
+	body := data[nl+1:]
+	if len(body) != n {
+		return nil, corrupt("body is %d bytes, header says %d (truncated record)", len(body), n)
+	}
+	if got := crc32.Checksum(body, crcTable); got != crc {
+		return nil, corrupt("crc32c %08x, header says %08x", got, crc)
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return nil, corrupt("undecodable body: %v", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, corrupt("invalid envelope: %v", err)
+	}
+	if rec.Digest != digest {
+		return nil, corrupt("envelope digest %s does not match address", rec.Digest)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,337 @@
+// Package sweep turns parameter sweeps into resumable, shardable grid
+// computations over the persistent result store.
+//
+// A Grid enumerates its Points deterministically; every point owns a stable
+// content address (PointDigest) derived from the grid name, the instruction
+// budget and the point ID. Run computes the points assigned to one shard —
+// partitioned by digest hash, so any process holding the same grid agrees on
+// the split — skipping points whose records already exist, leasing each
+// in-flight point so concurrent processes (or a re-run after a kill) never
+// duplicate work, and persisting each finished point as a validated
+// divlab.exp/v1 mini-report under a divlab.store/v1 envelope. Merge then
+// assembles the per-point records, in grid order, into one deterministic
+// report: a sweep split across shards and merged is byte-identical to a
+// single uninterrupted run.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"divlab/internal/obs"
+	"divlab/internal/runner"
+	"divlab/internal/sim"
+	"divlab/internal/store"
+)
+
+// DigestVersion versions the point-address scheme. Bump it whenever point
+// identity semantics change (ID meaning, row shape, anything that makes an
+// old record wrong for a new reader); old records then read as misses.
+const DigestVersion = 1
+
+// Point is one grid cell: the simulations it needs and the reduction of
+// their results into report rows.
+type Point struct {
+	// ID uniquely names the point within its grid, stably across processes
+	// (it is hashed into the point's content address).
+	ID string
+	// Jobs are the simulations the point consumes, in order.
+	Jobs []runner.Job
+	// Eval reduces the flattened results (runner.Engine.Run layout) to the
+	// point's report rows. It must be a pure function of the results.
+	Eval func(res []*sim.Result) []obs.Row
+}
+
+// Grid is one sweep: a named, deterministic enumeration of points plus the
+// text rendering of their rows.
+type Grid struct {
+	// Name identifies the sweep ("degree", "spp-threshold", ...); it is part
+	// of every point's content address.
+	Name string
+	// Insts is the per-run instruction budget, also part of the address.
+	Insts uint64
+	// Points in enumeration order. IDs must be unique.
+	Points []Point
+	// Render writes the human-readable table given each point's rows, in
+	// point order (the same rows Merge assembles into the JSON report).
+	Render func(w io.Writer, rows [][]obs.Row) error
+}
+
+// validate checks grid invariants shared by Run and Merge.
+func (g Grid) validate() error {
+	if g.Name == "" {
+		return errors.New("sweep: grid has no name")
+	}
+	seen := make(map[string]bool, len(g.Points))
+	for _, p := range g.Points {
+		if p.ID == "" {
+			return fmt.Errorf("sweep %s: point with empty ID", g.Name)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("sweep %s: duplicate point ID %q", g.Name, p.ID)
+		}
+		seen[p.ID] = true
+	}
+	return nil
+}
+
+// canonical is the text a point's digest hashes (and the envelope key that
+// guards against collisions and version drift).
+func (g Grid) canonical(p Point) string {
+	return fmt.Sprintf("divlab.sweep/v%d\ngrid=%s\ninsts=%d\npoint=%s\n",
+		DigestVersion, g.Name, g.Insts, p.ID)
+}
+
+// PointDigest returns the point's content address in g.
+func (g Grid) PointDigest(p Point) string {
+	sum := sha256.Sum256([]byte(g.canonical(p)))
+	return hex.EncodeToString(sum[:])
+}
+
+// ShardOf maps a point digest onto one of n shards. The split depends only
+// on the digest, so every process partitions identically.
+func ShardOf(digest string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	raw, err := hex.DecodeString(digest[:16])
+	if err != nil || len(raw) != 8 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint64(raw) % uint64(n))
+}
+
+// Options configures a Run.
+type Options struct {
+	// Store holds point records and leases. Required.
+	Store store.Store
+	// Engine runs the simulations (runner.Default() when nil). Attaching the
+	// same store to the engine additionally persists job-level results, so
+	// an interrupted point resumes without re-simulating finished jobs.
+	Engine *runner.Engine
+	// Shard/Shards select the digest-hash partition to compute (0 of 1 —
+	// every point — when Shards <= 1).
+	Shard, Shards int
+	// LeaseTTL bounds how long a crashed process can hold a point
+	// (DefaultLeaseTTL when zero).
+	LeaseTTL time.Duration
+	// OnPoint, when set, is called with each point ID this run computed and
+	// persisted (test hook: resume tests prove disjointness with it).
+	OnPoint func(id string)
+}
+
+// DefaultLeaseTTL is long enough for any single point at full budget, short
+// enough that a crashed shard does not stall a sweep for long.
+const DefaultLeaseTTL = 10 * time.Minute
+
+// Summary reports what one Run did.
+type Summary struct {
+	// Computed points were simulated and persisted by this run.
+	Computed int
+	// Hits were already present in the store.
+	Hits int
+	// Pending points are leased by another live process; their records had
+	// not appeared by the end of this run. Re-run (or Merge later) once the
+	// holders finish.
+	Pending []string
+}
+
+// Run computes this shard's missing points. It is safe to run concurrently
+// with other shards — or with itself after a kill: finished points are
+// skipped via the store, in-flight ones via leases, and an interrupted point
+// leaves no record, so a re-run completes exactly the remaining work.
+// Cancellation via ctx returns context.Canceled with the Summary of work
+// completed; nothing partial is persisted.
+func Run(ctx context.Context, g Grid, o Options) (Summary, error) {
+	var sum Summary
+	if o.Store == nil {
+		return sum, errors.New("sweep: Options.Store is required")
+	}
+	if err := g.validate(); err != nil {
+		return sum, err
+	}
+	eng := o.Engine
+	if eng == nil {
+		eng = runner.Default()
+	}
+	ttl := o.LeaseTTL
+	if ttl == 0 {
+		ttl = DefaultLeaseTTL
+	}
+
+	var deferred []Point
+	for _, p := range g.Points {
+		if o.Shards > 1 && ShardOf(g.PointDigest(p), o.Shards) != o.Shard {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		done, err := g.has(o.Store, p)
+		if err != nil {
+			return sum, err
+		}
+		if done {
+			sum.Hits++
+			continue
+		}
+		release, ok, err := o.Store.TryLease(leaseName(g.PointDigest(p)), ttl)
+		if err != nil {
+			return sum, err
+		}
+		if !ok {
+			deferred = append(deferred, p)
+			continue
+		}
+		cerr := g.compute(ctx, eng, o.Store, p)
+		rerr := release()
+		if cerr != nil {
+			return sum, cerr
+		}
+		if rerr != nil {
+			return sum, fmt.Errorf("sweep %s: release %s: %w", g.Name, p.ID, rerr)
+		}
+		sum.Computed++
+		if o.OnPoint != nil {
+			o.OnPoint(p.ID)
+		}
+	}
+	// Points another process was holding: their records may have landed by
+	// now; whatever is still absent is genuinely pending.
+	for _, p := range deferred {
+		done, err := g.has(o.Store, p)
+		if err != nil {
+			return sum, err
+		}
+		if done {
+			sum.Hits++
+		} else {
+			sum.Pending = append(sum.Pending, p.ID)
+		}
+	}
+	return sum, nil
+}
+
+// has reports whether a valid record for p exists. Corrupt records read as
+// absent (the recompute overwrites them); other store failures propagate.
+func (g Grid) has(st store.Store, p Point) (bool, error) {
+	_, err := g.load(st, p)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, store.ErrNotFound) || store.IsCorrupt(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// compute simulates one point and persists its record. A cancellation that
+// leaves any job unsimulated aborts without persisting.
+func (g Grid) compute(ctx context.Context, eng *runner.Engine, st store.Store, p Point) error {
+	res := eng.Run(ctx, p.Jobs)
+	for _, r := range res {
+		if r == nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("sweep %s: point %s: missing result", g.Name, p.ID)
+		}
+	}
+	rep := obs.NewReport("sweep-point:"+p.ID, "sweep point", obs.RunConfig{Insts: g.Insts})
+	for _, row := range p.Eval(res) {
+		rep.AddRow(row)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("sweep %s: point %s: %w", g.Name, p.ID, err)
+	}
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("sweep %s: point %s: %w", g.Name, p.ID, err)
+	}
+	return st.Put(&store.Record{
+		Schema:  store.SchemaVersion,
+		Digest:  g.PointDigest(p),
+		Key:     g.canonical(p),
+		Kind:    store.KindSweepPoint,
+		Payload: payload,
+	})
+}
+
+// load fetches and fully validates one point's record, returning its rows.
+func (g Grid) load(st store.Store, p Point) ([]obs.Row, error) {
+	digest := g.PointDigest(p)
+	rec, err := st.Get(digest)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := func(reason string) error {
+		return &store.CorruptError{Digest: digest, Reason: reason}
+	}
+	if rec.Kind != store.KindSweepPoint {
+		return nil, corrupt("kind " + rec.Kind + ", want " + store.KindSweepPoint)
+	}
+	if rec.Key != g.canonical(p) {
+		return nil, corrupt("envelope key does not match point " + p.ID)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(rec.Payload, &rep); err != nil {
+		return nil, corrupt("undecodable point report: " + err.Error())
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, corrupt("invalid point report: " + err.Error())
+	}
+	if rep.Experiment != "sweep-point:"+p.ID {
+		return nil, corrupt("report for " + rep.Experiment + ", want point " + p.ID)
+	}
+	return rep.Rows, nil
+}
+
+// leaseName derives a filesystem-safe lease name from a point digest.
+func leaseName(digest string) string { return "sweep-" + digest[:32] }
+
+// Merge assembles every point's stored rows in grid order. Points with no
+// valid record are returned in missing (with a nil rows slice at their
+// position); the caller decides whether that is an error (a final -merge)
+// or expected (other shards still running).
+func Merge(g Grid, st store.Store) (rows [][]obs.Row, missing []string, err error) {
+	if err := g.validate(); err != nil {
+		return nil, nil, err
+	}
+	rows = make([][]obs.Row, len(g.Points))
+	for i, p := range g.Points {
+		r, err := g.load(st, p)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) || store.IsCorrupt(err) {
+				missing = append(missing, p.ID)
+				continue
+			}
+			return nil, nil, err
+		}
+		rows[i] = r
+	}
+	return rows, missing, nil
+}
+
+// Report flattens merged rows into the sweep's final validated report. The
+// result is a pure function of the grid and the stored rows — independent of
+// worker counts, sharding, or interruption history — which is what makes a
+// merged sharded sweep byte-identical to a single-process run.
+func Report(g Grid, rows [][]obs.Row) (*obs.Report, error) {
+	rep := obs.NewReport("sweep:"+g.Name, "parameter sweep", obs.RunConfig{Insts: g.Insts})
+	for _, pointRows := range rows {
+		for _, r := range pointRows {
+			rep.AddRow(r)
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
