@@ -15,9 +15,10 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the project's own analyzers (determinism,
-# specstring, conservation, sinkerr, plus the flow-sensitive isolation and
-# lineaddr checks). The tree must stay at zero findings; suppress a
-# justified exception with //lint:allow <analyzer> -- <reason>.
+# specstring, conservation, sinkerr, the flow-sensitive isolation and
+# lineaddr checks, and the summary-based hotalloc and ctxlease checks).
+# The tree must stay at zero findings; suppress a justified exception with
+# //lint:allow <analyzer> -- <reason>; `divlint -audit` reports stale ones.
 lint: vet
 	$(GO) run ./cmd/divlint ./...
 

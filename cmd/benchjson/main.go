@@ -246,9 +246,22 @@ func readFile(path string) (File, error) {
 	return f, nil
 }
 
-// validateFile checks the schema shape and the performance contract the
+// maxSimulatorAllocs pins BenchmarkSimulator's steady-state allocation
+// budget: 76 allocs per single-core run, the PR 6 floor (per-run result and
+// report bookkeeping; the access loop itself is allocation-free). Together
+// with the static hotalloc analyzer the contract is bracketed from both
+// sides — lint time proves the access path cannot allocate, bench time
+// proves the whole run stays at the floor.
+const maxSimulatorAllocs = 76
+
+// validateFile checks the schema shape and the performance contracts the
 // repository pins: BenchmarkAccessPath (the steady-state demand path) must
-// report exactly zero allocations per operation.
+// report exactly zero allocations per operation in every entry, and the
+// latest BenchmarkSimulator entry must stay at or under the per-run
+// allocation floor. The simulator pin applies only to the latest entry
+// because the trajectory file deliberately preserves pre-optimization
+// history ("-before" labels) — the contract binds the present, the history
+// shows the curve.
 func validateFile(path string) error {
 	f, err := readFile(path)
 	if err != nil {
@@ -260,6 +273,7 @@ func validateFile(path string) error {
 	if len(f.Entries) == 0 {
 		return fmt.Errorf("no entries")
 	}
+	lastSim := -1
 	for i, e := range f.Entries {
 		if e.Bench == "" || e.Label == "" || e.Host == "" {
 			return fmt.Errorf("entry %d: bench, label and host are required", i)
@@ -270,6 +284,15 @@ func validateFile(path string) error {
 		if e.Bench == "BenchmarkAccessPath" && e.AllocsPerOp != 0 {
 			return fmt.Errorf("entry %d (%s %s): allocs_per_op = %v, the demand path is pinned at 0",
 				i, e.Label, e.Bench, e.AllocsPerOp)
+		}
+		if e.Bench == "BenchmarkSimulator" {
+			lastSim = i
+		}
+	}
+	if lastSim >= 0 {
+		if e := f.Entries[lastSim]; e.AllocsPerOp > maxSimulatorAllocs {
+			return fmt.Errorf("entry %d (%s %s): allocs_per_op = %v, the per-run budget is pinned at %d",
+				lastSim, e.Label, e.Bench, e.AllocsPerOp, maxSimulatorAllocs)
 		}
 	}
 	return nil

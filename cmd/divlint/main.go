@@ -1,11 +1,13 @@
 // Command divlint runs the project's static-analysis suite: the mechanical
 // enforcement of the simulator's determinism, spec-string, conservation,
-// sink-error, run-isolation and line-address contracts (see
+// sink-error, run-isolation, line-address, hot-path-allocation and
+// context/lease-discipline contracts — eight analyzers in all (see
 // internal/analysis/... and README "Correctness contracts").
 //
 //	divlint ./...                     lint the whole module
 //	divlint ./internal/sim ./cmd/...  lint specific packages
 //	divlint -json ./...               machine-readable findings on stdout
+//	divlint -audit ./...              list stale //lint:allow directives
 //	go vet -vettool=$(which divlint) ./...   run under the go command
 //
 // Exit status: 0 clean, 1 findings or load failure. Findings print as
@@ -18,10 +20,16 @@
 //
 //	//lint:allow determinism -- wall-clock progress display, not simulation
 //
-// The isolation and lineaddr analyzers are whole-program: they need the
-// full package set for call-graph reachability, so this pattern driver is
-// their authoritative harness. Under `go vet -vettool` they see one package
-// at a time and only intra-package call edges.
+// -audit inverts the suppression check: it runs the suite unsuppressed and
+// reports every lint:allow directive whose analyzer no longer produces a
+// finding on its covered lines. A stale allow is a hole a future regression
+// walks through silently, so CI fails on them too (exit 1).
+//
+// The isolation, lineaddr, hotalloc and ctxlease analyzers are
+// whole-program: they need the full package set for call-graph reachability
+// and dataflow summaries, so this pattern driver is their authoritative
+// harness. Under `go vet -vettool` they see one package at a time and only
+// intra-package call edges.
 package main
 
 import (
@@ -34,7 +42,7 @@ import (
 	"divlab/internal/analysis/divlint"
 )
 
-const version = "v1.1.0"
+const version = "v1.2.0"
 
 // jsonFinding is the -json wire form of one finding.
 type jsonFinding struct {
@@ -56,12 +64,29 @@ func main() {
 
 	fs := flag.NewFlagSet("divlint", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	audit := fs.Bool("audit", false, "report stale //lint:allow directives instead of findings")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2) // ExitOnError already printed usage; unreachable in practice
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	if *audit {
+		stale, err := divlint.Audit(".", patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "divlint:", err)
+			os.Exit(1)
+		}
+		for _, s := range stale {
+			fmt.Println(s)
+		}
+		if n := len(stale); n > 0 {
+			fmt.Fprintf(os.Stderr, "divlint: %d stale allow(s)\n", n)
+			os.Exit(1)
+		}
+		return
 	}
 
 	findings, err := divlint.Run(".", patterns...)

@@ -14,12 +14,19 @@ import (
 // The justification after "--" is required: a suppression with no reason is
 // itself not honored.
 
-// allowSet records which (analyzer, line) pairs are suppressed in one file.
-type allowSet map[string]map[int]bool
+// directive is one honored lint:allow entry for one analyzer name: the
+// directive's position and the source lines it covers (its own line and the
+// next, so both trailing and preceding placements work).
+type directive struct {
+	pos   token.Position
+	name  string
+	lines [2]int
+}
 
-// allowsForFile scans a file's comments for lint:allow directives.
-func allowsForFile(fset *token.FileSet, f *ast.File) allowSet {
-	set := allowSet{}
+// directivesForFile scans a file's comments for honored lint:allow
+// directives, one entry per analyzer name listed.
+func directivesForFile(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
@@ -36,16 +43,27 @@ func allowsForFile(fset *token.FileSet, f *ast.File) allowSet {
 				if name == "" {
 					continue
 				}
-				m := set[name]
-				if m == nil {
-					m = map[int]bool{}
-					set[name] = m
-				}
-				// Cover the directive's own line and the next one, so both
-				// trailing and preceding placements work.
-				m[pos.Line] = true
-				m[pos.Line+1] = true
+				out = append(out, directive{pos: pos, name: name, lines: [2]int{pos.Line, pos.Line + 1}})
 			}
+		}
+	}
+	return out
+}
+
+// allowSet records which (analyzer, line) pairs are suppressed in one file.
+type allowSet map[string]map[int]bool
+
+// allowsForFile folds the file's directives into a lookup set.
+func allowsForFile(fset *token.FileSet, f *ast.File) allowSet {
+	set := allowSet{}
+	for _, d := range directivesForFile(fset, f) {
+		m := set[d.name]
+		if m == nil {
+			m = map[int]bool{}
+			set[d.name] = m
+		}
+		for _, line := range d.lines {
+			m[line] = true
 		}
 	}
 	return set

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testPackage type-checks one in-memory file into a Package.
+func testPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+// markers reports a diagnostic on every line containing "BAD".
+var markers = &Analyzer{
+	Name: "markers",
+	Doc:  "flags BAD comments (audit test fixture)",
+	Run: func(pass *Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "BAD") {
+						pass.Report(Diagnostic{Pos: c.Pos(), Message: "BAD marker"})
+					}
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+const auditSrc = `package p
+
+func used() {
+	//lint:allow markers -- covered: the next line carries a finding
+	_ = 1 // BAD
+}
+
+func stale() {
+	//lint:allow markers -- nothing here anymore
+	_ = 2
+}
+
+func wrongName() {
+	//lint:allow nosuch -- analyzer does not exist
+	_ = 3 // BAD
+}
+
+func unjustified() {
+	//lint:allow markers
+	_ = 4 // BAD
+}
+`
+
+func TestAuditAllows(t *testing.T) {
+	pkg := testPackage(t, auditSrc)
+	suite := []Scoped{{Analyzer: markers}}
+
+	stale, err := AuditAllows([]*Package{pkg}, suite)
+	if err != nil {
+		t.Fatalf("AuditAllows: %v", err)
+	}
+	var got []string
+	for _, s := range stale {
+		got = append(got, s.Analyzer+"@"+itoa(s.Pos.Line))
+	}
+	// The used allow is live; the unjustified one is never honored (and so
+	// never audited); the stale and wrong-name ones must surface.
+	want := []string{"markers@9", "nosuch@14"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("stale allows = %v, want %v", got, want)
+	}
+
+	// The same suite through RunAnalyzers must keep honoring the live allow
+	// and report the uncovered BAD markers.
+	findings, err := RunAnalyzers([]*Package{pkg}, suite)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var lines []int
+	for _, f := range findings {
+		lines = append(lines, f.Pos.Line)
+	}
+	if len(lines) != 2 || lines[0] != 15 || lines[1] != 20 {
+		t.Errorf("finding lines = %v, want [15 20] (wrong-name and unjustified allows do not suppress)", lines)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}

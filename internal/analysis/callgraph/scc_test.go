@@ -1,0 +1,220 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// sccOf returns the index of the component containing n, or -1.
+func sccOf(sccs [][]*Node, n *Node) int {
+	for i, comp := range sccs {
+		for _, m := range comp {
+			if m == n {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// renderSCCs flattens components to a comparable string form.
+func renderSCCs(sccs [][]*Node) string {
+	var b strings.Builder
+	for _, comp := range sccs {
+		for i, n := range comp {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(n.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+const mutualSrc = `package p
+
+func a() { b() }
+func b() { a(); leaf() }
+func leaf() {}
+func top() { a() }
+func self() { self() }
+`
+
+func TestSCCMutualRecursion(t *testing.T) {
+	g := Build([]Source{load(t, mutualSrc)})
+	sccs := g.SCCs()
+	a, b := node(t, g, "p.a"), node(t, g, "p.b")
+	if sccOf(sccs, a) != sccOf(sccs, b) {
+		t.Error("mutually recursive a and b must share a component")
+	}
+	leaf, top, self := node(t, g, "p.leaf"), node(t, g, "p.top"), node(t, g, "p.self")
+	if sccOf(sccs, leaf) == sccOf(sccs, a) || sccOf(sccs, top) == sccOf(sccs, a) {
+		t.Error("leaf and top must not join the recursion cycle")
+	}
+	// Bottom-up: callees come first.
+	if !(sccOf(sccs, leaf) < sccOf(sccs, a)) {
+		t.Error("leaf (a callee) must be emitted before the a/b cycle")
+	}
+	if !(sccOf(sccs, a) < sccOf(sccs, top)) {
+		t.Error("the a/b cycle must be emitted before its caller top")
+	}
+	// Direct self-recursion is a singleton component with a self-edge.
+	if comp := sccs[sccOf(sccs, self)]; len(comp) != 1 {
+		t.Errorf("self-recursive function must be a singleton component, got %d members", len(comp))
+	}
+}
+
+const ifaceRecSrc = `package p
+
+type Step interface{ Next(n int) }
+
+type Walker struct{}
+
+// Next dispatches back through the interface: recursion the graph can only
+// see via dispatch resolution.
+func (w Walker) Next(n int) {
+	if n > 0 {
+		Drive(w, n-1)
+	}
+}
+
+func Drive(s Step, n int) { s.Next(n) }
+
+func entry() { Drive(Walker{}, 8) }
+`
+
+func TestSCCInterfaceDispatchIntoRecursion(t *testing.T) {
+	g := Build([]Source{load(t, ifaceRecSrc)})
+	sccs := g.SCCs()
+	drive, next := node(t, g, "p.Drive"), node(t, g, "Next")
+	if sccOf(sccs, drive) != sccOf(sccs, next) {
+		t.Error("Drive and Walker.Next recurse through dispatch and must share a component")
+	}
+	entry := node(t, g, "p.entry")
+	if !(sccOf(sccs, drive) < sccOf(sccs, entry)) {
+		t.Error("the dispatch cycle must be emitted before its caller")
+	}
+}
+
+// TestSCCBottomUpInvariant checks the ordering contract on a graph mixing
+// cycles, cross-cycle edges and leaves: every edge between distinct
+// components points at an earlier component.
+func TestSCCBottomUpInvariant(t *testing.T) {
+	g := Build([]Source{load(t, `package p
+
+func a() { b() }
+func b() { a(); c() }
+func c() { d(); e() }
+func d() { c() }
+func e() {}
+func main() { a(); e() }
+`)})
+	sccs := g.SCCs()
+	total := 0
+	for _, comp := range sccs {
+		total += len(comp)
+	}
+	if total != len(g.Nodes) {
+		t.Fatalf("components cover %d nodes, graph has %d", total, len(g.Nodes))
+	}
+	for _, n := range g.Nodes {
+		for _, succ := range n.Out {
+			if from, to := sccOf(sccs, n), sccOf(sccs, succ); from != to && to > from {
+				t.Errorf("edge %s -> %s goes from component %d to later component %d", n, succ, from, to)
+			}
+		}
+	}
+}
+
+// TestSCCDeterministic builds the same program twice from scratch and
+// demands identical component order and member order; it also re-runs SCCs
+// on one graph to rule out iteration-order dependence within a build.
+func TestSCCDeterministic(t *testing.T) {
+	render := func() string {
+		g := Build([]Source{load(t, mutualSrc), load(t, ifaceRecSrc)})
+		return renderSCCs(g.SCCs())
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("SCC order differs between builds:\n--- first\n%s--- run %d\n%s", first, i, got)
+		}
+	}
+	g := Build([]Source{load(t, mutualSrc)})
+	if a, b := renderSCCs(g.SCCs()), renderSCCs(g.SCCs()); a != b {
+		t.Fatalf("SCCs differ across calls on one graph:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSCCDeepChain guards the iterative traversal: a call chain deep enough
+// to overflow a recursive implementation must still terminate.
+func TestSCCDeepChain(t *testing.T) {
+	const depth = 600
+	var b strings.Builder
+	b.WriteString("package p\n")
+	for i := 0; i < depth; i++ {
+		if i == depth-1 {
+			fmt.Fprintf(&b, "func f%d() {}\n", i)
+		} else {
+			fmt.Fprintf(&b, "func f%d() { f%d() }\n", i, i+1)
+		}
+	}
+	g := Build([]Source{load(t, b.String())})
+	sccs := g.SCCs()
+	if len(sccs) != depth {
+		t.Fatalf("expected %d singleton components, got %d", depth, len(sccs))
+	}
+	// Bottom-up means the chain's tail comes first.
+	if sccs[0][0] != node(t, g, fmt.Sprintf("p.f%d", depth-1)) {
+		t.Errorf("deepest callee must be the first component, got %s", sccs[0][0])
+	}
+}
+
+func TestTargets(t *testing.T) {
+	src := load(t, `package p
+
+import "strings"
+
+type Hook interface{ Fire() }
+
+type A struct{}
+
+func (A) Fire() {}
+
+func static() {}
+
+func run(h Hook, f func()) {
+	static()
+	h.Fire()
+	f()
+	strings.TrimSpace("x")
+}
+`)
+	g := Build([]Source{src})
+	run := node(t, g, "p.run")
+	var calls []*ast.CallExpr
+	ast.Inspect(run.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 4 {
+		t.Fatalf("expected 4 call sites, got %d", len(calls))
+	}
+	if targets, ext := g.Targets(src.Info, calls[0]); len(targets) != 1 || targets[0] != node(t, g, "p.static") || ext != nil {
+		t.Errorf("static call resolved to %v / %v", targets, ext)
+	}
+	if targets, ext := g.Targets(src.Info, calls[1]); len(targets) != 1 || targets[0] != node(t, g, "Fire") || ext == nil {
+		t.Errorf("dispatch call resolved to %v / %v", targets, ext)
+	}
+	if targets, ext := g.Targets(src.Info, calls[2]); targets != nil || ext != nil {
+		t.Errorf("function-value call must resolve to nothing, got %v / %v", targets, ext)
+	}
+	if targets, ext := g.Targets(src.Info, calls[3]); targets != nil || ext == nil || ext.Pkg().Path() != "strings" {
+		t.Errorf("external call must surface the types.Func, got %v / %v", targets, ext)
+	}
+}

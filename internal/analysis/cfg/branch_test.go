@@ -1,0 +1,78 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildBody parses src as a function body and returns its CFG.
+func buildBody(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f(ok bool, n int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+func TestBranchAnnotations(t *testing.T) {
+	g := buildBody(t, `
+if !ok {
+	n = 1
+} else {
+	n = 2
+}
+n = 3
+`)
+	var taken, notTaken, joins int
+	for _, blk := range g.Blocks {
+		if blk.Branch == nil {
+			joins++
+			continue
+		}
+		if _, isNot := blk.Branch.Cond.(*ast.UnaryExpr); !isNot {
+			t.Errorf("branch condition should be the !ok expression, got %T", blk.Branch.Cond)
+		}
+		if blk.Branch.Taken {
+			taken++
+		} else {
+			notTaken++
+		}
+	}
+	if taken != 1 || notTaken != 1 {
+		t.Errorf("want one taken and one not-taken branch block, got %d/%d", taken, notTaken)
+	}
+	if joins == 0 {
+		t.Error("join blocks must carry no annotation")
+	}
+}
+
+func TestBranchAnnotationSkipEdgeUnannotated(t *testing.T) {
+	// Without an else, the join is reachable straight from the condition; it
+	// must not claim a condition outcome.
+	g := buildBody(t, `
+if ok {
+	n = 1
+}
+n = 2
+`)
+	for _, blk := range g.Blocks {
+		if blk.Branch == nil {
+			continue
+		}
+		if !blk.Branch.Taken {
+			t.Error("an if with no else has no not-taken block")
+		}
+		for _, s := range blk.Stmts {
+			if as, isAssign := s.(*ast.AssignStmt); isAssign {
+				if lit, isLit := as.Rhs[0].(*ast.BasicLit); !isLit || lit.Value != "1" {
+					t.Errorf("annotated block holds %v, want the then-branch assignment", as)
+				}
+			}
+		}
+	}
+}

@@ -29,6 +29,20 @@ type Block struct {
 	Stmts []ast.Stmt
 	// Succs are the possible successor blocks, in source order.
 	Succs []*Block
+	// Branch, when non-nil, records that the block is the then- or
+	// else-branch of an if statement: it is only entered when Cond evaluated
+	// to Taken. Join blocks carry no annotation (they merge both outcomes).
+	// Path-sensitive refinements (the ctxlease must-release walk) use this to
+	// recognize guard shapes like `if !ok { return }`; everything else may
+	// ignore it.
+	Branch *BranchInfo
+}
+
+// BranchInfo is one if-branch fact: entering the annotated block implies the
+// condition's value.
+type BranchInfo struct {
+	Cond  ast.Expr
+	Taken bool
 }
 
 // Graph is the control-flow graph of one function body.
@@ -162,12 +176,14 @@ func (b *builder) stmt(s ast.Stmt) {
 		after := b.newBlock()
 		b.cur = cond
 		thenB := b.startBlock()
+		thenB.Branch = &BranchInfo{Cond: s.Cond, Taken: true}
 		b.cur = thenB
 		b.stmtList(s.Body.List)
 		b.edge(b.cur, after)
 		if s.Else != nil {
 			b.cur = cond
 			elseB := b.startBlock()
+			elseB.Branch = &BranchInfo{Cond: s.Cond, Taken: false}
 			b.cur = elseB
 			b.stmt(s.Else)
 			b.edge(b.cur, after)

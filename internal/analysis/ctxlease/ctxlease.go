@@ -1,0 +1,568 @@
+// Package ctxlease implements the concurrency-discipline analyzer for the
+// runner/store/sweep layer: contexts must be propagated, leases must be
+// released on every path, and no mutex may be held across a blocking
+// operation.
+//
+// PR 7 made runs cancellable (context threaded through Engine.Run), durable
+// (content-addressed store records) and concurrent (advisory leases,
+// per-process worker pools). Those properties hold only if every function on
+// the layer follows three local disciplines, which this analyzer checks
+// statically:
+//
+//  1. Context propagation. A function that receives a context.Context must
+//     not manufacture a replacement: any call to context.Background() or
+//     context.TODO() inside it (closures included) discards the caller's
+//     cancellation and deadline, so a kill stops being a kill.
+//
+//  2. Lease must-release. A `release, ok, err := x.TryLease(...)` acquire
+//     must use release — call it, defer it, pass, return or store it — on
+//     every control-flow path on which the lease was actually granted.
+//     Paths that the CFG's branch annotations prove are failure paths
+//     (entered only when !ok or err != nil, where release is nil by the
+//     Store contract) are exempt; every other path that reaches a return,
+//     a panic, or the function end without using release leaks the lease
+//     until its TTL expires, serializing every other shard. Discarding
+//     release (blank identifier, or an unassigned TryLease call) is
+//     reported at the acquire.
+//
+//  3. No blocking under a mutex. Holding a sync.Mutex/RWMutex across a
+//     channel operation, file or network I/O, a sleep or a lease wait
+//     stretches the critical section across an unbounded wait. Lock
+//     tracking is path-based (a forward may-analysis over the CFG: if any
+//     path holds the lock, the lock is held), and blocking classification
+//     is interprocedural via the dataflow.MayBlock summary, so a call to a
+//     helper that blocks three frames down is still caught. Acquiring or
+//     releasing further locks is not itself treated as blocking (nested
+//     locking is ordering discipline, not latency), and deferred calls run
+//     at exit, outside the tracked region.
+//
+// All three checks are purely local to a function body plus the program's
+// call-graph summaries; the driver scopes the analyzer to the packages that
+// own the discipline (internal/runner, internal/store, internal/sweep).
+// Deliberate exceptions take a justified `//lint:allow ctxlease -- reason`.
+package ctxlease
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/cfg"
+	"divlab/internal/analysis/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxlease",
+	Doc:  "reports dropped contexts, leaked store leases, and blocking operations under a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	prog := pass.Program
+	g := prog.Callgraph()
+	sums := dataflow.MayBlock(prog)
+	for _, node := range g.Nodes {
+		if node.Pkg != pass.Pkg || node.Body == nil {
+			continue
+		}
+		checkCtx(pass, node)
+		graph := cfg.New(node.Body)
+		checkLeases(pass, node, graph)
+		checkMutex(pass, node, graph, g, sums)
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: context propagation.
+
+// checkCtx reports context.Background()/TODO() calls inside a function that
+// already has a context parameter. Closures are scanned too — a captured ctx
+// is as available as a parameter — but only from the declaring function, so
+// the report is not duplicated when the literal's own node is visited (a
+// literal has no parameters).
+func checkCtx(pass *analysis.Pass, node *callgraph.Node) {
+	if node.Fn == nil || !hasCtxParam(node.Fn) {
+		return
+	}
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(node.Info, call); fn != nil {
+			switch fn.FullName() {
+			case "context.Background", "context.TODO":
+				pass.Report(analysis.Diagnostic{
+					Pos:     call.Pos(),
+					Message: fmt.Sprintf("%s discards the ctx parameter; propagate the caller's context", fn.Name()),
+				})
+			}
+		}
+		return true
+	})
+}
+
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: lease must-release.
+
+// acquire is one `release, ok, err := x.TryLease(...)` site.
+type acquire struct {
+	stmt    ast.Stmt
+	pos     token.Pos
+	release *types.Var // nil when discarded with _
+	ok      *types.Var // nil when discarded
+	err     *types.Var // nil when discarded
+}
+
+func checkLeases(pass *analysis.Pass, node *callgraph.Node, graph *cfg.Graph) {
+	info := node.Info
+	// Locate each live acquire statement and its block position.
+	live := graph.Live()
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for i, s := range blk.Stmts {
+			acq, dropped := leaseAcquire(info, s)
+			if dropped != token.NoPos {
+				pass.Report(analysis.Diagnostic{
+					Pos:     dropped,
+					Message: "TryLease release function is discarded; the lease leaks until its TTL expires",
+				})
+				continue
+			}
+			if acq == nil {
+				continue
+			}
+			if leak := firstLeak(info, graph, blk, i, acq); leak != token.NoPos {
+				pass.Report(analysis.Diagnostic{
+					Pos: acq.pos,
+					Message: fmt.Sprintf("lease acquired here is not released on the path to %s",
+						pass.Fset.Position(leak)),
+				})
+			}
+		}
+	}
+}
+
+// leaseAcquire recognizes a TryLease result binding. It returns the acquire,
+// or — for forms that discard the release outright (`_, ok, err :=` or a
+// bare expression statement) — the position to report.
+func leaseAcquire(info *types.Info, s ast.Stmt) (*acquire, token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isTryLease(info, call) {
+			return nil, call.Pos()
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 || len(s.Lhs) != 3 {
+			return nil, token.NoPos
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok || !isTryLease(info, call) {
+			return nil, token.NoPos
+		}
+		rel := lhsVar(info, s.Lhs[0])
+		if rel == nil {
+			return nil, s.Lhs[0].Pos()
+		}
+		return &acquire{
+			stmt:    s,
+			pos:     call.Pos(),
+			release: rel,
+			ok:      lhsVar(info, s.Lhs[1]),
+			err:     lhsVar(info, s.Lhs[2]),
+		}, token.NoPos
+	}
+	return nil, token.NoPos
+}
+
+// isTryLease matches a call to a method named TryLease returning the Store
+// lease shape (func() error, bool, error) — duck-typed so fixtures and
+// future Store implementations are covered without importing the package.
+func isTryLease(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "TryLease" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 3 {
+		return false
+	}
+	rel, isSig := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	if !isSig || rel.Params().Len() != 0 || rel.Results().Len() != 1 {
+		return false
+	}
+	b, isBasic := sig.Results().At(1).Type().Underlying().(*types.Basic)
+	return isBasic && b.Kind() == types.Bool
+}
+
+// firstLeak walks every CFG path from the acquire and returns the position
+// of the first exit reached without using release, or NoPos when every
+// granted path uses it. Failure paths — blocks entered only when the
+// acquire's ok is false or its err is non-nil — are exempt.
+func firstLeak(info *types.Info, graph *cfg.Graph, start *cfg.Block, idx int, acq *acquire) token.Pos {
+	// scan classifies the statements of one block from offset on: the
+	// position of a leaking exit, or done=true when release is used.
+	scan := func(blk *cfg.Block, from int) (token.Pos, bool) {
+		for _, s := range blk.Stmts[from:] {
+			if usesVar(info, s, acq.release) {
+				return token.NoPos, true
+			}
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				return s.Pos(), false
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+						return s.Pos(), false
+					}
+				}
+			}
+		}
+		return token.NoPos, false
+	}
+
+	if pos, done := scan(start, idx+1); pos != token.NoPos || done {
+		if done {
+			return token.NoPos
+		}
+		return pos
+	}
+	visited := map[*cfg.Block]bool{}
+	var walk func(blk *cfg.Block) token.Pos
+	walk = func(blk *cfg.Block) token.Pos {
+		if visited[blk] {
+			return token.NoPos
+		}
+		visited[blk] = true
+		if failurePath(blk.Branch, acq) {
+			return token.NoPos
+		}
+		pos, done := scan(blk, 0)
+		if pos != token.NoPos {
+			return pos
+		}
+		if done {
+			return token.NoPos
+		}
+		if len(blk.Succs) == 0 {
+			// Function end (or a terminated path) without a use.
+			return endPos(blk, acq)
+		}
+		for _, s := range blk.Succs {
+			if p := walk(s); p != token.NoPos {
+				return p
+			}
+		}
+		return token.NoPos
+	}
+	if len(start.Succs) == 0 {
+		return endPos(start, acq)
+	}
+	for _, s := range start.Succs {
+		if p := walk(s); p != token.NoPos {
+			return p
+		}
+	}
+	return token.NoPos
+}
+
+// endPos anchors a fall-off-the-end leak: the block's last statement, or the
+// acquire itself for empty exit blocks.
+func endPos(blk *cfg.Block, acq *acquire) token.Pos {
+	if n := len(blk.Stmts); n > 0 {
+		return blk.Stmts[n-1].Pos()
+	}
+	return acq.pos
+}
+
+// failurePath reports whether entering the block implies the lease was not
+// granted — the branch condition proves !ok or err != nil for this acquire's
+// variables on that edge. Compound guards (`if err != nil || !ok`,
+// `if ok && err == nil`) are decomposed through the boolean operators.
+func failurePath(br *cfg.BranchInfo, acq *acquire) bool {
+	if br == nil {
+		return false
+	}
+	if br.Taken {
+		return trueImpliesFailure(br.Cond, acq)
+	}
+	return falseImpliesFailure(br.Cond, acq)
+}
+
+// trueImpliesFailure: every valuation making e true has !ok or err != nil.
+func trueImpliesFailure(e ast.Expr, acq *acquire) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.NOT && falseImpliesFailure(e.X, acq)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR: // either side may be the true one: both must imply
+			return trueImpliesFailure(e.X, acq) && trueImpliesFailure(e.Y, acq)
+		case token.LAND: // both sides are true: either implying suffices
+			return trueImpliesFailure(e.X, acq) || trueImpliesFailure(e.Y, acq)
+		case token.NEQ:
+			return isNilCheck(e, acq.err)
+		}
+	}
+	return false
+}
+
+// falseImpliesFailure: every valuation making e false has !ok or err != nil.
+func falseImpliesFailure(e ast.Expr, acq *acquire) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return identIs(e, acq.ok)
+	case *ast.UnaryExpr:
+		return e.Op == token.NOT && trueImpliesFailure(e.X, acq)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND: // either side may be the false one: both must imply
+			return falseImpliesFailure(e.X, acq) && falseImpliesFailure(e.Y, acq)
+		case token.LOR: // both sides are false: either implying suffices
+			return falseImpliesFailure(e.X, acq) || falseImpliesFailure(e.Y, acq)
+		case token.EQL:
+			return isNilCheck(e, acq.err)
+		}
+	}
+	return false
+}
+
+func identIs(e ast.Expr, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == v.Name()
+}
+
+func isNilCheck(bin *ast.BinaryExpr, errVar *types.Var) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (identIs(bin.X, errVar) && isNil(bin.Y)) || (identIs(bin.Y, errVar) && isNil(bin.X))
+}
+
+func lhsVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// usesVar reports whether the statement mentions v at all — a call, defer,
+// argument, assignment or return all count as taking responsibility for the
+// release.
+func usesVar(info *types.Info, s ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: no blocking operation under a mutex.
+
+// checkMutex runs a forward may-held analysis over the CFG — the set of
+// mutexes that some path into each block holds — then reports every live
+// statement that may block while the set is non-empty.
+func checkMutex(pass *analysis.Pass, node *callgraph.Node, graph *cfg.Graph, g *callgraph.Graph, sums map[*callgraph.Node]interface{}) {
+	info := node.Info
+	in := make([]map[string]bool, len(graph.Blocks))
+	in[graph.Entry.Index] = map[string]bool{}
+
+	apply := func(held map[string]bool, stmts []ast.Stmt) map[string]bool {
+		out := held
+		mutate := func() map[string]bool {
+			if out == nil {
+				return nil
+			}
+			cp := make(map[string]bool, len(out))
+			for k := range out {
+				cp[k] = true
+			}
+			return cp
+		}
+		for _, s := range stmts {
+			if key, locks, ok := lockOp(info, s); ok {
+				out = mutate()
+				if locks {
+					out[key] = true
+				} else {
+					delete(out, key)
+				}
+			}
+		}
+		return out
+	}
+
+	// Worklist fixpoint: in[b] is the union of predecessors' outs (nil =
+	// not yet reached). Lock sets are tiny; this converges immediately.
+	work := []*cfg.Block{graph.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := apply(in[blk.Index], blk.Stmts)
+		for _, s := range blk.Succs {
+			if merged, changed := union(in[s.Index], out); changed {
+				in[s.Index] = merged
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Deterministic report pass: replay each reached block, flagging
+	// blocking statements while the held set is non-empty. Lock/unlock
+	// statements themselves and defers are exempt (nested locking is not a
+	// wait; defers run at exit).
+	for _, blk := range graph.Blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		held := copySet(in[blk.Index])
+		for _, s := range blk.Stmts {
+			if key, locks, ok := lockOp(info, s); ok {
+				if locks {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				continue
+			}
+			if _, isDefer := s.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			if len(held) == 0 {
+				continue
+			}
+			if b := dataflow.InStmt(g, info, s, sums); b != nil {
+				pass.Report(analysis.Diagnostic{
+					Pos:     b.Pos,
+					Message: fmt.Sprintf("%s held across blocking operation: %s", heldNames(held), b.Desc),
+				})
+			}
+		}
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(m))
+	for k := range m {
+		cp[k] = true
+	}
+	return cp
+}
+
+// union merges src into dst (nil dst = unreached). It reports whether dst
+// gained a key or was first reached.
+func union(dst, src map[string]bool) (map[string]bool, bool) {
+	if src == nil {
+		return dst, false
+	}
+	if dst == nil {
+		return copySet(src), true
+	}
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return "mutex " + strings.Join(names, ", ")
+}
+
+// lockOp recognizes `x.Lock()` / `x.RLock()` (locks=true) and `x.Unlock()` /
+// `x.RUnlock()` (locks=false) expression statements on sync.Mutex/RWMutex,
+// keyed by the rendered receiver expression ("e.mu").
+func lockOp(info *types.Info, s ast.Stmt) (key string, locks, ok bool) {
+	es, isExpr := s.(*ast.ExprStmt)
+	if !isExpr {
+		return "", false, false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return types.ExprString(sel.X), true, true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// calleeFunc resolves the called *types.Func at a call site, through method
+// selections and qualified identifiers; nil for builtins, conversions and
+// function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

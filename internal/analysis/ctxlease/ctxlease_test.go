@@ -1,0 +1,12 @@
+package ctxlease_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/ctxlease"
+)
+
+func TestCtxLease(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxlease.Analyzer, "lease")
+}

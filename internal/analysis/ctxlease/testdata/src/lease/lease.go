@@ -1,0 +1,186 @@
+// Package lease seeds violations of the three ctxlease disciplines —
+// dropped contexts, leaked lease releases, blocking under a mutex — next to
+// the disciplined shapes that must stay silent.
+package lease
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+// FakeStore mirrors the store.Store lease surface; the analyzer duck-types
+// TryLease by name and signature.
+type FakeStore struct{}
+
+func (*FakeStore) TryLease(name string, ttl time.Duration) (func() error, bool, error) {
+	return func() error { return nil }, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Context propagation.
+
+func dropsCtx(ctx context.Context, s *FakeStore) error {
+	return lookup(context.Background(), s) // want "Background discards the ctx parameter"
+}
+
+func replacesCtxInClosure(ctx context.Context) func() error {
+	return func() error {
+		return lookup(context.TODO(), nil) // want "TODO discards the ctx parameter"
+	}
+}
+
+func propagates(ctx context.Context, s *FakeStore) error {
+	return lookup(ctx, s) // ok: threads the caller's context
+}
+
+// noCtx has no context parameter: starting a fresh root here is the only
+// option (the deprecated batch entry points rely on this).
+func noCtx(s *FakeStore) error {
+	return lookup(context.Background(), s) // ok: nothing to propagate
+}
+
+func lookup(ctx context.Context, s *FakeStore) error { return ctx.Err() }
+
+// ---------------------------------------------------------------------------
+// Lease must-release.
+
+func releasesEverywhere(s *FakeStore) error {
+	release, ok, err := s.TryLease("a", time.Second) // ok: all granted paths release
+	if err != nil {
+		return err // ok: failure path, release is nil
+	}
+	if !ok {
+		return nil // ok: not granted
+	}
+	defer release()
+	return nil
+}
+
+func leaksOnEarlyReturn(s *FakeStore, skip bool) error {
+	release, ok, err := s.TryLease("b", time.Second) // want "lease acquired here is not released on the path to"
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if skip {
+		return nil // the leak: granted, but this return drops release
+	}
+	return release()
+}
+
+func leaksWhenBusy(s *FakeStore, busy bool) {
+	release, ok, _ := s.TryLease("c", time.Second) // want "lease acquired here is not released on the path to"
+	if !ok {
+		return
+	}
+	if !busy {
+		release()
+	}
+	// Falls off the end still holding the lease when busy.
+}
+
+func leaksOnPanic(s *FakeStore, bad bool) func() error {
+	release, ok, err := s.TryLease("g", time.Second) // want "lease acquired here is not released on the path to"
+	if err != nil || !ok {
+		return nil
+	}
+	if bad {
+		panic("invariant violated") // the panic edge drops the lease
+	}
+	return release
+}
+
+func discardsRelease(s *FakeStore) {
+	_, ok, err := s.TryLease("d", time.Second) // want "TryLease release function is discarded"
+	_, _ = ok, err
+}
+
+func dropsResult(s *FakeStore) {
+	s.TryLease("e", time.Second) // want "TryLease release function is discarded"
+}
+
+// sweepShape is the real sweep.Run pattern: lease per item, continue when
+// contended, release before the next iteration.
+func sweepShape(s *FakeStore, items []string) error {
+	for _, it := range items {
+		release, ok, err := s.TryLease(it, time.Second) // ok: released on every granted path
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func passesRelease(s *FakeStore) error {
+	release, ok, err := s.TryLease("f", time.Second) // ok: handed off to the caller's helper
+	if err != nil || !ok {
+		return err
+	}
+	return finish(release)
+}
+
+func finish(release func() error) error { return release() }
+
+// ---------------------------------------------------------------------------
+// Blocking under a mutex.
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	ch  chan int
+	ack chan int
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	g.ch <- g.n // want "mutex g.mu held across blocking operation: channel send"
+	g.mu.Unlock()
+}
+
+func (g *guarded) ioUnderDeferredLock(path string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, err := os.ReadFile(path) // want "held across blocking operation: call to os.ReadFile"
+	return err
+}
+
+func (g *guarded) blocksThroughHelper() {
+	g.mu.Lock()
+	g.drain() // want "held across blocking operation: call to .*drain.*channel receive"
+	g.mu.Unlock()
+}
+
+func (g *guarded) drain() { <-g.ack }
+
+func (g *guarded) readLockedReceive() int {
+	g.rw.RLock()
+	v := <-g.ch // want "mutex g.rw held across blocking operation: channel receive"
+	g.rw.RUnlock()
+	return v
+}
+
+func (g *guarded) disciplined() int {
+	g.mu.Lock()
+	v := g.n // ok: pure critical section
+	g.mu.Unlock()
+	g.ch <- v // ok: lock already dropped
+	return v
+}
+
+func (g *guarded) allowListed() {
+	g.mu.Lock()
+	//lint:allow ctxlease -- startup-only path, contention is impossible before serving begins
+	g.ch <- g.n
+	g.mu.Unlock()
+}

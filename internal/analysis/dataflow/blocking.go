@@ -1,0 +1,221 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+)
+
+// Blocking explains why a function (or statement) may block: the first
+// blocking operation in source order, or — when the blocking is inherited
+// through a call — the call site plus the callee's reason. nil means no
+// blocking operation was found under the analysis' approximations.
+//
+// Classified as blocking: channel sends and receives, range over a channel,
+// select without a default clause, and calls that transitively reach one of
+// those or an external primitive that waits (file/network I/O, sleeps,
+// mutex/waitgroup waits; see ExternalBlocks). A `go` statement is not
+// blocking at the launch site — only its argument expressions are scanned.
+type Blocking struct {
+	// Pos is the blocking site in the summarized function.
+	Pos token.Pos
+	// Desc is the human-readable reason, outermost call first:
+	// "call to divlab/internal/store.(*FS).Put (call to os.WriteFile (file I/O))".
+	Desc string
+}
+
+// MayBlock returns (computing once per Program) the blocking summary for
+// every node in the program's call graph: sums[n] is a *Blocking, nil when n
+// cannot block. Access entries through BlockingOf.
+func MayBlock(prog *analysis.Program) map[*callgraph.Node]interface{} {
+	g := prog.Callgraph()
+	return Summaries(prog, Analysis{
+		Key: "mayblock",
+		Transfer: func(n *callgraph.Node, get Getter) interface{} {
+			if n.Body == nil {
+				return (*Blocking)(nil)
+			}
+			return scanBlocking(n.Body, n.Info, g, get)
+		},
+		Bottom: func(*callgraph.Node) interface{} { return (*Blocking)(nil) },
+		Equal: func(a, b interface{}) bool {
+			x, _ := a.(*Blocking)
+			y, _ := b.(*Blocking)
+			if x == nil || y == nil {
+				return x == y
+			}
+			return x.Pos == y.Pos && x.Desc == y.Desc
+		},
+	})
+}
+
+// BlockingOf extracts one node's summary from a MayBlock map.
+func BlockingOf(sums map[*callgraph.Node]interface{}, n *callgraph.Node) *Blocking {
+	b, _ := sums[n].(*Blocking)
+	return b
+}
+
+// InStmt returns the first blocking operation inside one statement — not
+// descending into nested function literals — resolving call sites through a
+// MayBlock summary map. Analyzers use it to scan critical-section statements
+// (conditions of enclosing control statements are decomposed away by the CFG
+// and are not seen here).
+func InStmt(g *callgraph.Graph, info *types.Info, stmt ast.Stmt, sums map[*callgraph.Node]interface{}) *Blocking {
+	return scanBlocking(stmt, info, g, func(n *callgraph.Node) interface{} { return sums[n] })
+}
+
+// scanBlocking walks root in source order and returns the first blocking
+// operation, consulting get for callee summaries. Nested function literals
+// are their own call-graph nodes and are skipped.
+func scanBlocking(root ast.Node, info *types.Info, g *callgraph.Graph, get Getter) *Blocking {
+	var found *Blocking
+	ast.Inspect(root, func(nd ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = &Blocking{Pos: nd.Arrow, Desc: "channel send"}
+			return false
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				found = &Blocking{Pos: nd.OpPos, Desc: "channel receive"}
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nd.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = &Blocking{Pos: nd.For, Desc: "range over channel"}
+					return false
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range nd.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				found = &Blocking{Pos: nd.Select, Desc: "select with no default case"}
+				return false
+			}
+			// With a default the select never waits; its comm operations only
+			// execute when already ready, so scan just the clause bodies.
+			for _, c := range nd.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				for _, s := range cc.Body {
+					if b := scanBlocking(s, info, g, get); b != nil {
+						found = b
+						return false
+					}
+				}
+			}
+			return false
+		case *ast.GoStmt:
+			// Launching does not block; only the argument expressions are
+			// evaluated synchronously.
+			for _, arg := range nd.Call.Args {
+				if b := scanBlocking(arg, info, g, get); b != nil {
+					found = b
+					return false
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if b := callBlocks(g, info, nd, get); b != nil {
+				found = b
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callBlocks classifies one call site: blocking when any resolvable target's
+// summary blocks, or when the external callee is a known waiting primitive.
+func callBlocks(g *callgraph.Graph, info *types.Info, call *ast.CallExpr, get Getter) *Blocking {
+	targets, ext := g.Targets(info, call)
+	for _, t := range targets {
+		if b, _ := get(t).(*Blocking); b != nil {
+			return &Blocking{Pos: call.Pos(), Desc: "call to " + t.String() + " (" + b.Desc + ")"}
+		}
+	}
+	if ext != nil {
+		if why := ExternalBlocks(ext); why != "" {
+			return &Blocking{Pos: call.Pos(), Desc: "call to " + ext.FullName() + " (" + why + ")"}
+		}
+	}
+	return nil
+}
+
+// osNonBlocking lists the os functions that only read process state — no
+// file descriptors, no waiting.
+var osNonBlocking = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+	"Expand": true, "Getpid": true, "Getppid": true, "Getuid": true,
+	"Geteuid": true, "Getgid": true, "Getegid": true, "TempDir": true,
+	"UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true,
+	"IsTimeout": true, "NewSyscallError": true, "Exit": true,
+}
+
+// ExternalBlocks classifies a function declared outside the loaded packages
+// (no body in the call graph) by package path and name. It returns a short
+// reason when the function is assumed to wait — file, network or subprocess
+// I/O, sleeps, lock acquisition, waitgroup/once waits — and "" otherwise.
+// The classification errs toward blocking for anything that touches a file
+// descriptor: the check this feeds ("no mutex held across a blocking
+// operation") wants latency bounds, not strict liveness.
+func ExternalBlocks(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "os":
+		if osNonBlocking[name] {
+			return ""
+		}
+		return "file I/O"
+	case "io", "io/fs", "io/ioutil", "bufio":
+		return "I/O"
+	case "net", "net/http":
+		return "network I/O"
+	case "os/exec":
+		return "subprocess I/O"
+	case "syscall":
+		return "syscall"
+	case "path/filepath":
+		switch name {
+		case "Walk", "WalkDir", "Glob":
+			return "file I/O"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "sleep"
+		}
+	case "sync":
+		switch name {
+		case "Lock", "RLock", "Wait", "Do":
+			return "lock/wait"
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Fscan") ||
+			strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Scan") {
+			return "I/O through a writer"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,110 @@
+// Package dataflow is the summary-based interprocedural layer of the
+// analysis framework: per-function summaries computed bottom-up over the
+// call graph's strongly connected components and cached program-wide in the
+// analysis.Program fact cache, so every analyzer that consumes a summary
+// kind pays for its computation once per driver run, not once per package.
+//
+// The protocol (see DESIGN.md "Dataflow summaries"):
+//
+//  1. callgraph.Graph.SCCs() yields components in callee-first order, so by
+//     the time a component is visited every summary it can read through a
+//     call edge is final.
+//  2. A component of one non-self-recursive function is summarized with a
+//     single Transfer call.
+//  3. A recursion cycle (mutual recursion, or dispatch back into the cycle)
+//     is initialized to Bottom and iterated to a fixpoint: Transfer runs
+//     over the members in deterministic order until no summary changes.
+//     Termination is guaranteed for a monotone Transfer over a finite-height
+//     lattice — the only kind an analyzer should write — and backstopped by
+//     a round bound so a buggy Transfer degrades to a stale summary instead
+//     of a hung driver.
+//
+// Determinism: SCC order, member order and the per-round sweep order are all
+// derived from the deterministic call graph, so summaries — and any
+// diagnostics built from them — are identical run to run.
+package dataflow
+
+import (
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+)
+
+// Getter reads the current summary of a node. During the fixpoint iteration
+// of a recursion cycle it may return an in-progress summary (or Bottom) for
+// members of the node's own component; summaries of all other components are
+// final.
+type Getter func(*callgraph.Node) interface{}
+
+// Analysis describes one summary kind.
+type Analysis struct {
+	// Key names the summary in the Program fact cache; two analyzers using
+	// the same key share one computation (and must agree on the Analysis).
+	Key string
+	// Transfer computes a node's summary from its body and its callees'
+	// summaries. It must be a pure function of those inputs, and — for
+	// recursion cycles to converge — monotone: a callee summary moving up
+	// the lattice must never move the result down.
+	Transfer func(n *callgraph.Node, get Getter) interface{}
+	// Bottom is the initial summary cycle members hold before the first
+	// Transfer round. A nil Bottom initializes to nil.
+	Bottom func(n *callgraph.Node) interface{}
+	// Equal detects the fixpoint; nil compares with ==.
+	Equal func(a, b interface{}) bool
+}
+
+// maxRounds bounds the fixpoint iteration of one cycle. A monotone Transfer
+// over a finite lattice converges in at most height×|cycle| rounds; real
+// cycles in this module converge in two or three. The bound is a backstop
+// against non-monotone Transfer bugs, not a tuning knob.
+const maxRounds = 64
+
+// Summaries computes (or returns the cached) summary map for every node in
+// the program's call graph. The map is shared — treat it as read-only.
+func Summaries(prog *analysis.Program, a Analysis) map[*callgraph.Node]interface{} {
+	return prog.Fact(nil, "dataflow."+a.Key, func() interface{} {
+		return compute(prog.Callgraph(), a)
+	}).(map[*callgraph.Node]interface{})
+}
+
+func compute(g *callgraph.Graph, a Analysis) map[*callgraph.Node]interface{} {
+	eq := a.Equal
+	if eq == nil {
+		eq = func(x, y interface{}) bool { return x == y }
+	}
+	sums := make(map[*callgraph.Node]interface{}, len(g.Nodes))
+	get := func(n *callgraph.Node) interface{} { return sums[n] }
+	for _, comp := range g.SCCs() {
+		if len(comp) == 1 && !selfRecursive(comp[0]) {
+			sums[comp[0]] = a.Transfer(comp[0], get)
+			continue
+		}
+		if a.Bottom != nil {
+			for _, n := range comp {
+				sums[n] = a.Bottom(n)
+			}
+		}
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			for _, n := range comp {
+				next := a.Transfer(n, get)
+				if !eq(sums[n], next) {
+					sums[n] = next
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums
+}
+
+func selfRecursive(n *callgraph.Node) bool {
+	for _, succ := range n.Out {
+		if succ == n {
+			return true
+		}
+	}
+	return false
+}

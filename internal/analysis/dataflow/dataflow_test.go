@@ -1,0 +1,230 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/dataflow"
+)
+
+// loadPkg type-checks one synthetic package (stdlib imports only) into an
+// analysis.Package.
+func loadPkg(t *testing.T, importPath, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, importPath+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &analysis.Package{ImportPath: importPath, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && strings.Contains(n.String(), name) {
+			return n
+		}
+	}
+	t.Fatalf("no node matching %q", name)
+	return nil
+}
+
+// reachSummary is a toy transitive-callee summary: the sorted, deduplicated
+// names of every declared function reachable through calls. It exercises the
+// engine's bottom-up order (callee summaries must be final when read) and
+// the cycle fixpoint (mutual recursion must converge, not loop).
+func reachSummary(prog *analysis.Program) map[*callgraph.Node]interface{} {
+	return dataflow.Summaries(prog, dataflow.Analysis{
+		Key: "test.reach",
+		Transfer: func(n *callgraph.Node, get dataflow.Getter) interface{} {
+			set := map[string]bool{}
+			for _, succ := range n.Out {
+				if succ.Fn != nil {
+					set[succ.Fn.Name()] = true
+				}
+				if s, ok := get(succ).(string); ok && s != "" {
+					for _, name := range strings.Split(s, ",") {
+						set[name] = true
+					}
+				}
+			}
+			names := make([]string, 0, len(set))
+			for name := range set {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return strings.Join(names, ",")
+		},
+		Bottom: func(*callgraph.Node) interface{} { return "" },
+	})
+}
+
+const reachSrc = `package p
+
+func a() { b() }
+func b() { a(); leaf() }
+func leaf() {}
+func top() { a() }
+`
+
+func TestSummariesBottomUpAndFixpoint(t *testing.T) {
+	prog := analysis.NewProgram([]*analysis.Package{loadPkg(t, "p", reachSrc)})
+	sums := reachSummary(prog)
+	g := prog.Callgraph()
+	if got := sums[nodeNamed(t, g, "p.leaf")]; got != "" {
+		t.Errorf("leaf reaches %q, want nothing", got)
+	}
+	// The a/b cycle must converge: both members see {a, b, leaf}.
+	for _, name := range []string{"p.a", "p.b"} {
+		if got := sums[nodeNamed(t, g, name)]; got != "a,b,leaf" {
+			t.Errorf("%s reaches %q, want \"a,b,leaf\"", name, got)
+		}
+	}
+	if got := sums[nodeNamed(t, g, "p.top")]; got != "a,b,leaf" {
+		t.Errorf("top reaches %q, want \"a,b,leaf\"", got)
+	}
+}
+
+func TestSummariesDeterministic(t *testing.T) {
+	render := func() string {
+		prog := analysis.NewProgram([]*analysis.Package{loadPkg(t, "p", reachSrc)})
+		sums := reachSummary(prog)
+		var lines []string
+		for n, s := range sums {
+			lines = append(lines, n.String()+" -> "+s.(string))
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("summaries differ across runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestSummariesCachedInProgram(t *testing.T) {
+	prog := analysis.NewProgram([]*analysis.Package{loadPkg(t, "p", reachSrc)})
+	calls := 0
+	a := dataflow.Analysis{
+		Key: "test.cached",
+		Transfer: func(n *callgraph.Node, get dataflow.Getter) interface{} {
+			calls++
+			return nil
+		},
+	}
+	dataflow.Summaries(prog, a)
+	if calls == 0 {
+		t.Fatal("Transfer never ran")
+	}
+	before := calls
+	dataflow.Summaries(prog, a)
+	if calls != before {
+		t.Errorf("second Summaries call re-ran Transfer (%d -> %d calls); the fact cache must serve it", before, calls)
+	}
+}
+
+const blockSrc = `package p
+
+import (
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func sendOn(ch chan int)  { ch <- 1 }
+func recvFrom(ch chan int) int { return <-ch }
+func pure(x int) int      { return x * 2 }
+func callsSend(ch chan int) { pure(1); sendOn(ch) }
+func readsFile(path string) { os.ReadFile(path) }
+func locks() { mu.Lock(); mu.Unlock() }
+func launches(ch chan int) { go sendOn(ch) }
+func launchEvalBlocks(ch chan int) { go pure(<-ch) }
+
+func selDefault(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func selNoDefault(ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	}
+}
+
+func pureRecA(n int) { if n > 0 { pureRecB(n - 1) } }
+func pureRecB(n int) { if n > 0 { pureRecA(n - 1) } }
+
+func blockRecA(ch chan int, n int) { if n > 0 { blockRecB(ch, n-1) } }
+func blockRecB(ch chan int, n int) { ch <- n; blockRecA(ch, n-1) }
+
+func rangesChan(ch chan int) { for v := range ch { _ = v } }
+`
+
+func TestMayBlock(t *testing.T) {
+	prog := analysis.NewProgram([]*analysis.Package{loadPkg(t, "p", blockSrc)})
+	sums := dataflow.MayBlock(prog)
+	g := prog.Callgraph()
+
+	blocks := func(name string) *dataflow.Blocking {
+		return dataflow.BlockingOf(sums, nodeNamed(t, g, name))
+	}
+	for _, name := range []string{"sendOn", "recvFrom", "readsFile", "locks", "selNoDefault", "blockRecA", "blockRecB", "rangesChan", "launchEvalBlocks"} {
+		if blocks("p."+name) == nil {
+			t.Errorf("%s must be classified blocking", name)
+		}
+	}
+	for _, name := range []string{"pure", "selDefault", "launches", "pureRecA", "pureRecB"} {
+		if b := blocks("p." + name); b != nil {
+			t.Errorf("%s must be non-blocking, classified: %s", name, b.Desc)
+		}
+	}
+	// Inherited blocking carries the callee chain in the description.
+	if b := blocks("p.callsSend"); b == nil {
+		t.Error("callsSend must inherit blocking from sendOn")
+	} else if !strings.Contains(b.Desc, "sendOn") || !strings.Contains(b.Desc, "channel send") {
+		t.Errorf("callsSend desc %q must name the callee and the root cause", b.Desc)
+	}
+	if b := blocks("p.readsFile"); b == nil || !strings.Contains(b.Desc, "os.ReadFile") {
+		t.Errorf("readsFile must classify the external call, got %v", b)
+	}
+}
+
+func TestInStmt(t *testing.T) {
+	pkg := loadPkg(t, "p", blockSrc)
+	prog := analysis.NewProgram([]*analysis.Package{pkg})
+	sums := dataflow.MayBlock(prog)
+	g := prog.Callgraph()
+
+	body := nodeNamed(t, g, "p.callsSend").Body
+	if n := len(body.List); n != 2 {
+		t.Fatalf("callsSend body has %d statements", n)
+	}
+	if b := dataflow.InStmt(g, pkg.TypesInfo, body.List[0], sums); b != nil {
+		t.Errorf("pure(1) statement classified blocking: %s", b.Desc)
+	}
+	if b := dataflow.InStmt(g, pkg.TypesInfo, body.List[1], sums); b == nil {
+		t.Error("sendOn(ch) statement must classify blocking")
+	}
+}

@@ -7,7 +7,9 @@ package divlint
 import (
 	"divlab/internal/analysis"
 	"divlab/internal/analysis/conservation"
+	"divlab/internal/analysis/ctxlease"
 	"divlab/internal/analysis/determinism"
+	"divlab/internal/analysis/hotalloc"
 	"divlab/internal/analysis/isolation"
 	"divlab/internal/analysis/lineaddr"
 	"divlab/internal/analysis/sinkerr"
@@ -39,6 +41,34 @@ var simPackages = map[string]bool{
 // inSimScope reports whether determinism rules bind the package.
 func inSimScope(path string) bool { return simPackages[path] }
 
+// hotPackages are the simulator-core packages on the demand/prefetch access
+// path, which must be allocation-free on every input. The prefetcher
+// implementations (divlab/internal/tpc, divlab/internal/prefetchers) are
+// deliberately out of scope: their map-backed training tables model the
+// paper's hardware storage budget and allocate while warming up, reaching
+// zero only in steady state — a property the dynamic pin
+// (BenchmarkAccessPath at 0 allocs/op, enforced by `benchjson -validate`)
+// covers and a whole-input static contract cannot.
+var hotPackages = map[string]bool{
+	"divlab/internal/sim":   true,
+	"divlab/internal/mem":   true,
+	"divlab/internal/cache": true,
+	"divlab/internal/cpu":   true,
+	"divlab/internal/dram":  true,
+}
+
+func inHotScope(path string) bool { return hotPackages[path] }
+
+// leasePackages own the runner/store/sweep concurrency discipline: context
+// propagation, lease release pairing, no blocking under a mutex.
+var leasePackages = map[string]bool{
+	"divlab/internal/runner": true,
+	"divlab/internal/store":  true,
+	"divlab/internal/sweep":  true,
+}
+
+func inLeaseScope(path string) bool { return leasePackages[path] }
+
 // everywhere applies an analyzer to every package, the analyzer suite
 // included: the contract checks are cheap and self-hosting keeps us honest.
 func everywhere(string) bool { return true }
@@ -57,6 +87,14 @@ func Suite() []analysis.Scoped {
 		// harness (the unitchecker sees only intra-package call edges).
 		{Analyzer: isolation.Analyzer, Applies: inSimScope},
 		{Analyzer: lineaddr.Analyzer, Applies: inSimScope},
+		// The summary-based pair from the interprocedural dataflow layer:
+		// hotalloc freezes PR 6's zero-alloc benchmark pin into a lint-time
+		// contract on the hot packages; ctxlease holds PR 7's cancellation
+		// and lease discipline on the runner/store/sweep layer. Both consume
+		// whole-program call-graph summaries, so — like isolation — the
+		// pattern driver is their authoritative harness.
+		{Analyzer: hotalloc.Analyzer, Applies: inHotScope},
+		{Analyzer: ctxlease.Analyzer, Applies: inLeaseScope},
 	}
 }
 
@@ -67,4 +105,14 @@ func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
 		return nil, err
 	}
 	return analysis.RunAnalyzers(pkgs, Suite())
+}
+
+// Audit loads the patterns and reports stale lint:allow directives — ones
+// that no longer suppress any finding of their named analyzer.
+func Audit(dir string, patterns ...string) ([]analysis.StaleAllow, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AuditAllows(pkgs, Suite())
 }

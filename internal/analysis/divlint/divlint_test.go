@@ -20,3 +20,38 @@ func TestTreeIsClean(t *testing.T) {
 		t.Errorf("%s", f.String())
 	}
 }
+
+// TestSuiteComplete pins the suite roster: TestTreeIsClean only gates the
+// analyzers Suite() actually runs, so silently dropping one would pass the
+// zero-findings check while losing the contract. Order is reporting order.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"determinism", "specstring", "conservation", "sinkerr",
+		"isolation", "lineaddr", "hotalloc", "ctxlease",
+	}
+	suite := divlint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, sc := range suite {
+		if sc.Analyzer.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, sc.Analyzer.Name, want[i])
+		}
+	}
+}
+
+// TestNoStaleAllows is the suppression-hygiene gate: every justified
+// lint:allow in the tree must still be earning its keep. A stale allow is a
+// hole a future regression walks through silently.
+func TestNoStaleAllows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	stale, err := divlint.Audit("../../..", "./...")
+	if err != nil {
+		t.Fatalf("divlint -audit: %v", err)
+	}
+	for _, s := range stale {
+		t.Errorf("%s", s.String())
+	}
+}

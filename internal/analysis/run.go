@@ -70,6 +70,23 @@ func RunAnalyzers(pkgs []*Package, analyzers []Scoped) ([]Finding, error) {
 // view; pass nil to analyze the package in isolation (a one-package Program
 // is synthesized).
 func RunOne(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
+	diags, err := runRaw(a, pkg, prog)
+	if err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(pkg.Fset, pkg.Files, d.Category, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// runRaw applies one analyzer to one package with no suppression filtering —
+// the allow audit needs the full diagnostic set to decide which directives
+// still earn their keep.
+func runRaw(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	if prog == nil {
 		prog = NewProgram([]*Package{pkg})
 	}
@@ -89,11 +106,76 @@ func RunOne(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	if _, err := a.Run(pass); err != nil {
 		return nil, err
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if !allowed(pkg.Fset, pkg.Files, d.Category, d.Pos) {
-			kept = append(kept, d)
+	return diags, nil
+}
+
+// StaleAllow is one lint:allow directive (per analyzer name) that suppresses
+// no diagnostic.
+type StaleAllow struct {
+	Pos      token.Position // the directive's own position
+	Analyzer string
+}
+
+func (s StaleAllow) String() string {
+	return fmt.Sprintf("%s: stale //lint:allow %s: suppresses no finding", s.Pos, s.Analyzer)
+}
+
+// AuditAllows runs the scoped suite without suppression and returns every
+// allow directive whose analyzer produces no diagnostic on the directive's
+// covered lines — including directives naming analyzers that do not apply to
+// (or do not exist for) the package, which can never suppress anything.
+func AuditAllows(pkgs []*Package, analyzers []Scoped) ([]StaleAllow, error) {
+	var out []StaleAllow
+	prog := NewProgram(pkgs)
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type checking failed: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		// Collect the raw diagnostic lines per analyzer per file.
+		hits := map[string]map[string]map[int]bool{} // analyzer -> file -> line
+		for _, sc := range analyzers {
+			if sc.Applies != nil && !sc.Applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := runRaw(sc.Analyzer, pkg, prog)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, sc.Analyzer.Name, err)
+			}
+			name := sc.Analyzer.Name
+			if hits[name] == nil {
+				hits[name] = map[string]map[int]bool{}
+			}
+			for _, d := range diags {
+				p := pkg.Fset.Position(d.Pos)
+				if hits[name][p.Filename] == nil {
+					hits[name][p.Filename] = map[int]bool{}
+				}
+				hits[name][p.Filename][p.Line] = true
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, dir := range directivesForFile(pkg.Fset, f) {
+				used := false
+				for _, line := range dir.lines {
+					if hits[dir.name][dir.pos.Filename][line] {
+						used = true
+					}
+				}
+				if !used {
+					out = append(out, StaleAllow{Pos: dir.pos, Analyzer: dir.name})
+				}
+			}
 		}
 	}
-	return kept, nil
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
 }

@@ -214,6 +214,7 @@ func (r *runner) Access(pc, addr uint64, at uint64, store bool) uint64 {
 		res.L1Misses++
 		res.CatL1Misses[cat]++
 		if res.MissL1Lines != nil {
+			//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
 			res.MissL1Lines[r.ev.LineAddr]++
 		}
 	}
@@ -224,6 +225,7 @@ func (r *runner) Access(pc, addr uint64, at uint64, store bool) uint64 {
 		res.L2Misses++
 		res.CatL2Misses[cat]++
 		if res.MissL2Lines != nil {
+			//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
 			res.MissL2Lines[r.ev.LineAddr]++
 		}
 	}
@@ -264,6 +266,7 @@ func (r *runner) drain(at uint64) {
 			dest = r.cfg.DestOverride(req, r.inst.Classify(req.LineAddr))
 		}
 		if res.Attempted != nil {
+			//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
 			res.Attempted[req.LineAddr] |= 1 << res.slot(req.Owner)
 		}
 		if r.hier.Prefetch(req.LineAddr, dest, req.Owner, req.Priority, at) {
@@ -273,6 +276,7 @@ func (r *runner) drain(at uint64) {
 			res.Issued++
 			res.IssuedDest[dest]++
 			if res.IssuedLines != nil {
+				//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
 				res.IssuedLines[req.LineAddr]++
 			}
 			res.CatIssued[cat]++
