@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci vet lint build test short race bench bench-json fuzz
+.PHONY: all ci vet lint build test short race race-stress bench bench-json fuzz
 
 # The default target runs the full local gate: lint (go vet + divlint),
 # build, and the plain test suite.
@@ -16,7 +16,8 @@ vet:
 
 # lint runs go vet plus the project's own analyzers (determinism,
 # specstring, conservation, sinkerr, the flow-sensitive isolation and
-# lineaddr checks, and the summary-based hotalloc and ctxlease checks).
+# lineaddr checks, the summary-based hotalloc and ctxlease checks, and the
+# static race pair sharedmut + wgdiscipline).
 # The tree must stay at zero findings; suppress a justified exception with
 # //lint:allow <analyzer> -- <reason>; `divlint -audit` reports stale ones.
 lint: vet
@@ -35,6 +36,13 @@ short:
 
 race:
 	$(GO) test -race ./...
+
+# race-stress repeats the concurrent-layer tests under the race detector at
+# two scheduler widths — the dynamic complement to the static race pair.
+# CI runs the same matrix.
+race-stress:
+	GOMAXPROCS=2 $(GO) test -race -count=3 ./internal/runner/... ./internal/store/... ./internal/sweep/... ./internal/obs/...
+	GOMAXPROCS=8 $(GO) test -race -count=3 ./internal/runner/... ./internal/store/... ./internal/sweep/... ./internal/obs/...
 
 # bench runs every benchmark at a steady-state budget with allocation
 # reporting; -benchtime 1x hid both warmup effects and the alloc columns.

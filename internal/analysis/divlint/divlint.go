@@ -12,8 +12,10 @@ import (
 	"divlab/internal/analysis/hotalloc"
 	"divlab/internal/analysis/isolation"
 	"divlab/internal/analysis/lineaddr"
+	"divlab/internal/analysis/sharedmut"
 	"divlab/internal/analysis/sinkerr"
 	"divlab/internal/analysis/specstring"
+	"divlab/internal/analysis/wgdiscipline"
 )
 
 // simPackages are the packages on the simulated path: everything here must
@@ -69,6 +71,21 @@ var leasePackages = map[string]bool{
 
 func inLeaseScope(path string) bool { return leasePackages[path] }
 
+// racePackages are the goroutine-dense layers the static race detector
+// covers: the lease packages plus internal/obs, whose Progress ticker is the
+// one long-lived background goroutine the engine always runs. The simulated
+// path is deliberately out of scope — it is single-threaded by construction
+// (the isolation analyzer guards that) and jobs only parallelize at the
+// runner layer.
+var racePackages = map[string]bool{
+	"divlab/internal/runner": true,
+	"divlab/internal/store":  true,
+	"divlab/internal/sweep":  true,
+	"divlab/internal/obs":    true,
+}
+
+func inRaceScope(path string) bool { return racePackages[path] }
+
 // everywhere applies an analyzer to every package, the analyzer suite
 // included: the contract checks are cheap and self-hosting keeps us honest.
 func everywhere(string) bool { return true }
@@ -95,16 +112,31 @@ func Suite() []analysis.Scoped {
 		// pattern driver is their authoritative harness.
 		{Analyzer: hotalloc.Analyzer, Applies: inHotScope},
 		{Analyzer: ctxlease.Analyzer, Applies: inLeaseScope},
+		// The static race pair: sharedmut composes the goroutine topology
+		// with per-statement locksets to flag unsynchronized shared state;
+		// wgdiscipline pins the WaitGroup pairing rules that make the
+		// topology's join inferences sound. Whole-program by construction
+		// (roots spawned in one package run code from another), so again
+		// the pattern driver is authoritative.
+		{Analyzer: sharedmut.Analyzer, Applies: inRaceScope},
+		{Analyzer: wgdiscipline.Analyzer, Applies: inRaceScope},
 	}
 }
 
 // Run loads the patterns and applies the suite.
 func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
+	findings, _, err := RunTimed(dir, patterns...)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings, slowest first —
+// the data behind divlint -timing and the CI lint time budget.
+func RunTimed(dir string, patterns ...string) ([]analysis.Finding, []analysis.Timing, error) {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return analysis.RunAnalyzers(pkgs, Suite())
+	return analysis.RunAnalyzersTimed(pkgs, Suite())
 }
 
 // Audit loads the patterns and reports stale lint:allow directives — ones

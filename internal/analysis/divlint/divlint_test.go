@@ -28,6 +28,7 @@ func TestSuiteComplete(t *testing.T) {
 	want := []string{
 		"determinism", "specstring", "conservation", "sinkerr",
 		"isolation", "lineaddr", "hotalloc", "ctxlease",
+		"sharedmut", "wgdiscipline",
 	}
 	suite := divlint.Suite()
 	if len(suite) != len(want) {

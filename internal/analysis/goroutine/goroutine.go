@@ -1,0 +1,784 @@
+// Package goroutine builds the goroutine topology of the loaded program —
+// the static picture of which code may execute concurrently with which.
+//
+// Every `go` statement is a concurrent root, and so is every call through a
+// known spawn wrapper: a function that forwards one of its func-typed
+// parameters to a `go` statement (directly, or through another wrapper)
+// spawns whatever its callers pass in, so the argument at each call site
+// becomes a root of its own. That is how the runner's worker pool is seen —
+// `forEach(n, f)` spawns `f` in a loop, so the closure `Engine.Run` hands it
+// is a looped root even though `Engine.Run` itself contains no `go` keyword.
+//
+// For each root the topology records:
+//
+//   - the spawned function's callgraph reachability (mirroring how the
+//     isolation analyzer tracks entry chains), so any analyzer can ask which
+//     roots a given function may run under and render the spawn chain;
+//   - a capture analysis over spawned closures: which variables the closure
+//     captures by reference from its enclosing function, whether it writes
+//     them, and — for captured func-typed variables the spawner assigns a
+//     resolvable function — the extra reachability edge the call graph's
+//     function-value blind spot would otherwise lose;
+//   - multiplicity (Looped): a spawn that executes under a loop, through a
+//     looping wrapper, or that can respawn itself recursively may have two
+//     live instances, so a root can race with itself;
+//   - join structure (Joined): a spawn whose goroutine provably signals a
+//     WaitGroup the spawning construct waits on is ordered before the code
+//     after the join, so that code is not concurrent with the goroutine.
+//
+// The topology is computed once per driver run and cached program-wide under
+// the "goroutine.topology" key of the analysis.Program fact cache. All
+// traversal orders derive from the deterministic call graph, so root IDs,
+// reachability and diagnostics are identical run to run.
+package goroutine
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/cfg"
+)
+
+// Root is one concurrent root: a goroutine the program may spawn.
+type Root struct {
+	// ID is the root's stable index into Topology.Roots.
+	ID int
+	// Site is the `go` keyword's position — or, for wrapper-derived roots,
+	// the position of the call that hands the function to the wrapper.
+	Site token.Pos
+	// Spawner is the function containing Site.
+	Spawner *callgraph.Node
+	// Spawned is the function the goroutine runs; nil when the target is
+	// outside the loaded packages (e.g. `go http.ListenAndServe(...)`) or
+	// cannot be resolved statically.
+	Spawned *callgraph.Node
+	// Looped reports that two instances of this root may be live at once:
+	// the spawn sits under a loop, rides a looping wrapper, or the spawned
+	// code can reach its own spawn site (recursive spawn).
+	Looped bool
+	// Joined reports that the spawning construct waits for the goroutine
+	// before returning: the goroutine signals a WaitGroup on every path and
+	// the spawner (or wrapper) waits on it after the spawn, so statements
+	// after the construct are ordered after the goroutine body.
+	Joined bool
+	// Wrapper names the spawn wrapper for wrapper-derived roots; empty for
+	// a direct `go` statement.
+	Wrapper string
+}
+
+// Capture is one variable a spawned closure captures by reference.
+type Capture struct {
+	Var *types.Var
+	// Written reports that the closure body (nested literals included)
+	// assigns the variable.
+	Written bool
+	// FuncDef is the resolved definition when the captured variable has
+	// function type and the spawner assigns it exactly one statically
+	// resolvable function: calls through the variable inside the goroutine
+	// reach that function even though the call graph cannot see the
+	// indirect call. Nil otherwise.
+	FuncDef *callgraph.Node
+}
+
+// Topology is the program's goroutine structure. Construct with Of.
+type Topology struct {
+	// Roots in deterministic spawn-site order (direct roots first, in node
+	// order; then wrapper-derived roots in call-site order).
+	Roots []*Root
+
+	graph   *callgraph.Graph
+	rootsOf map[*callgraph.Node][]*Root
+	from    map[*Root]map[*callgraph.Node]*callgraph.Node
+	caps    map[*Root][]Capture
+	// doneKeys per root: rendered WaitGroup receivers the spawned closure
+	// signals (lexically), used to trim post-join spawner statements.
+	doneKeys map[*Root]map[string]bool
+	after    map[*Root]map[ast.Stmt]bool
+}
+
+// Of returns the (cached) topology of the program.
+func Of(prog *analysis.Program) *Topology {
+	return prog.Fact(nil, "goroutine.topology", func() interface{} {
+		return build(prog.Callgraph())
+	}).(*Topology)
+}
+
+// RootsOf returns the roots whose goroutine may execute n, in ID order.
+func (t *Topology) RootsOf(n *callgraph.Node) []*Root { return t.rootsOf[n] }
+
+// Captures returns the spawned closure's captured variables in first-use
+// order (empty for non-literal roots).
+func (t *Topology) Captures(r *Root) []Capture { return t.caps[r] }
+
+// Chain renders the spawn-site-to-function call chain recorded during the
+// reachability walk, for diagnostics: "A -> B -> C".
+func (t *Topology) Chain(fset *token.FileSet, r *Root, n *callgraph.Node) string {
+	path := callgraph.PathFrom(t.from[r], n)
+	names := make([]string, len(path))
+	for i, p := range path {
+		names[i] = p.Name(fset)
+	}
+	return strings.Join(names, " -> ")
+}
+
+// Describe renders the root itself for diagnostics.
+func (t *Topology) Describe(fset *token.FileSet, r *Root) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goroutine spawned at %v in %s", fset.Position(r.Site), r.Spawner.Name(fset))
+	if r.Wrapper != "" {
+		fmt.Fprintf(&b, " via %s", r.Wrapper)
+	}
+	if r.Looped {
+		b.WriteString(" [looped]")
+	}
+	return b.String()
+}
+
+// AfterSpawn returns the spawner statements that may execute after the spawn
+// and before any matching WaitGroup join — the spawner code that is
+// concurrent with the goroutine. Joined wrapper roots return nil: the
+// wrapper joins internally, so its call is synchronous at the call site.
+func (t *Topology) AfterSpawn(r *Root) map[ast.Stmt]bool {
+	if set, ok := t.after[r]; ok {
+		return set
+	}
+	var set map[ast.Stmt]bool
+	if !(r.Joined && r.Wrapper != "") && r.Spawner.Body != nil {
+		set = afterSpawn(r.Spawner, r.Site, t.doneKeys[r])
+	}
+	t.after[r] = set
+	return set
+}
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+// goSite is one `go` statement found in a function body.
+type goSite struct {
+	node   *callgraph.Node
+	stmt   *ast.GoStmt
+	looped bool
+}
+
+// wrapperInfo marks one func-typed parameter a function forwards to a spawn.
+type wrapperInfo struct {
+	param  int
+	looped bool
+	joined bool
+}
+
+func build(g *callgraph.Graph) *Topology {
+	t := &Topology{
+		graph:    g,
+		rootsOf:  map[*callgraph.Node][]*Root{},
+		from:     map[*Root]map[*callgraph.Node]*callgraph.Node{},
+		caps:     map[*Root][]Capture{},
+		doneKeys: map[*Root]map[string]bool{},
+		after:    map[*Root]map[ast.Stmt]bool{},
+	}
+	lits := litNodes(g)
+
+	// Pass 1: direct `go` statements. A spawn of (or through) one of the
+	// function's own parameters makes the function a spawn wrapper instead
+	// of a root — its callers' arguments are the real goroutine bodies.
+	wrappers := map[*callgraph.Node]map[int]wrapperInfo{}
+	sites := map[*callgraph.Node][]goSite{}
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		for _, gs := range goStmtsOf(n) {
+			sites[n] = append(sites[n], gs)
+			fun := ast.Unparen(gs.stmt.Call.Fun)
+			if p, inLoop := spawnedParam(n, fun); p >= 0 {
+				addWrapper(wrappers, n, wrapperInfo{
+					param:  p,
+					looped: gs.looped || inLoop,
+					joined: wrapperJoins(n, gs),
+				})
+				if _, isLit := fun.(*ast.FuncLit); !isLit {
+					continue
+				}
+				// A literal that forwards the parameter is both wrapper
+				// glue and goroutine body: fall through so its own code
+				// (counters, Done signals) is still under a root.
+			}
+			sp := resolveFunc(n, fun, g, lits)
+			t.addRoot(&Root{Site: gs.stmt.Pos(), Spawner: n, Spawned: sp, Looped: gs.looped})
+		}
+	}
+
+	// Pass 2: transitive wrappers — a function that forwards its own
+	// parameter into a known wrapper spawns it too. Iterate to a fixpoint
+	// (bounded by the number of (function, param) pairs).
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Body == nil {
+				continue
+			}
+			forEachCall(n, func(call *ast.CallExpr, inLoop bool) {
+				w := calledWrapper(n, call, g, wrappers)
+				if w == nil {
+					return
+				}
+				for _, wi := range sortedWrapperInfos(w) {
+					if wi.param >= len(call.Args) {
+						continue
+					}
+					arg := ast.Unparen(call.Args[wi.param])
+					if p := paramIndex(n, arg); p >= 0 {
+						if addWrapper(wrappers, n, wrapperInfo{
+							param:  p,
+							looped: wi.looped || inLoop,
+							joined: wi.joined,
+						}) {
+							changed = true
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Pass 3: wrapper-derived roots, one per (call site, wrapper param)
+	// whose argument resolves to a function in the graph.
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		forEachCall(n, func(call *ast.CallExpr, inLoop bool) {
+			w := calledWrapper(n, call, g, wrappers)
+			if w == nil {
+				return
+			}
+			target, _ := g.Targets(n.Info, call)
+			for _, wi := range sortedWrapperInfos(w) {
+				if wi.param >= len(call.Args) {
+					continue
+				}
+				arg := ast.Unparen(call.Args[wi.param])
+				if paramIndex(n, arg) >= 0 {
+					continue // forwarded again: the transitive wrapper owns it
+				}
+				sp := resolveFunc(n, arg, g, lits)
+				if sp == nil {
+					continue
+				}
+				t.addRoot(&Root{
+					Site:    call.Pos(),
+					Spawner: n,
+					Spawned: sp,
+					Looped:  wi.looped || inLoop,
+					Joined:  wi.joined,
+					Wrapper: target[0].String(),
+				})
+			}
+		})
+	}
+
+	// Pass 4: per-root capture analysis, reachability, and refinements that
+	// need the reachable set (recursive spawns, direct joins).
+	for _, r := range t.Roots {
+		if r.Spawned == nil {
+			continue
+		}
+		seeds := []*callgraph.Node{r.Spawned}
+		if r.Spawned.Lit != nil {
+			caps := captures(r.Spawned, r.Spawner, g, lits)
+			t.caps[r] = caps
+			for _, c := range caps {
+				if c.FuncDef != nil {
+					seeds = append(seeds, c.FuncDef)
+				}
+			}
+			t.doneKeys[r] = doneKeysOf(r.Spawned)
+			if r.Wrapper == "" && !r.Joined {
+				r.Joined = directJoin(r, t.doneKeys[r])
+			}
+		}
+		reached, from := g.Reachable(seeds)
+		t.from[r] = from
+		if reached[r.Spawner] {
+			// The goroutine can reach its own spawn site: it respawns
+			// itself, so two instances may be live at once.
+			r.Looped = true
+		}
+		for n := range reached {
+			t.rootsOf[n] = append(t.rootsOf[n], r)
+		}
+	}
+	for _, rs := range t.rootsOf {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+	}
+	return t
+}
+
+func (t *Topology) addRoot(r *Root) {
+	r.ID = len(t.Roots)
+	t.Roots = append(t.Roots, r)
+}
+
+func addWrapper(ws map[*callgraph.Node]map[int]wrapperInfo, n *callgraph.Node, wi wrapperInfo) bool {
+	m := ws[n]
+	if m == nil {
+		m = map[int]wrapperInfo{}
+		ws[n] = m
+	}
+	old, ok := m[wi.param]
+	if ok && old.looped == wi.looped && old.joined == wi.joined {
+		return false
+	}
+	if ok {
+		wi.looped = wi.looped || old.looped
+		wi.joined = wi.joined && old.joined
+		if wi == old {
+			return false
+		}
+	}
+	m[wi.param] = wi
+	return true
+}
+
+func sortedWrapperInfos(m map[int]wrapperInfo) []wrapperInfo {
+	out := make([]wrapperInfo, 0, len(m))
+	for _, wi := range m {
+		out = append(out, wi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].param < out[j].param })
+	return out
+}
+
+// calledWrapper resolves call to a single static in-graph target that is a
+// known wrapper. Interface dispatch and function values resolve to nothing:
+// wrapper identity must be certain.
+func calledWrapper(n *callgraph.Node, call *ast.CallExpr, g *callgraph.Graph, ws map[*callgraph.Node]map[int]wrapperInfo) map[int]wrapperInfo {
+	targets, _ := g.Targets(n.Info, call)
+	if len(targets) != 1 {
+		return nil
+	}
+	return ws[targets[0]]
+}
+
+// litNodes indexes the graph's function-literal nodes by their AST literal.
+func litNodes(g *callgraph.Graph) map[*ast.FuncLit]*callgraph.Node {
+	m := make(map[*ast.FuncLit]*callgraph.Node)
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			m[n.Lit] = n
+		}
+	}
+	return m
+}
+
+// goStmtsOf lists the `go` statements lexically inside n's own body (nested
+// literals spawn from their own nodes), with loop context.
+func goStmtsOf(n *callgraph.Node) []goSite {
+	var out []goSite
+	walkInLoop(n.Body, 0, func(nd ast.Node, depth int) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		if gs, ok := nd.(*ast.GoStmt); ok {
+			out = append(out, goSite{node: n, stmt: gs, looped: depth > 0})
+		}
+		return true
+	})
+	return out
+}
+
+// walkInLoop is ast.Inspect with a for/range nesting depth.
+func walkInLoop(root ast.Node, depth int, fn func(ast.Node, int) bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.ForStmt:
+			if !fn(nd, depth) {
+				return false
+			}
+			if s.Init != nil {
+				walkInLoop(s.Init, depth, fn)
+			}
+			if s.Cond != nil {
+				walkInLoop(s.Cond, depth, fn)
+			}
+			if s.Post != nil {
+				walkInLoop(s.Post, depth, fn)
+			}
+			walkInLoop(s.Body, depth+1, fn)
+			return false
+		case *ast.RangeStmt:
+			if !fn(nd, depth) {
+				return false
+			}
+			walkInLoop(s.X, depth, fn)
+			walkInLoop(s.Body, depth+1, fn)
+			return false
+		}
+		if nd == nil {
+			return false
+		}
+		return fn(nd, depth)
+	})
+}
+
+// forEachCall visits the call expressions lexically in n's body (outside
+// nested literals) with loop context.
+func forEachCall(n *callgraph.Node, visit func(*ast.CallExpr, bool)) {
+	walkInLoop(n.Body, 0, func(nd ast.Node, depth int) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		if call, ok := nd.(*ast.CallExpr); ok {
+			visit(call, depth > 0)
+		}
+		return true
+	})
+}
+
+// spawnedParam reports which of n's func-typed parameters the spawned
+// expression runs: `go p(...)` directly, or a literal whose body references
+// p (`go func() { p(i) }()`). inLoop reports that the reference sits under a
+// loop inside the literal (a worker draining a queue), which makes the
+// wrapper looped even if the `go` itself is not.
+func spawnedParam(n *callgraph.Node, fun ast.Expr) (param int, inLoop bool) {
+	if id, ok := fun.(*ast.Ident); ok {
+		return paramIndex(n, id), false
+	}
+	lit, ok := fun.(*ast.FuncLit)
+	if !ok {
+		return -1, false
+	}
+	param = -1
+	walkInLoop(lit.Body, 0, func(nd ast.Node, depth int) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if p := paramIndex(n, id); p >= 0 && param < 0 {
+			param, inLoop = p, depth > 0
+		}
+		return true
+	})
+	return param, inLoop
+}
+
+// paramIndex resolves e to one of n's declared parameters, or -1. Literals
+// have no parameters of interest here (a literal wrapper is its defining
+// function's problem).
+func paramIndex(n *callgraph.Node, e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || n.Fn == nil {
+		return -1
+	}
+	obj := n.Info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			if _, isFunc := sig.Params().At(i).Type().Underlying().(*types.Signature); isFunc {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// resolveFunc resolves the spawned expression to a node: a literal, a named
+// function or method, a bound method value, or a local variable holding one
+// of those (last lexical assignment wins; multiple distinct assignments
+// resolve to nothing).
+func resolveFunc(n *callgraph.Node, fun ast.Expr, g *callgraph.Graph, lits map[*ast.FuncLit]*callgraph.Node) *callgraph.Node {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.FuncLit:
+		return lits[fun]
+	case *ast.SelectorExpr:
+		if fn, ok := n.Info.Uses[fun.Sel].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+		return nil
+	case *ast.Ident:
+		if fn, ok := n.Info.Uses[fun].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+		v, ok := n.Info.Uses[fun].(*types.Var)
+		if !ok {
+			return nil
+		}
+		return localFuncDef(n, v, g, lits)
+	}
+	return nil
+}
+
+// localFuncDef finds the single function assigned to local var v in n's
+// body (declaration initializers included).
+func localFuncDef(n *callgraph.Node, v *types.Var, g *callgraph.Graph, lits map[*ast.FuncLit]*callgraph.Node) *callgraph.Node {
+	var def *callgraph.Node
+	count := 0
+	record := func(rhs ast.Expr) {
+		count++
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			def = lits[rhs]
+		case *ast.Ident:
+			if fn, ok := n.Info.Uses[rhs].(*types.Func); ok {
+				def = g.NodeOf(fn)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := n.Info.Uses[rhs.Sel].(*types.Func); ok {
+				def = g.NodeOf(fn)
+			}
+		}
+	}
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if n.Info.Defs[id] == v || n.Info.Uses[id] == v {
+				record(as.Rhs[i])
+			}
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return def
+}
+
+// captures collects the variables lit's node references from outside its own
+// extent: not fields, not package-level — the by-reference captures whose
+// storage the goroutine shares with its spawner.
+func captures(litNode, spawner *callgraph.Node, g *callgraph.Graph, lits map[*ast.FuncLit]*callgraph.Node) []Capture {
+	lit := litNode.Lit
+	info := litNode.Info
+	seen := map[*types.Var]int{}
+	var out []Capture
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true // package-level: shared, but not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		if i, ok := seen[v]; ok {
+			out[i].Written = out[i].Written || identWritten(lit.Body, info, v)
+			return true
+		}
+		seen[v] = len(out)
+		c := Capture{Var: v, Written: identWritten(lit.Body, info, v)}
+		if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc && spawner.Body != nil {
+			c.FuncDef = localFuncDef(spawner, v, g, lits)
+		}
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// identWritten reports an assignment or inc/dec whose target root is v,
+// anywhere under root.
+func identWritten(root ast.Node, info *types.Info, v *types.Var) bool {
+	written := false
+	ast.Inspect(root, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && (info.Uses[id] == v || info.Defs[id] == v) {
+					written = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(s.X).(*ast.Ident); ok && info.Uses[id] == v {
+				written = true
+			}
+		}
+		return !written
+	})
+	return written
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup join structure.
+
+// doneKeysOf renders the WaitGroup receivers the literal signals, lexically
+// (nested literals included — a deferred helper closure still signals).
+func doneKeysOf(litNode *callgraph.Node) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(litNode.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, ok := wgCall(litNode.Info, call, "Done"); ok {
+			keys[key] = true
+		}
+		return true
+	})
+	if len(keys) == 0 {
+		return nil
+	}
+	return keys
+}
+
+// wgCall matches `recv.<method>()` on *sync.WaitGroup and renders the
+// receiver expression (source text, like ctxlease's lock keys).
+func wgCall(info *types.Info, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "(*sync.WaitGroup)."+method {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// wrapperJoins reports the forEach shape: the wrapper's spawned literal
+// signals a WaitGroup the wrapper itself waits on, making every
+// wrapper-derived root join before the wrapper returns.
+func wrapperJoins(n *callgraph.Node, gs goSite) bool {
+	lit, ok := ast.Unparen(gs.stmt.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	done := map[string]bool{}
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if key, ok := wgCall(n.Info, call, "Done"); ok {
+				done[key] = true
+			}
+		}
+		return true
+	})
+	return waitsOn(n, done, gs.stmt.Pos())
+}
+
+// directJoin reports a Wait after the spawn, in the spawner, on a WaitGroup
+// the goroutine signals.
+func directJoin(r *Root, done map[string]bool) bool {
+	return waitsOn(r.Spawner, done, r.Site)
+}
+
+// waitsOn reports a `wg.Wait()` call after pos in n's own body for one of
+// the given keys.
+func waitsOn(n *callgraph.Node, done map[string]bool, pos token.Pos) bool {
+	if len(done) == 0 || n.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, ok := wgCall(n.Info, call, "Wait"); ok && done[key] && call.Pos() > pos {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Spawner-side concurrency window.
+
+// afterSpawn collects the spawner statements reachable after the spawn site,
+// stopping each path at a Wait on a WaitGroup the goroutine signals (the
+// join orders everything beyond it after the goroutine body).
+func afterSpawn(spawner *callgraph.Node, site token.Pos, doneKeys map[string]bool) map[ast.Stmt]bool {
+	graph := cfg.New(spawner.Body)
+	live := graph.Live()
+	isJoin := func(s ast.Stmt) bool {
+		if len(doneKeys) == 0 {
+			return false
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		key, ok := wgCall(spawner.Info, call, "Wait")
+		return ok && doneKeys[key]
+	}
+
+	out := map[ast.Stmt]bool{}
+	// scan adds stmts[from:] to the window; it reports false when a join
+	// barrier stopped the path before the block's end.
+	scan := func(blk *cfg.Block, from int) bool {
+		for _, s := range blk.Stmts[from:] {
+			if isJoin(s) {
+				return false
+			}
+			out[s] = true
+		}
+		return true
+	}
+
+	var work []*cfg.Block
+	seen := map[*cfg.Block]bool{}
+	enqueue := func(blk *cfg.Block) {
+		for _, succ := range blk.Succs {
+			if !seen[succ] {
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	// Find the leaf statement containing the spawn site and open the window
+	// right after it.
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for i, s := range blk.Stmts {
+			if s.Pos() <= site && site < s.End() {
+				if scan(blk, i+1) {
+					enqueue(blk)
+				}
+			}
+		}
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		if scan(blk, 0) {
+			enqueue(blk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package goroutine_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/goroutine"
+)
+
+// loadProg type-checks one synthetic package (stdlib imports only) into a
+// Program, mirroring the dataflow test conventions.
+func loadProg(t *testing.T, importPath, src string) (*analysis.Program, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, importPath+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	p := &analysis.Package{ImportPath: importPath, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+	return analysis.NewProgram([]*analysis.Package{p}), fset
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// rootIn returns the single root spawned from the named function.
+func rootIn(t *testing.T, topo *goroutine.Topology, g *callgraph.Graph, fset *token.FileSet, spawner string) *goroutine.Root {
+	t.Helper()
+	sp := nodeNamed(t, g, spawner)
+	var found *goroutine.Root
+	for _, r := range topo.Roots {
+		if r.Spawner == sp {
+			if found != nil {
+				t.Fatalf("multiple roots spawned in %s", spawner)
+			}
+			found = r
+		}
+	}
+	if found == nil {
+		t.Fatalf("no root spawned in %s", spawner)
+	}
+	return found
+}
+
+const topoSrc = `package topo
+
+import "sync"
+
+// Spawn under a loop: the root can race with its own sibling instances.
+func spawnLoop() {
+	for i := 0; i < 3; i++ {
+		go work(i)
+	}
+}
+
+func work(int) {}
+
+type ticker struct{ n int }
+
+func (t *ticker) tick() { t.n++ }
+
+// Spawn through a bound method value.
+func spawnMethod(t *ticker) {
+	go t.tick()
+}
+
+// Nested closure capture: x is written only inside the inner literal, y is
+// read at the outer level; both are captures of the spawned goroutine.
+func nestedCapture() int {
+	x := 0
+	y := 1
+	go func() {
+		bump := func() { x++ }
+		bump()
+		_ = y
+	}()
+	return x + y
+}
+
+// Recursive spawn: the goroutine reaches its own spawn site.
+func respawn() {
+	go respawn()
+}
+
+// forEach is the worker-pool spawn wrapper: it forwards its func parameter
+// into a looped go statement and joins every instance before returning.
+func forEach(n int, f func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			f(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// driver hands forEach a closure: that closure is a wrapper-derived root.
+func driver() int {
+	total := 0
+	forEach(4, func(i int) { total += i })
+	return total
+}
+
+// joinWindow: the statements between the spawn and the Wait are concurrent
+// with the goroutine; the statement after the Wait is not.
+func joinWindow() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n = 1
+	}()
+	n = 2
+	wg.Wait()
+	n = 3
+	return n
+}
+`
+
+func TestSpawnInLoop(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	r := rootIn(t, topo, g, fset, "spawnLoop")
+	if !r.Looped {
+		t.Errorf("spawn under a for loop must be Looped")
+	}
+	if r.Spawned == nil || r.Spawned.Fn == nil || r.Spawned.Fn.Name() != "work" {
+		t.Errorf("spawned = %v, want work", r.Spawned)
+	}
+	if got := topo.RootsOf(nodeNamed(t, g, "work")); len(got) != 1 || got[0] != r {
+		t.Errorf("RootsOf(work) = %v, want the spawnLoop root", got)
+	}
+}
+
+func TestSpawnViaMethodValue(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	r := rootIn(t, topo, g, fset, "spawnMethod")
+	if r.Spawned == nil || r.Spawned.Fn == nil || r.Spawned.Fn.Name() != "tick" {
+		t.Fatalf("spawned = %v, want (*ticker).tick", r.Spawned)
+	}
+	if r.Looped {
+		t.Errorf("single method spawn must not be Looped")
+	}
+	if got := topo.RootsOf(nodeNamed(t, g, "tick")); len(got) != 1 {
+		t.Errorf("RootsOf(tick) = %v, want one root", got)
+	}
+}
+
+func TestNestedClosureCapture(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	r := rootIn(t, topo, g, fset, "nestedCapture")
+	caps := topo.Captures(r)
+	byName := map[string]goroutine.Capture{}
+	for _, c := range caps {
+		byName[c.Var.Name()] = c
+	}
+	x, ok := byName["x"]
+	if !ok {
+		t.Fatalf("captures = %v, want x captured", caps)
+	}
+	if !x.Written {
+		t.Errorf("x is written by the nested literal; Written must be true")
+	}
+	y, ok := byName["y"]
+	if !ok {
+		t.Fatalf("captures = %v, want y captured", caps)
+	}
+	if y.Written {
+		t.Errorf("y is only read; Written must be false")
+	}
+}
+
+func TestRecursiveSpawn(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	r := rootIn(t, topo, g, fset, "respawn")
+	if !r.Looped {
+		t.Errorf("a goroutine that reaches its own spawn site must be Looped")
+	}
+}
+
+func TestWrapperDetection(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	driver := nodeNamed(t, g, "driver")
+	var r *goroutine.Root
+	for _, cand := range topo.Roots {
+		if cand.Spawner == driver {
+			r = cand
+		}
+	}
+	if r == nil {
+		t.Fatalf("no wrapper-derived root in driver")
+	}
+	if !strings.Contains(r.Wrapper, "forEach") {
+		t.Errorf("Wrapper = %q, want forEach", r.Wrapper)
+	}
+	if !r.Looped {
+		t.Errorf("forEach spawns in a loop; the derived root must be Looped")
+	}
+	if !r.Joined {
+		t.Errorf("forEach waits for its workers; the derived root must be Joined")
+	}
+	if set := topo.AfterSpawn(r); set != nil {
+		t.Errorf("AfterSpawn of a joined wrapper root must be nil, got %d stmts", len(set))
+	}
+	if r.Spawned == nil || r.Spawned.Lit == nil {
+		t.Fatalf("the derived root must resolve to the argument literal")
+	}
+	caps := topo.Captures(r)
+	if len(caps) != 1 || caps[0].Var.Name() != "total" || !caps[0].Written {
+		t.Errorf("captures = %v, want [total written]", caps)
+	}
+	desc := topo.Describe(fset, r)
+	if !strings.Contains(desc, "driver") || !strings.Contains(desc, "via") || !strings.Contains(desc, "[looped]") {
+		t.Errorf("Describe = %q, want spawner, wrapper and loop marker", desc)
+	}
+}
+
+func TestAfterSpawnStopsAtJoin(t *testing.T) {
+	prog, fset := loadProg(t, "topo", topoSrc)
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	r := rootIn(t, topo, g, fset, "joinWindow")
+	if !r.Joined {
+		t.Errorf("spawner Waits on the goroutine's WaitGroup; root must be Joined")
+	}
+	window := topo.AfterSpawn(r)
+	lines := map[int]bool{}
+	for s := range window {
+		lines[fset.Position(s.Pos()).Line] = true
+	}
+	var n2, n3 int
+	for i, l := range strings.Split(topoSrc, "\n") {
+		switch strings.TrimSpace(l) {
+		case "n = 2":
+			n2 = i + 1
+		case "n = 3":
+			n3 = i + 1
+		}
+	}
+	if !lines[n2] {
+		t.Errorf("window %v must include the pre-join write at line %d", lines, n2)
+	}
+	if lines[n3] {
+		t.Errorf("window %v must stop at the Wait barrier before line %d", lines, n3)
+	}
+}
+
+// render flattens the whole topology into one deterministic string.
+func render(topo *goroutine.Topology, g *callgraph.Graph, fset *token.FileSet) string {
+	var b strings.Builder
+	for _, r := range topo.Roots {
+		fmt.Fprintf(&b, "%d: %s joined=%v\n", r.ID, topo.Describe(fset, r), r.Joined)
+		for _, c := range topo.Captures(r) {
+			fmt.Fprintf(&b, "  cap %s written=%v funcdef=%v\n", c.Var.Name(), c.Written, c.FuncDef != nil)
+		}
+	}
+	for _, n := range g.Nodes {
+		var ids []int
+		for _, r := range topo.RootsOf(n) {
+			ids = append(ids, r.ID)
+		}
+		if len(ids) > 0 {
+			sort.Ints(ids)
+			fmt.Fprintf(&b, "under %s: %v\n", n.Name(fset), ids)
+		}
+	}
+	return b.String()
+}
+
+// TestDeterminism builds the topology twice from independent loads of the
+// same source and requires byte-identical renderings.
+func TestDeterminism(t *testing.T) {
+	prog1, fset1 := loadProg(t, "topo", topoSrc)
+	prog2, fset2 := loadProg(t, "topo", topoSrc)
+	out1 := render(goroutine.Of(prog1), prog1.Callgraph(), fset1)
+	out2 := render(goroutine.Of(prog2), prog2.Callgraph(), fset2)
+	if out1 != out2 {
+		t.Errorf("topology rendering differs between runs:\n--- run 1\n%s--- run 2\n%s", out1, out2)
+	}
+	if out1 == "" {
+		t.Fatalf("empty topology rendering")
+	}
+}

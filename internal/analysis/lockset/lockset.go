@@ -1,0 +1,821 @@
+// Package lockset computes may/must-held locksets per statement, as a
+// summary-based instance of the internal/analysis/dataflow engine.
+//
+// The lattice element is a set of keyed facts. A key is the rendered path of
+// a synchronization object — "e.mu" for a field lock through a receiver,
+// "#divlab/internal/runner.defaultOnce" for a package-level object (the "#"
+// tag keeps package-rooted keys distinct from locals during interprocedural
+// substitution), with a kind prefix for ordering tokens ("chan:", "wg:",
+// "once:"). Per key the analysis tracks:
+//
+//   - HeldW / HeldR: a sync.Mutex or sync.RWMutex is write-/read-held on
+//     every path to the statement (forward must-analysis; a deferred Unlock
+//     releases at exit, so the lock stays held through the body, exactly as
+//     ctxlease models it);
+//   - Post: the statement is ordered after the key's synchronization point —
+//     a `<-ch` receive, `wg.Wait()`, `once.Do(...)`, or an executed
+//     `close(ch)` precedes it on every path;
+//   - Pre: the statement is ordered before the key's synchronization point —
+//     every path from it executes `close(ch)` or `wg.Done()` (backward
+//     must-analysis), or a deferred close/Done is already registered.
+//
+// Pre/Post tokens are what lets the sharedmut analyzer accept the engine's
+// entry-publish pattern (owner writes, then close(done); waiters receive,
+// then read) without mutexes: a Pre write and a Post read of the same
+// channel key are ordered, not racing.
+//
+// Function effects — locks left held, locks released, tokens established —
+// are summarized bottom-up over the call graph's SCCs via
+// dataflow.Summaries (key "lockset") and applied at call sites, with
+// receiver-rooted keys rewritten into the caller's namespace, so a lock
+// taken three frames down a helper chain is still visible. Keys rooted in a
+// callee's locals cannot be translated and are dropped (for direct function
+// literal calls the scope is shared, so they pass through unchanged).
+package lockset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/cfg"
+	"divlab/internal/analysis/dataflow"
+)
+
+// Flag bits of one key in a Set. The unexported bits are analysis-internal
+// (deferred-op registration, must-released tracking for effects).
+const (
+	HeldW uint8 = 1 << iota // exclusive mutex held
+	HeldR                   // read-side RWMutex held
+	Post                    // ordered after the key's sync point
+	Pre                     // ordered before the key's sync point
+	defUnlock
+	defClose
+	defDone
+	released
+)
+
+// Set maps sync-object keys to their flag bits.
+type Set map[string]uint8
+
+// Effect is a function's net synchronization effect, observed by callers:
+// what is certainly true after the call returns, on every path.
+type Effect struct {
+	// Locks: mutexes held at every return (HeldW/HeldR bits).
+	Locks map[string]uint8
+	// Unlocks: mutexes released on every path.
+	Unlocks map[string]bool
+	// Post: tokens established on every path (receive, Wait, Do, close) —
+	// the caller is ordered after these sync points once the call returns.
+	Post map[string]bool
+	// Rel: close/Done executed on every path — caller statements before
+	// the call are ordered before these sync points.
+	Rel map[string]bool
+}
+
+func (e *Effect) empty() bool {
+	return e == nil || len(e.Locks) == 0 && len(e.Unlocks) == 0 && len(e.Post) == 0 && len(e.Rel) == 0
+}
+
+// Effects returns (computing once per Program) the lockset effect summary of
+// every node in the call graph.
+func Effects(prog *analysis.Program) map[*callgraph.Node]*Effect {
+	return prog.Fact(nil, "lockset.effects", func() interface{} {
+		g := prog.Callgraph()
+		lits := litNodes(g)
+		raw := dataflow.Summaries(prog, dataflow.Analysis{
+			Key: "lockset",
+			Transfer: func(n *callgraph.Node, get dataflow.Getter) interface{} {
+				getEff := func(m *callgraph.Node) *Effect {
+					e, _ := get(m).(*Effect)
+					return e
+				}
+				return analyze(n, g, getEff, lits).eff
+			},
+			Bottom: func(*callgraph.Node) interface{} { return &Effect{} },
+			Equal:  func(a, b interface{}) bool { return reflect.DeepEqual(a, b) },
+		})
+		out := make(map[*callgraph.Node]*Effect, len(raw))
+		for n, v := range raw {
+			if e, ok := v.(*Effect); ok {
+				out[n] = e
+			}
+		}
+		return out
+	}).(map[*callgraph.Node]*Effect)
+}
+
+// Info holds the per-statement locksets of one function.
+type Info struct {
+	must map[ast.Stmt]Set
+	may  map[ast.Stmt]Set
+	pre  map[ast.Stmt]map[string]bool
+}
+
+// For computes the per-statement locksets of node against final effect
+// summaries (from Effects).
+func For(node *callgraph.Node, g *callgraph.Graph, effects map[*callgraph.Node]*Effect) *Info {
+	res := analyze(node, g, func(m *callgraph.Node) *Effect { return effects[m] }, litNodes(g))
+	return &Info{must: res.must, may: res.may, pre: res.pre}
+}
+
+// At returns the must-lockset in force at stmt: held mutexes plus Pre/Post
+// ordering tokens. The returned set is freshly built; callers may keep it.
+func (in *Info) At(s ast.Stmt) Set {
+	out := Set{}
+	for k, bits := range in.must[s] {
+		b := bits & (HeldW | HeldR | Post)
+		if bits&(defClose|defDone) != 0 {
+			b |= Pre
+		}
+		if b != 0 {
+			out[k] = b
+		}
+	}
+	for k := range in.pre[s] {
+		out[k] |= Pre
+	}
+	return out
+}
+
+// MayHeld returns the mutexes some path may hold at stmt (HeldW/HeldR bits
+// only) — the ctxlease-style may-analysis the wgdiscipline Wait check needs.
+func (in *Info) MayHeld(s ast.Stmt) Set {
+	out := Set{}
+	for k, bits := range in.may[s] {
+		if b := bits & (HeldW | HeldR); b != 0 {
+			out[k] = b
+		}
+	}
+	return out
+}
+
+// Excludes reports whether two accesses with locksets a and b are mutually
+// excluded or ordered:
+//
+//   - a common mutex held by both, unless both hold only the read side;
+//   - a Pre/Post pair on the same token: one side before the sync point,
+//     the other after it (happens-before);
+//   - Pre/Pre on a channel or once token: at most one goroutine closes a
+//     given channel (double close panics — the single-closer convention),
+//     and sync.Once runs its function once, so two pre-sync regions of the
+//     same key cannot overlap. Pre/Pre on a WaitGroup does NOT exclude: any
+//     number of goroutines may run concurrently before their Done.
+func Excludes(a, b Set) bool {
+	for k, fa := range a {
+		fb, ok := b[k]
+		if !ok {
+			continue
+		}
+		if fa&(HeldW|HeldR) != 0 && fb&(HeldW|HeldR) != 0 && (fa&HeldW != 0 || fb&HeldW != 0) {
+			return true
+		}
+		if fa&Pre != 0 && fb&Post != 0 || fa&Post != 0 && fb&Pre != 0 {
+			return true
+		}
+		if fa&Pre != 0 && fb&Pre != 0 && !strings.HasPrefix(k, "wg:") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Key rendering.
+
+// Path renders a stable key for a synchronization object expression: a
+// selector chain rooted at an identifier, looking through *, & and parens.
+// Package-level roots render with a "#pkgpath." prefix so they keep meaning
+// across function (and package) boundaries; other roots render with their
+// source names, like ctxlease's lock keys. Dynamic roots — calls, index
+// expressions — have no stable path.
+func Path(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "#" + v.Pkg().Path() + "." + v.Name(), true
+		}
+		return e.Name, true
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return "#" + pn.Imported().Path() + "." + e.Sel.Name, true
+			}
+		}
+		base, ok := Path(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return Path(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return Path(info, e.X)
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis.
+
+type opKind uint8
+
+const (
+	opLockW opKind = iota
+	opLockR
+	opUnlock
+	opClose // close(ch) executed here
+	opPost  // receive / Wait / Once.Do executed here
+	opDone  // wg.Done() executed here
+	opDeferUnlock
+	opDeferClose
+	opDeferDone
+	opEffect // call whose callee has a non-empty effect
+)
+
+type op struct {
+	kind opKind
+	key  string
+	eff  *Effect // opEffect only, keys already in caller namespace
+}
+
+type result struct {
+	must map[ast.Stmt]Set
+	may  map[ast.Stmt]Set
+	pre  map[ast.Stmt]map[string]bool
+	eff  *Effect
+}
+
+func analyze(node *callgraph.Node, g *callgraph.Graph, getEff func(*callgraph.Node) *Effect, lits map[*ast.FuncLit]*callgraph.Node) *result {
+	res := &result{
+		must: map[ast.Stmt]Set{},
+		may:  map[ast.Stmt]Set{},
+		pre:  map[ast.Stmt]map[string]bool{},
+		eff:  &Effect{},
+	}
+	if node.Body == nil {
+		return res
+	}
+	graph := cfg.New(node.Body)
+	live := graph.Live()
+
+	ops := map[ast.Stmt][]op{}
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			ops[s] = opsOf(node, s, g, getEff, lits)
+		}
+	}
+
+	// Forward must-analysis (nil state = unreached ⊤; join = key/bit
+	// intersection), worklist over the CFG like ctxlease's may-held pass.
+	in := make([]Set, len(graph.Blocks))
+	in[graph.Entry.Index] = Set{}
+	applyBlock := func(state Set, blk *cfg.Block) Set {
+		for _, s := range blk.Stmts {
+			state = applyOps(state, ops[s])
+		}
+		return state
+	}
+	work := []*cfg.Block{graph.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := applyBlock(copySet(in[blk.Index]), blk)
+		for _, succ := range blk.Succs {
+			merged, changed := mustJoin(in[succ.Index], out, in[succ.Index] == nil)
+			if changed {
+				in[succ.Index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Forward may-analysis for the held mutexes (union join).
+	mayIn := make([]Set, len(graph.Blocks))
+	mayIn[graph.Entry.Index] = Set{}
+	work = []*cfg.Block{graph.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := applyBlock(copySet(mayIn[blk.Index]), blk)
+		for _, succ := range blk.Succs {
+			merged, changed := mayJoin(mayIn[succ.Index], out)
+			if changed {
+				mayIn[succ.Index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Backward must-release analysis: relStart[b] = close/Done keys executed
+	// on every path from the start of b to an exit. ⊤ = nil; sets only
+	// shrink from ⊤, so the sweep converges.
+	relOf := func(s ast.Stmt) []string {
+		var keys []string
+		for _, o := range ops[s] {
+			switch o.kind {
+			case opClose, opDone:
+				keys = append(keys, o.key)
+			case opEffect:
+				for k := range o.eff.Rel {
+					keys = append(keys, k)
+				}
+			}
+		}
+		return keys
+	}
+	relStart := make([]map[string]bool, len(graph.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for i := len(graph.Blocks) - 1; i >= 0; i-- {
+			blk := graph.Blocks[i]
+			if !live[blk] {
+				continue
+			}
+			acc := relAfter(blk, relStart)
+			for j := len(blk.Stmts) - 1; j >= 0; j-- {
+				for _, k := range relOf(blk.Stmts[j]) {
+					if acc == nil {
+						acc = map[string]bool{}
+					} else {
+						acc = copyStrSet(acc)
+					}
+					acc[k] = true
+				}
+			}
+			if acc == nil {
+				acc = map[string]bool{}
+			}
+			if !sameStrSet(relStart[blk.Index], acc) {
+				relStart[blk.Index] = acc
+				changed = true
+			}
+		}
+	}
+
+	// Deterministic replay: record per-statement states.
+	var exits []Set
+	for _, blk := range graph.Blocks {
+		if in[blk.Index] != nil {
+			state := copySet(in[blk.Index])
+			for _, s := range blk.Stmts {
+				res.must[s] = copySet(state)
+				state = applyOps(state, ops[s])
+			}
+			if len(blk.Succs) == 0 {
+				exits = append(exits, state)
+			}
+		}
+		if mayIn[blk.Index] != nil {
+			state := copySet(mayIn[blk.Index])
+			for _, s := range blk.Stmts {
+				res.may[s] = copySet(state)
+				state = applyOps(state, ops[s])
+			}
+		}
+		if live[blk] {
+			acc := relAfter(blk, relStart)
+			for j := len(blk.Stmts) - 1; j >= 0; j-- {
+				s := blk.Stmts[j]
+				res.pre[s] = acc
+				for _, k := range relOf(s) {
+					acc = copyStrSet(acc)
+					if acc == nil {
+						acc = map[string]bool{}
+					}
+					acc[k] = true
+				}
+			}
+		}
+	}
+
+	res.eff = harvest(exits, relStart[graph.Entry.Index])
+	return res
+}
+
+// relAfter is the must-release set at the end of blk: the intersection of
+// its successors' start sets (⊤ for exit blocks is the empty set — nothing
+// more executes).
+func relAfter(blk *cfg.Block, relStart []map[string]bool) map[string]bool {
+	if len(blk.Succs) == 0 {
+		return map[string]bool{}
+	}
+	var acc map[string]bool // nil = ⊤
+	for _, succ := range blk.Succs {
+		acc = intersectStrSet(acc, relStart[succ.Index])
+	}
+	if acc == nil {
+		acc = map[string]bool{}
+	}
+	return acc
+}
+
+// harvest folds the exit states (after applying registered defers) into the
+// function's Effect.
+func harvest(exits []Set, relEntry map[string]bool) *Effect {
+	eff := &Effect{}
+	if len(exits) == 0 {
+		return eff
+	}
+	finals := make([]Set, len(exits))
+	for i, state := range exits {
+		final := Set{}
+		for k, bits := range state {
+			if bits&defUnlock != 0 {
+				bits = bits&^(HeldW|HeldR) | released
+			}
+			if bits&defClose != 0 {
+				bits |= Post
+			}
+			final[k] = bits
+		}
+		finals[i] = final
+	}
+	inAll := func(k string, want uint8) bool {
+		for _, f := range finals {
+			if f[k]&want == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for k := range finals[0] {
+		if b := finals[0][k] & (HeldW | HeldR); b != 0 && inAll(k, HeldW|HeldR) {
+			held := uint8(0)
+			for _, f := range finals {
+				held |= f[k] & (HeldW | HeldR)
+			}
+			setKey(&eff.Locks, k, held)
+		}
+		if inAll(k, released) {
+			setBool(&eff.Unlocks, k)
+		}
+		if inAll(k, Post) {
+			setBool(&eff.Post, k)
+		}
+		if inAll(k, defClose|defDone) {
+			setBool(&eff.Rel, k)
+		}
+	}
+	for k := range relEntry {
+		setBool(&eff.Rel, k)
+	}
+	return eff
+}
+
+func setKey(m *map[string]uint8, k string, v uint8) {
+	if *m == nil {
+		*m = map[string]uint8{}
+	}
+	(*m)[k] = v
+}
+
+func setBool(m *map[string]bool, k string) {
+	if *m == nil {
+		*m = map[string]bool{}
+	}
+	(*m)[k] = true
+}
+
+func applyOps(state Set, ops []op) Set {
+	for _, o := range ops {
+		switch o.kind {
+		case opLockW:
+			state[o.key] |= HeldW
+		case opLockR:
+			state[o.key] |= HeldR
+		case opUnlock:
+			state[o.key] = state[o.key]&^(HeldW|HeldR) | released
+		case opClose:
+			state[o.key] |= Post
+		case opPost:
+			state[o.key] |= Post
+		case opDone:
+			// No forward consequence: code after Done still runs
+			// concurrently with the waiter.
+		case opDeferUnlock:
+			state[o.key] |= defUnlock
+		case opDeferClose:
+			state[o.key] |= defClose
+		case opDeferDone:
+			state[o.key] |= defDone
+		case opEffect:
+			for k, bits := range o.eff.Locks {
+				state[k] |= bits
+			}
+			for k := range o.eff.Unlocks {
+				state[k] = state[k]&^(HeldW|HeldR) | released
+			}
+			for k := range o.eff.Post {
+				state[k] |= Post
+			}
+		}
+	}
+	return state
+}
+
+func copySet(s Set) Set {
+	if s == nil {
+		return nil
+	}
+	cp := make(Set, len(s))
+	for k, v := range s {
+		cp[k] = v
+	}
+	return cp
+}
+
+// mustJoin intersects src into dst (key-wise bit AND); first reports whether
+// dst was previously unreached.
+func mustJoin(dst, src Set, first bool) (Set, bool) {
+	if first {
+		return copySet(src), true
+	}
+	changed := false
+	for k, bits := range dst {
+		nb := bits & src[k]
+		if nb != bits {
+			changed = true
+			if nb == 0 {
+				delete(dst, k)
+			} else {
+				dst[k] = nb
+			}
+		}
+	}
+	return dst, changed
+}
+
+func mayJoin(dst, src Set) (Set, bool) {
+	if dst == nil {
+		return copySet(src), true
+	}
+	changed := false
+	for k, bits := range src {
+		if dst[k]|bits != dst[k] {
+			dst[k] |= bits
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func copyStrSet(s map[string]bool) map[string]bool {
+	if s == nil {
+		return nil
+	}
+	cp := make(map[string]bool, len(s))
+	for k := range s {
+		cp[k] = true
+	}
+	return cp
+}
+
+func sameStrSet(a, b map[string]bool) bool {
+	if a == nil || len(a) != len(b) {
+		return a == nil && b == nil
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectStrSet intersects b into acc, where nil acc is ⊤ (identity) and a
+// nil b — an unreached successor — contributes nothing yet (treated as ⊤ so
+// the fixpoint can shrink it later).
+func intersectStrSet(acc, b map[string]bool) map[string]bool {
+	if b == nil {
+		return acc
+	}
+	if acc == nil {
+		return copyStrSet(b)
+	}
+	out := map[string]bool{}
+	for k := range acc {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Statement op extraction.
+
+func opsOf(n *callgraph.Node, s ast.Stmt, g *callgraph.Graph, getEff func(*callgraph.Node) *Effect, lits map[*ast.FuncLit]*callgraph.Node) []op {
+	var out []op
+	var scan func(nd ast.Node, deferred bool)
+	handleCall := func(call *ast.CallExpr, deferred bool) {
+		// close builtin.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isB := n.Info.Uses[id].(*types.Builtin); isB {
+				if id.Name == "close" && len(call.Args) == 1 {
+					if p, ok := Path(n.Info, call.Args[0]); ok {
+						out = append(out, op{kind: pick(deferred, opDeferClose, opClose), key: "chan:" + p})
+					}
+				}
+				return
+			}
+		}
+		sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if fn := calleeFunc(n.Info, call); fn != nil && sel != nil {
+			full := fn.FullName()
+			switch full {
+			case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock",
+				"(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock",
+				"(*sync.WaitGroup).Wait", "(*sync.WaitGroup).Done", "(*sync.Once).Do":
+				p, ok := Path(n.Info, sel.X)
+				if !ok {
+					return
+				}
+				switch full {
+				case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+					if !deferred {
+						out = append(out, op{kind: opLockW, key: p})
+					}
+				case "(*sync.RWMutex).RLock":
+					if !deferred {
+						out = append(out, op{kind: opLockR, key: p})
+					}
+				case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+					out = append(out, op{kind: pick(deferred, opDeferUnlock, opUnlock), key: p})
+				case "(*sync.WaitGroup).Wait":
+					if !deferred {
+						out = append(out, op{kind: opPost, key: "wg:" + p})
+					}
+				case "(*sync.WaitGroup).Done":
+					out = append(out, op{kind: pick(deferred, opDeferDone, opDone), key: "wg:" + p})
+				case "(*sync.Once).Do":
+					if !deferred {
+						out = append(out, op{kind: opPost, key: "once:" + p})
+					}
+				}
+				return
+			}
+		}
+		if deferred {
+			return
+		}
+		// Callee effect: single static in-graph target, or a directly
+		// invoked literal (shared scope, no key translation needed).
+		targets, _ := g.Targets(n.Info, call)
+		var callee *callgraph.Node
+		if len(targets) == 1 {
+			callee = targets[0]
+		} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			callee = lits[lit]
+		}
+		if callee == nil {
+			return
+		}
+		eff := getEff(callee)
+		if eff.empty() {
+			return
+		}
+		if sub := substEffect(eff, callee, call, n); !sub.empty() {
+			out = append(out, op{kind: opEffect, eff: sub})
+		}
+	}
+	scan = func(nd ast.Node, deferred bool) {
+		ast.Inspect(nd, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false // its own node's ops
+			case *ast.GoStmt:
+				return false // runs elsewhere
+			case *ast.DeferStmt:
+				handleCall(x.Call, true)
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if p, ok := Path(n.Info, x.X); ok {
+						out = append(out, op{kind: opPost, key: "chan:" + p})
+					}
+				}
+			case *ast.CallExpr:
+				handleCall(x, deferred)
+			}
+			return true
+		})
+	}
+	scan(s, false)
+	return out
+}
+
+func pick(cond bool, a, b opKind) opKind {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// substEffect rewrites a callee effect into the caller's key namespace:
+// package-rooted ("#...") keys pass through; keys rooted at the callee's
+// receiver are re-rooted at the call's receiver expression; for direct
+// literal calls every key passes (shared lexical scope); anything else —
+// keys rooted at callee locals or parameters — is dropped as untranslatable.
+func substEffect(eff *Effect, callee *callgraph.Node, call *ast.CallExpr, n *callgraph.Node) *Effect {
+	recvName := ""
+	if callee.Fn != nil {
+		if sig, ok := callee.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recvName = sig.Recv().Name()
+		}
+	}
+	callerRecv := ""
+	if recvName != "" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			callerRecv, _ = Path(n.Info, sel.X)
+		}
+	}
+	subst := func(k string) (string, bool) {
+		kind, rest := "", k
+		for _, p := range []string{"chan:", "wg:", "once:"} {
+			if strings.HasPrefix(k, p) {
+				kind, rest = p, k[len(p):]
+				break
+			}
+		}
+		if strings.HasPrefix(rest, "#") {
+			return k, true
+		}
+		if callee.Lit != nil {
+			return k, true
+		}
+		if recvName != "" && callerRecv != "" {
+			if rest == recvName {
+				return kind + callerRecv, true
+			}
+			if strings.HasPrefix(rest, recvName+".") {
+				return kind + callerRecv + rest[len(recvName):], true
+			}
+		}
+		return "", false
+	}
+	out := &Effect{}
+	for k, bits := range eff.Locks {
+		if nk, ok := subst(k); ok {
+			setKey(&out.Locks, nk, bits)
+		}
+	}
+	for k := range eff.Unlocks {
+		if nk, ok := subst(k); ok {
+			setBool(&out.Unlocks, nk)
+		}
+	}
+	for k := range eff.Post {
+		if nk, ok := subst(k); ok {
+			setBool(&out.Post, nk)
+		}
+	}
+	for k := range eff.Rel {
+		if nk, ok := subst(k); ok {
+			setBool(&out.Rel, nk)
+		}
+	}
+	return out
+}
+
+func litNodes(g *callgraph.Graph) map[*ast.FuncLit]*callgraph.Node {
+	m := make(map[*ast.FuncLit]*callgraph.Node)
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			m[n.Lit] = n
+		}
+	}
+	return m
+}
+
+// calleeFunc resolves the called *types.Func at a call site; nil for
+// builtins, conversions and function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

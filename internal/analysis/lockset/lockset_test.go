@@ -1,0 +1,269 @@
+package lockset_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/lockset"
+)
+
+func loadProg(t *testing.T, importPath, src string) (*analysis.Program, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, importPath+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	p := &analysis.Package{ImportPath: importPath, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+	return analysis.NewProgram([]*analysis.Package{p}), fset
+}
+
+func nodeNamed(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// stmtOnLine finds the leaf statement whose source text line carries marker.
+func stmtOnLine(t *testing.T, fset *token.FileSet, node *callgraph.Node, src, marker string) ast.Stmt {
+	t.Helper()
+	line := -1
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			line = i + 1
+			break
+		}
+	}
+	if line < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	var found ast.Stmt
+	ast.Inspect(node.Body, func(nd ast.Node) bool {
+		s, ok := nd.(ast.Stmt)
+		if ok && fset.Position(s.Pos()).Line == line {
+			switch s.(type) {
+			case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt:
+			default:
+				if found == nil {
+					found = s
+				}
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no leaf stmt on line %d (%q)", line, marker)
+	}
+	return found
+}
+
+const lockSrc = `package lk
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+func straight() {
+	mu.Lock()
+	held() // mark:held
+	mu.Unlock()
+	free() // mark:free
+}
+
+func reader() {
+	rw.RLock()
+	held() // mark:rheld
+	rw.RUnlock()
+}
+
+func branchy(b bool) {
+	if b {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	held() // mark:maybe
+}
+
+func deferred() {
+	mu.Lock()
+	defer mu.Unlock()
+	held() // mark:defheld
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) lockIt()   { b.mu.Lock() }
+func (b *box) unlockIt() { b.mu.Unlock() }
+
+// through: the lock and unlock travel through callee effect summaries, with
+// the callee's receiver path substituted for the caller's.
+func (b *box) through() {
+	b.lockIt()
+	b.n++ // mark:subst
+	b.unlockIt()
+	b.n-- // mark:after
+}
+
+func held() {}
+func free() {}
+`
+
+func infoFor(t *testing.T, prog *analysis.Program, name string) (*lockset.Info, *callgraph.Node, *token.FileSet) {
+	t.Helper()
+	g := prog.Callgraph()
+	node := nodeNamed(t, g, name)
+	return lockset.For(node, g, lockset.Effects(prog)), node, prog.Packages[0].Fset
+}
+
+func TestMustHeldStraightLine(t *testing.T) {
+	prog, fset := loadProg(t, "lk", lockSrc)
+	info, node, _ := infoFor(t, prog, "straight")
+	at := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:held"))
+	if at["#lk.mu"]&lockset.HeldW == 0 {
+		t.Errorf("At(held) = %v, want #lk.mu held exclusively", at)
+	}
+	after := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:free"))
+	if after["#lk.mu"]&(lockset.HeldW|lockset.HeldR) != 0 {
+		t.Errorf("At(free) = %v, want #lk.mu released", after)
+	}
+}
+
+func TestReadLockIsHeldR(t *testing.T) {
+	prog, fset := loadProg(t, "lk", lockSrc)
+	info, node, _ := infoFor(t, prog, "reader")
+	at := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:rheld"))
+	if at["#lk.rw"]&lockset.HeldR == 0 || at["#lk.rw"]&lockset.HeldW != 0 {
+		t.Errorf("At(rheld) = %v, want #lk.rw read-held only", at)
+	}
+}
+
+func TestBranchLockIsMayNotMust(t *testing.T) {
+	prog, fset := loadProg(t, "lk", lockSrc)
+	info, node, _ := infoFor(t, prog, "branchy")
+	s := stmtOnLine(t, fset, node, lockSrc, "mark:maybe")
+	if at := info.At(s); at["#lk.mu"]&(lockset.HeldW|lockset.HeldR) != 0 {
+		t.Errorf("At(maybe) = %v: a one-branch lock must not be must-held", at)
+	}
+	if may := info.MayHeld(s); may["#lk.mu"]&lockset.HeldW == 0 {
+		t.Errorf("MayHeld(maybe) = %v, want #lk.mu on the may side", may)
+	}
+}
+
+func TestDeferredUnlockKeepsLockHeld(t *testing.T) {
+	prog, fset := loadProg(t, "lk", lockSrc)
+	info, node, _ := infoFor(t, prog, "deferred")
+	at := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:defheld"))
+	if at["#lk.mu"]&lockset.HeldW == 0 {
+		t.Errorf("At(defheld) = %v, want #lk.mu held (defer releases at return)", at)
+	}
+}
+
+func TestEffectSubstitution(t *testing.T) {
+	prog, fset := loadProg(t, "lk", lockSrc)
+	info, node, _ := infoFor(t, prog, "through")
+	at := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:subst"))
+	if at["b.mu"]&lockset.HeldW == 0 {
+		t.Errorf("At(subst) = %v, want b.mu held via lockIt's effect", at)
+	}
+	after := info.At(stmtOnLine(t, fset, node, lockSrc, "mark:after"))
+	if after["b.mu"]&(lockset.HeldW|lockset.HeldR) != 0 {
+		t.Errorf("At(after) = %v, want b.mu released via unlockIt's effect", after)
+	}
+}
+
+func TestEffectSummaryShape(t *testing.T) {
+	prog, _ := loadProg(t, "lk", lockSrc)
+	g := prog.Callgraph()
+	effs := lockset.Effects(prog)
+	lock := effs[nodeNamed(t, g, "lockIt")]
+	if lock == nil || lock.Locks["b.mu"]&lockset.HeldW == 0 {
+		t.Errorf("lockIt effect = %+v, want Locks[b.mu] exclusive", lock)
+	}
+	unlock := effs[nodeNamed(t, g, "unlockIt")]
+	if unlock == nil || !unlock.Unlocks["b.mu"] {
+		t.Errorf("unlockIt effect = %+v, want Unlocks[b.mu]", unlock)
+	}
+}
+
+func TestExcludes(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b lockset.Set
+		want bool
+	}{
+		{"common exclusive mutex", lockset.Set{"mu": lockset.HeldW}, lockset.Set{"mu": lockset.HeldW}, true},
+		{"writer vs reader", lockset.Set{"mu": lockset.HeldW}, lockset.Set{"mu": lockset.HeldR}, true},
+		{"both read-side only", lockset.Set{"mu": lockset.HeldR}, lockset.Set{"mu": lockset.HeldR}, false},
+		{"disjoint mutexes", lockset.Set{"mu1": lockset.HeldW}, lockset.Set{"mu2": lockset.HeldW}, false},
+		{"pre/post channel pair", lockset.Set{"chan:done": lockset.Pre}, lockset.Set{"chan:done": lockset.Post}, true},
+		{"pre/pre channel (single closer)", lockset.Set{"chan:done": lockset.Pre}, lockset.Set{"chan:done": lockset.Pre}, true},
+		{"pre/pre once (runs once)", lockset.Set{"once:o": lockset.Pre}, lockset.Set{"once:o": lockset.Pre}, true},
+		{"pre/pre waitgroup does not exclude", lockset.Set{"wg:wg": lockset.Pre}, lockset.Set{"wg:wg": lockset.Pre}, false},
+		{"pre/post waitgroup join", lockset.Set{"wg:wg": lockset.Pre}, lockset.Set{"wg:wg": lockset.Post}, true},
+		{"empty sets", lockset.Set{}, lockset.Set{}, false},
+	}
+	for _, tc := range cases {
+		if got := lockset.Excludes(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Excludes(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+		if got := lockset.Excludes(tc.b, tc.a); got != tc.want {
+			t.Errorf("%s (swapped): Excludes(%v, %v) = %v, want %v", tc.name, tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	const src = `package pk
+
+import "sync"
+
+var global sync.Mutex
+
+type inner struct{ mu sync.Mutex }
+type outer struct{ in inner }
+
+func f(o *outer) {
+	global.Lock() // mark:global
+	o.in.mu.Lock() // mark:field
+	(&o.in.mu).Lock() // mark:addr
+}
+`
+	prog, fset := loadProg(t, "pk", src)
+	node := nodeNamed(t, prog.Callgraph(), "f")
+	want := map[string]string{
+		"mark:global": "#pk.global",
+		"mark:field":  "o.in.mu",
+		"mark:addr":   "o.in.mu",
+	}
+	for marker, key := range want {
+		s := stmtOnLine(t, fset, node, src, marker)
+		call := s.(*ast.ExprStmt).X.(*ast.CallExpr)
+		recv := call.Fun.(*ast.SelectorExpr).X
+		got, ok := lockset.Path(node.Info, recv)
+		if !ok || got != key {
+			t.Errorf("%s: Path = %q, %v; want %q", marker, got, ok, key)
+		}
+	}
+}

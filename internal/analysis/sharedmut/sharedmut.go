@@ -1,0 +1,897 @@
+// Package sharedmut implements the static race detector for the concurrent
+// engine layers: it reports unsynchronized conflicting accesses to shared
+// mutable state reachable from two concurrent goroutine roots.
+//
+// The analyzer composes the two PR-9 analysis layers. The goroutine topology
+// (internal/analysis/goroutine) says WHO may run a statement: every `go`
+// statement and spawn wrapper is a concurrent root, callgraph reachability
+// assigns each function the roots it may run under, and capture analysis
+// says which variables a closure shares with its spawner. The lockset layer
+// (internal/analysis/lockset) says WHAT synchronization holds at the
+// statement: must-held mutexes plus happens-before tokens for channel
+// close/receive, WaitGroup Done/Wait and Once.Do.
+//
+// An access is *shared* when its target is (a) a package-level variable,
+// (b) a variable some goroutine closure captures by reference, or (c) a
+// field reached through a pointer that a may-alias taint analysis traces
+// back to one of those roots (receiver of a `go obj.method()` spawn
+// included). Two shared accesses to the same location conflict when at
+// least one writes, the pair can be live concurrently (different roots; the
+// same root when its spawn loops; or a goroutine against its spawner's
+// post-spawn, pre-join statements), and lockset.Excludes proves neither a
+// common exclusive lock nor a happens-before ordering. Element writes
+// indexed by a goroutine-local (or per-iteration captured) variable are
+// treated as partitioned — the worker-pool "each goroutine owns out[i]"
+// idiom — and fields of sync/atomic/channel type are the synchronization
+// itself, never data.
+//
+// In the style of Eraser's lockset discipline and RacerD's compositional
+// report-what-two-roots-touch rule, the analysis is deliberately
+// unsound-by-design where precision costs more than it buys: accesses are
+// syntactic per function (a helper called from the spawner's post-spawn
+// window is not expanded), taint is variable-level (a pointer laundered
+// through a struct field store and reloaded elsewhere is not chased), and
+// distinct roots are assumed concurrent unless joined. Misses are accepted;
+// false positives in the tree are not — the driver keeps runner, store,
+// sweep and obs at zero findings.
+package sharedmut
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/cfg"
+	"divlab/internal/analysis/goroutine"
+	"divlab/internal/analysis/lockset"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedmut",
+	Doc:  "reports unsynchronized conflicting accesses to state shared between concurrent goroutine roots",
+	Run:  run,
+}
+
+type finding struct {
+	pos token.Pos
+	pkg *types.Package
+	msg string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	report := pass.Program.Fact(nil, "sharedmut.report", func() interface{} {
+		return compute(pass.Program, pass.Fset)
+	}).([]finding)
+	for _, f := range report {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil, nil
+}
+
+// loc identifies one shared storage location. Variable locations carry the
+// object; field locations use type+field granularity (RacerD-style), so an
+// access through any alias of the same struct type lands on the same key.
+type loc struct {
+	obj   *types.Var // package-level or captured variable, nil for fields
+	typ   string     // rendered owner type for field/deref locations
+	field string     // field name, or "*" for a pointer dereference
+}
+
+type access struct {
+	root  *goroutine.Root
+	gside bool // true: runs inside the goroutine; false: spawner post-spawn
+	write bool
+	elem  bool // indexed element access
+	priv  bool // elem whose index is goroutine-private (partitioned writes)
+	pos   token.Pos
+	node  *callgraph.Node
+	set   lockset.Set
+}
+
+func compute(prog *analysis.Program, fset *token.FileSet) []finding {
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	if len(topo.Roots) == 0 {
+		return []finding{}
+	}
+	effects := lockset.Effects(prog)
+	shared := sharedVars(topo)
+	taint := taintAnalysis(g, topo, shared)
+	oncePre := onceClosures(g)
+
+	infos := map[*callgraph.Node]*lockset.Info{}
+	infoOf := func(n *callgraph.Node) *lockset.Info {
+		if in, ok := infos[n]; ok {
+			return in
+		}
+		in := lockset.For(n, g, effects)
+		infos[n] = in
+		return in
+	}
+
+	accs := map[loc][]*access{}
+	emit := func(l loc, a *access) { accs[l] = append(accs[l], a) }
+
+	// Goroutine-side accesses: every statement of every function reachable
+	// from a root, attributed to each root it may run under.
+	for _, n := range g.Nodes {
+		roots := topo.RootsOf(n)
+		if len(roots) == 0 || n.Body == nil {
+			continue
+		}
+		info := infoOf(n)
+		sc := &scanner{node: n, shared: shared, taint: taint}
+		for _, s := range liveStmts(n.Body) {
+			set := info.At(s)
+			if k := oncePre[n]; k != "" {
+				set[k] |= lockset.Pre
+			}
+			for _, raw := range sc.scan(s) {
+				for _, r := range roots {
+					a := raw.access
+					a.root, a.gside, a.set = r, true, set
+					a.priv = raw.priv || privLoopIndex(raw, r, n)
+					emit(raw.l, &a)
+				}
+			}
+		}
+	}
+
+	// Spawner-side accesses: the statements between a spawn and its join
+	// run concurrently with that goroutine.
+	for _, r := range topo.Roots {
+		window := topo.AfterSpawn(r)
+		if len(window) == 0 || r.Spawner.Body == nil {
+			continue
+		}
+		info := infoOf(r.Spawner)
+		sc := &scanner{node: r.Spawner, shared: shared, taint: taint}
+		for _, s := range liveStmts(r.Spawner.Body) {
+			if !window[s] {
+				continue
+			}
+			set := info.At(s)
+			for _, raw := range sc.scan(s) {
+				a := raw.access
+				a.root, a.gside, a.set = r, false, set
+				emit(raw.l, &a)
+			}
+		}
+	}
+
+	var out []finding
+	for l, list := range accs {
+		if f, ok := judge(topo, fset, l, list); ok {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	return out
+}
+
+// judge scans one location's accesses for a conflicting pair and renders a
+// single representative finding (the lexically first conflicting write).
+func judge(topo *goroutine.Topology, fset *token.FileSet, l loc, list []*access) (finding, bool) {
+	var best, other *access
+	for i, a := range list {
+		for _, b := range list[i:] {
+			x, y := a, b
+			if !x.write || (y.write && y.pos < x.pos) {
+				x, y = y, x
+			}
+			if !conflict(x, y) {
+				continue
+			}
+			if best == nil || x.pos < best.pos || (x.pos == best.pos && y.pos < other.pos) {
+				best, other = x, y
+			}
+		}
+	}
+	if best == nil {
+		return finding{}, false
+	}
+	msg := fmt.Sprintf("unsynchronized %s to %s in %s (%s) races with %s at %v in %s (%s)%s",
+		verb(best), describeLoc(l), best.node.Name(fset), side(topo, fset, best),
+		verb(other), fset.Position(other.pos), other.node.Name(fset), side(topo, fset, other),
+		locksNote(best.set, other.set))
+	return finding{pos: best.pos, pkg: best.node.Pkg, msg: msg}, true
+}
+
+func conflict(a, b *access) bool {
+	if !a.write && !b.write {
+		return false
+	}
+	if !a.gside && !b.gside {
+		return false // the spawner is one thread
+	}
+	if a.root == b.root && a.gside && b.gside {
+		if !a.root.Looped {
+			return false // a single goroutine instance cannot race itself
+		}
+		if a.priv && b.priv {
+			return false // partitioned element accesses across instances
+		}
+	}
+	return !lockset.Excludes(a.set, b.set)
+}
+
+func verb(a *access) string {
+	if a.write {
+		return "write"
+	}
+	return "read"
+}
+
+func side(topo *goroutine.Topology, fset *token.FileSet, a *access) string {
+	if a.gside {
+		s := "under " + topo.Describe(fset, a.root)
+		if chain := topo.Chain(fset, a.root, a.node); strings.Contains(chain, " -> ") {
+			s += ", chain " + chain
+		}
+		return s
+	}
+	return fmt.Sprintf("spawner side, concurrent with the goroutine spawned at %v", fset.Position(a.root.Site))
+}
+
+func locksNote(a, b lockset.Set) string {
+	ra, rb := renderSet(a), renderSet(b)
+	if ra == "" && rb == "" {
+		return ""
+	}
+	if ra == "" {
+		ra = "none"
+	}
+	if rb == "" {
+		rb = "none"
+	}
+	return fmt.Sprintf(" [sync: %s vs %s]", ra, rb)
+}
+
+func renderSet(s lockset.Set) string {
+	var keys []string
+	for k, bits := range s {
+		tags := ""
+		if bits&lockset.HeldW != 0 {
+			tags += "W"
+		}
+		if bits&lockset.HeldR != 0 {
+			tags += "R"
+		}
+		if bits&lockset.Pre != 0 {
+			tags += "pre"
+		}
+		if bits&lockset.Post != 0 {
+			tags += "post"
+		}
+		keys = append(keys, k+":"+tags)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func describeLoc(l loc) string {
+	switch {
+	case l.obj != nil && pkgLevel(l.obj):
+		return fmt.Sprintf("package-level variable %s.%s", l.obj.Pkg().Name(), l.obj.Name())
+	case l.obj != nil:
+		return fmt.Sprintf("captured variable %q", l.obj.Name())
+	case l.field == "*":
+		return fmt.Sprintf("target of shared pointer *%s", l.typ)
+	default:
+		return fmt.Sprintf("field %s.%s", l.typ, l.field)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared-variable seeds and taint propagation.
+
+func sharedVars(topo *goroutine.Topology) map[*types.Var]bool {
+	shared := map[*types.Var]bool{}
+	for _, r := range topo.Roots {
+		for _, c := range topo.Captures(r) {
+			// Per-iteration `for`/`range` semantics: every iteration — and
+			// therefore every goroutine instance — captures its own copy of
+			// an induction variable, so the spawner's increment and the
+			// goroutines' reads address distinct instances. (Touching the
+			// same iteration's variable after its own spawn is a miss.)
+			if r.Spawner != nil && r.Spawner.Body != nil && loopVarOf(r.Spawner, c.Var) {
+				continue
+			}
+			shared[c.Var] = true
+		}
+	}
+	return shared
+}
+
+// taintAnalysis computes the set of variables that may alias state shared
+// between roots: capture seeds, receivers of method-value spawns, and a
+// flow-insensitive closure over assignments, range statements and call-site
+// argument/receiver binding (interface dispatch taints every implementation).
+// Only reference-like variables (pointer, slice, map, chan, interface, func)
+// propagate — assigning a struct or scalar copies it.
+func taintAnalysis(g *callgraph.Graph, topo *goroutine.Topology, shared map[*types.Var]bool) map[*types.Var]bool {
+	taint := map[*types.Var]bool{}
+	for v := range shared {
+		taint[v] = true
+	}
+	for _, r := range topo.Roots {
+		if r.Spawned != nil && r.Spawned.Fn != nil && r.Spawned.Lit == nil {
+			if sig, ok := r.Spawned.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				taint[sig.Recv()] = true
+			}
+		}
+	}
+	add := func(v *types.Var) bool {
+		if v == nil || taint[v] || !refType(v.Type()) {
+			return false
+		}
+		taint[v] = true
+		return true
+	}
+	for round, changed := 0, true; changed && round < 32; round++ {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Body == nil {
+				continue
+			}
+			info := n.Info
+			ast.Inspect(n.Body, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.FuncLit:
+					return false // its own node
+				case *ast.AssignStmt:
+					if len(x.Lhs) == len(x.Rhs) {
+						for i, lhs := range x.Lhs {
+							if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && taintedExpr(info, x.Rhs[i], taint) {
+								if add(varOf(info, id)) {
+									changed = true
+								}
+							}
+						}
+					}
+				case *ast.RangeStmt:
+					if x.Value != nil && taintedExpr(info, x.X, taint) {
+						if id, ok := ast.Unparen(x.Value).(*ast.Ident); ok {
+							if add(varOf(info, id)) {
+								changed = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(x.Names) == len(x.Values) {
+						for i, name := range x.Names {
+							if taintedExpr(info, x.Values[i], taint) {
+								if add(varOf(info, name)) {
+									changed = true
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if bindCall(info, x, g, taint, add) {
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return taint
+}
+
+// bindCall propagates taint from call-site arguments and receivers into
+// callee parameters.
+func bindCall(info *types.Info, call *ast.CallExpr, g *callgraph.Graph, taint map[*types.Var]bool, add func(*types.Var) bool) bool {
+	changed := false
+	bindSig := func(sig *types.Signature) {
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			if !taintedExpr(info, arg, taint) {
+				continue
+			}
+			pi := i
+			if sig.Variadic() && pi >= np-1 {
+				pi = np - 1
+			}
+			if pi < np && add(sig.Params().At(pi)) {
+				changed = true
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if sig, ok := info.TypeOf(lit).(*types.Signature); ok {
+			bindSig(sig)
+		}
+		return changed
+	}
+	targets, _ := g.Targets(info, call)
+	for _, t := range targets {
+		if t.Fn == nil {
+			continue
+		}
+		sig, ok := t.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		bindSig(sig)
+		if sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && taintedExpr(info, sel.X, taint) {
+				if add(sig.Recv()) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// taintedExpr reports whether evaluating e may yield a reference into shared
+// state: a tainted or package-level variable, or a projection (field, index,
+// dereference, address) of one. Calls are opaque.
+func taintedExpr(info *types.Info, e ast.Expr, taint map[*types.Var]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := varOf(info, e)
+		return v != nil && (taint[v] || pkgLevel(v))
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				v, _ := info.Uses[e.Sel].(*types.Var)
+				return v != nil && pkgLevel(v)
+			}
+		}
+		return taintedExpr(info, e.X, taint)
+	case *ast.IndexExpr:
+		return taintedExpr(info, e.X, taint)
+	case *ast.StarExpr:
+		return taintedExpr(info, e.X, taint)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return taintedExpr(info, e.X, taint)
+		}
+	case *ast.TypeAssertExpr:
+		return taintedExpr(info, e.X, taint)
+	}
+	return false
+}
+
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func pkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func refType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// syncType reports types that ARE synchronization rather than data: the
+// sync/sync-atomic named types and channels. Accesses to them are modeled by
+// the lockset layer, never reported as data races.
+func syncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = deref(t)
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		switch n.Obj().Pkg().Path() {
+		case "sync", "sync/atomic":
+			return true
+		}
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Access extraction.
+
+// rawAccess is a scanner result before root attribution.
+type rawAccess struct {
+	access
+	l   loc
+	idx ast.Expr // index expression for element accesses
+}
+
+type scanner struct {
+	node   *callgraph.Node
+	shared map[*types.Var]bool
+	taint  map[*types.Var]bool
+	out    []*rawAccess
+}
+
+func (sc *scanner) scan(s ast.Stmt) []*rawAccess {
+	sc.out = sc.out[:0]
+	switch s := s.(type) {
+	case *ast.GoStmt:
+		// The goroutine body is its own node; argument evaluation happens
+		// before the goroutine exists (ordered with the spawner).
+	case *ast.DeferStmt:
+		// Arguments evaluate now; the call itself runs at exit under the
+		// exit lockset, which we do not model — skip the call.
+		for _, arg := range s.Call.Args {
+			sc.expr(arg, false)
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			sc.expr(lhs, true)
+		}
+		for _, rhs := range s.Rhs {
+			sc.expr(rhs, false)
+		}
+	case *ast.IncDecStmt:
+		sc.expr(s.X, true)
+	default:
+		ast.Inspect(s, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					sc.expr(lhs, true)
+				}
+				for _, rhs := range x.Rhs {
+					sc.expr(rhs, false)
+				}
+				return false
+			case *ast.IncDecStmt:
+				sc.expr(x.X, true)
+				return false
+			case ast.Expr:
+				sc.expr(x, false)
+				return false
+			}
+			return true
+		})
+	}
+	res := make([]*rawAccess, len(sc.out))
+	copy(res, sc.out)
+	return res
+}
+
+// expr records the access (if any) that evaluating e as a read — or
+// assigning to it, when write is set — performs on shared state, then
+// descends into subexpressions read-wise.
+func (sc *scanner) expr(e ast.Expr, write bool) {
+	info := sc.node.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := varOf(info, e); v != nil && (sc.shared[v] || pkgLevel(v)) && !syncType(v.Type()) && v.Name() != "_" {
+			sc.emit(loc{obj: v}, write, false, nil, e.Pos())
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, _ := info.Uses[e.Sel].(*types.Var); v != nil && pkgLevel(v) && !syncType(v.Type()) {
+					sc.emit(loc{obj: v}, write, false, nil, e.Pos())
+				}
+				return
+			}
+		}
+		if _, isMethod := info.Uses[e.Sel].(*types.Func); isMethod {
+			sc.expr(e.X, false)
+			return
+		}
+		if taintedExpr(info, e.X, sc.taint) {
+			ft := info.TypeOf(e)
+			if !syncType(ft) {
+				sc.emit(loc{typ: typeName(info.TypeOf(e.X)), field: e.Sel.Name}, write, false, nil, e.Pos())
+			}
+			return
+		}
+		sc.expr(e.X, false)
+	case *ast.IndexExpr:
+		base := ast.Unparen(e.X)
+		if id, ok := base.(*ast.Ident); ok {
+			if v := varOf(info, id); v != nil && (sc.shared[v] || pkgLevel(v)) {
+				sc.emit(loc{obj: v}, write, true, e.Index, e.Pos())
+				sc.expr(e.Index, false)
+				return
+			}
+		}
+		if sel, ok := base.(*ast.SelectorExpr); ok && taintedExpr(info, sel.X, sc.taint) {
+			if _, isMethod := info.Uses[sel.Sel].(*types.Func); !isMethod {
+				sc.emit(loc{typ: typeName(info.TypeOf(sel.X)), field: sel.Sel.Name}, write, true, e.Index, e.Pos())
+				sc.expr(e.Index, false)
+				return
+			}
+		}
+		sc.expr(e.X, false)
+		sc.expr(e.Index, false)
+	case *ast.StarExpr:
+		if write && taintedExpr(info, e.X, sc.taint) {
+			sc.emit(loc{typ: typeName(info.TypeOf(e.X)), field: "*"}, true, false, nil, e.Pos())
+			return
+		}
+		sc.expr(e.X, false)
+	case *ast.UnaryExpr:
+		sc.expr(e.X, false)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.CallExpr:
+		if atomicCall(info, e) {
+			return // the atomic package IS the discipline
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			sc.expr(sel, false)
+		}
+		for i, arg := range e.Args {
+			// The copy builtin writes through its destination argument.
+			if i == 0 && isBuiltin(info, e.Fun, "copy") {
+				sc.expr(arg, true)
+				continue
+			}
+			sc.expr(arg, false)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				sc.expr(kv.Value, false)
+			} else {
+				sc.expr(el, false)
+			}
+		}
+	case *ast.SliceExpr:
+		// out[lo:hi] with goroutine-private bounds is the other half of the
+		// partitioned worker idiom (copy into a private window).
+		base := ast.Unparen(e.X)
+		if id, ok := base.(*ast.Ident); ok {
+			if v := varOf(info, id); v != nil && (sc.shared[v] || pkgLevel(v)) {
+				idx := e.Low
+				if idx == nil {
+					idx = e.High
+				}
+				sc.emit(loc{obj: v}, write, true, idx, e.Pos())
+				if e.Low != nil {
+					sc.expr(e.Low, false)
+				}
+				if e.High != nil {
+					sc.expr(e.High, false)
+				}
+				return
+			}
+		}
+		sc.expr(e.X, write)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, false)
+	case *ast.FuncLit:
+		// belongs to its own node
+	}
+}
+
+func (sc *scanner) emit(l loc, write, elem bool, idx ast.Expr, pos token.Pos) {
+	ra := &rawAccess{l: l, idx: idx}
+	ra.write, ra.elem, ra.pos, ra.node = write, elem, pos, sc.node
+	if elem && idx != nil && sliceLoc(sc.node.Info, l) {
+		ra.priv = localIndex(sc.node, idx)
+	}
+	sc.out = append(sc.out, ra)
+}
+
+// sliceLoc: index-partitioning only applies to slices/arrays — goroutine-
+// local map keys do not make map writes disjoint (the map header races).
+func sliceLoc(info *types.Info, l loc) bool {
+	if l.obj == nil {
+		return true // field element: assume slice-like; the type was checked at the selector
+	}
+	switch l.obj.Type().Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// localIndex reports whether idx mentions a variable declared inside the
+// node's own body or parameter list — a goroutine-private induction
+// variable. Parameters count because a worker pool hands each instance its
+// own argument (`f(i)` off an atomic counter); two instances therefore
+// index disjoint elements.
+func localIndex(n *callgraph.Node, idx ast.Expr) bool {
+	params := paramVars(n)
+	found := false
+	ast.Inspect(idx, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if v, ok := n.Info.Uses[id].(*types.Var); ok {
+				if params[v] || v.Pos() >= n.Body.Pos() && v.Pos() <= n.Body.End() {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func paramVars(n *callgraph.Node) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	var sig *types.Signature
+	if n.Fn != nil {
+		sig, _ = n.Fn.Type().(*types.Signature)
+	} else if n.Lit != nil {
+		sig, _ = n.Info.TypeOf(n.Lit).(*types.Signature)
+	}
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			out[sig.Params().At(i)] = true
+		}
+	}
+	return out
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// privLoopIndex extends the partitioned-element rule to captured
+// per-iteration loop variables: with Go's per-iteration `for` semantics,
+// `for i := range n { go func() { out[i] = ... }() }` gives every goroutine
+// instance its own i, so out[i] writes from two instances are disjoint.
+func privLoopIndex(ra *rawAccess, r *goroutine.Root, n *callgraph.Node) bool {
+	if !ra.elem || ra.idx == nil || ra.priv || r.Spawner == nil || r.Spawner.Body == nil {
+		return false
+	}
+	priv := false
+	ast.Inspect(ra.idx, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := n.Info.Uses[id].(*types.Var)
+		if !ok || !loopVarOf(r.Spawner, v) {
+			return true
+		}
+		priv = true
+		return false
+	})
+	return priv
+}
+
+// loopVarOf reports whether v is declared as a for/range induction variable
+// of spawner.
+func loopVarOf(spawner *callgraph.Node, v *types.Var) bool {
+	found := false
+	isDef := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && spawner.Info.Defs[id] == v
+	}
+	ast.Inspect(spawner.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.RangeStmt:
+			if x.Key != nil && isDef(x.Key) || x.Value != nil && isDef(x.Value) {
+				found = true
+			}
+		case *ast.ForStmt:
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if isDef(lhs) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func atomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	t = deref(t)
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+// liveStmts returns the leaf statements of body's CFG in deterministic
+// block/statement order.
+func liveStmts(body *ast.BlockStmt) []ast.Stmt {
+	graph := cfg.New(body)
+	live := graph.Live()
+	var out []ast.Stmt
+	for _, blk := range graph.Blocks {
+		if live[blk] {
+			out = append(out, blk.Stmts...)
+		}
+	}
+	return out
+}
+
+// onceClosures maps each function literal passed to (*sync.Once).Do to its
+// once token: the closure body runs at most once, ordered before every
+// post-Do statement.
+func onceClosures(g *callgraph.Graph) map[*callgraph.Node]string {
+	lits := map[*ast.FuncLit]*callgraph.Node{}
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lits[n.Lit] = n
+		}
+	}
+	out := map[*callgraph.Node]string{}
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := n.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.FullName() != "(*sync.Once).Do" || len(call.Args) != 1 {
+				return true
+			}
+			p, ok := lockset.Path(n.Info, sel.X)
+			if !ok {
+				return true
+			}
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.FuncLit:
+				if ln := lits[arg]; ln != nil {
+					out[ln] = "once:" + p
+				}
+			case *ast.Ident:
+				if fobj, ok := n.Info.Uses[arg].(*types.Func); ok {
+					if tn := g.NodeOf(fobj); tn != nil {
+						out[tn] = "once:" + p
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/sharedmut"
+)
+
+func TestSharedMut(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedmut.Analyzer, "sm")
+}

@@ -1,0 +1,237 @@
+// Package sm seeds data races across goroutine roots — unlocked captured
+// counters, disjoint locksets, read-side locks guarding writes, map writes,
+// package-level state — next to the disciplined shapes (same mutex, atomics,
+// channel publish, WaitGroup join, partitioned elements, sync.Once init)
+// that must stay silent.
+package sm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// True positives.
+
+// loopedCounter: a looped spawn makes two instances of the same root; the
+// captured counter has no lock and the deferred Done orders it only against
+// the final Wait, not against the sibling instances.
+func loopedCounter() int {
+	n := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n++ // want "unsynchronized write to captured variable .n."
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+type twoLockBox struct {
+	mu1, mu2 sync.Mutex
+	val      int
+}
+
+// disjointLocks: both writers lock — but not the same lock, so the
+// locksets' intersection is empty and the writes still race.
+func disjointLocks(b *twoLockBox) {
+	go func() {
+		b.mu1.Lock()
+		b.val++ // want "unsynchronized write to field sm.twoLockBox.val"
+		b.mu1.Unlock()
+	}()
+	go func() {
+		b.mu2.Lock()
+		b.val++
+		b.mu2.Unlock()
+	}()
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// rlockWrite: a read lock does not license a write; two RLock holders run
+// concurrently.
+func rlockWrite(b *rwBox, w io.Writer) {
+	go func() {
+		b.mu.RLock()
+		b.n++ // want "unsynchronized write to field sm.rwBox.n"
+		b.mu.RUnlock()
+	}()
+	go func() {
+		b.mu.RLock()
+		fmt.Fprintln(w, b.n)
+		b.mu.RUnlock()
+	}()
+}
+
+// spawnerRead: the spawner keeps running after the spawn; with no join
+// between the write and the read, the pair is concurrent.
+func spawnerRead(w io.Writer) {
+	n := 0
+	go func() {
+		n = 42 // want "unsynchronized write to captured variable .n."
+	}()
+	fmt.Fprintln(w, n)
+}
+
+// mapWrite: map headers race even when the keys differ — there is no
+// per-element carve-out for maps.
+func mapWrite(m map[string]int) {
+	go func() {
+		m["a"] = 1 // want "unsynchronized write to captured variable .m."
+	}()
+	go func() {
+		m["b"] = 2
+	}()
+}
+
+var hits int
+
+// pkgWrite: package-level state is shared by definition.
+func pkgWrite() {
+	go func() {
+		hits++ // want "unsynchronized write to package-level variable sm.hits"
+	}()
+	go func() {
+		hits++
+	}()
+}
+
+type ticker struct{ n int }
+
+func (t *ticker) loop() {
+	t.n++ // want "unsynchronized write to field sm.ticker.n"
+}
+
+// methodSpawn: `go t.loop()` twice shares the receiver between two roots;
+// the write is inside the method, reached through the topology's
+// reachability walk rather than a closure capture.
+func methodSpawn(t *ticker) {
+	go t.loop()
+	go t.loop()
+}
+
+// ---------------------------------------------------------------------------
+// Engineered false positives: disciplined shapes, no suppressions.
+
+type lockedBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockedCounter: both writers hold the same mutex.
+func lockedCounter(b *lockedBox) {
+	go func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}()
+	go func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}()
+}
+
+type atomicBox struct {
+	count atomic.Int64
+	raw   int64
+}
+
+// atomicCounter: sync/atomic types and calls are the discipline, not data.
+func atomicCounter(b *atomicBox) {
+	go func() {
+		b.count.Add(1)
+		atomic.AddInt64(&b.raw, 1)
+	}()
+	go func() {
+		b.count.Add(1)
+		atomic.AddInt64(&b.raw, 1)
+	}()
+}
+
+// preSpawnInit: all writes happen before the goroutines exist; publication
+// by spawn is ordered.
+func preSpawnInit(w io.Writer) {
+	cfg := map[string]int{}
+	cfg["warmup"] = 1
+	cfg["budget"] = 2
+	go func() {
+		fmt.Fprintln(w, cfg["warmup"])
+	}()
+	go func() {
+		_ = cfg["budget"]
+	}()
+}
+
+// chanPublish: the close/receive pair orders the owner's write before the
+// waiter's read (happens-before through the channel token).
+func chanPublish(w io.Writer) {
+	result := 0
+	done := make(chan struct{})
+	go func() {
+		result = 99
+		close(done)
+	}()
+	<-done
+	fmt.Fprintln(w, result)
+}
+
+// joined: Done-on-every-path plus Wait joins the goroutine before the read.
+func joined(w io.Writer) {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total = 10
+	}()
+	wg.Wait()
+	fmt.Fprintln(w, total)
+}
+
+// partitioned: each instance owns out[i] — the per-iteration loop variable
+// partitions the element writes.
+func partitioned(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+var (
+	tableOnce sync.Once
+	table     map[string]int
+)
+
+func buildTable() {
+	table = map[string]int{"x": 1, "y": 2}
+}
+
+// onceInit: sync.Once runs buildTable exactly once, ordered before every
+// post-Do read — the write/read pairs are Pre/Post on the once token.
+func onceInit(w io.Writer) {
+	go func() {
+		tableOnce.Do(buildTable)
+		fmt.Fprintln(w, table["x"])
+	}()
+	go func() {
+		tableOnce.Do(buildTable)
+		_ = table["y"]
+	}()
+}

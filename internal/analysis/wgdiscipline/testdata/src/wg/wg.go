@@ -1,0 +1,148 @@
+// Package wg seeds WaitGroup pairing violations — Add inside the goroutine,
+// Add missing or conditional before the spawn, Done skipped on a path, Wait
+// under a mutex, a goroutine that never signals — next to the disciplined
+// shapes (defer Done, batch Add, helper Done, Wait after Unlock, field-held
+// WaitGroups) that must stay silent.
+package wg
+
+import "sync"
+
+// ---------------------------------------------------------------------------
+// True positives.
+
+// addInside: the counter rises inside the goroutine, so Wait may observe
+// zero and return before the goroutine has even started.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() { // want "wg.Add does not precede the spawn on every path"
+		wg.Add(1) // want "Add inside the spawned goroutine races with Wait"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addAfterSpawn: the Add races the Done — on an unlucky schedule Wait sees
+// the counter go negative and panics, or returns early.
+func addAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() { // want "wg.Add does not precede the spawn on every path"
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// addOnBranch: one path reaches the spawn without the Add.
+func addOnBranch(n int) {
+	var wg sync.WaitGroup
+	if n > 0 {
+		wg.Add(1)
+	}
+	go func() { // want "wg.Add does not precede the spawn on every path"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// doneSkipped: the early return leaves the counter raised forever.
+func doneSkipped(jobs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "wg.Done is skipped on some path"
+		if len(jobs) == 0 {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// waitUnderLock: workers that need mu to reach their Done deadlock against
+// this Wait.
+func waitUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want "wg.Wait while holding mu"
+	mu.Unlock()
+}
+
+// waitViaHelper: the Wait is one call away; the blocking summary still sees
+// it under the lock.
+func waitViaHelper(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	join(wg) // want "while holding mu"
+	mu.Unlock()
+}
+
+func join(wg *sync.WaitGroup) { wg.Wait() }
+
+// neverDone: the spawner Adds and Waits but the goroutine has no Done
+// anywhere it can reach — Wait blocks forever.
+func neverDone(res *int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "the goroutine never calls Done"
+		*res = 1
+	}()
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Engineered false positives: disciplined shapes, no suppressions.
+
+// disciplined: Add before spawn, deferred Done, plain Wait.
+func disciplined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// batchAdd: one Add(n) before the spawn loop covers every instance.
+func batchAdd(n int, f func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			f(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// helperDone: the goroutine discharges the counter through a named helper;
+// the reachability search finds it.
+func helperDone(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go signal(wg, f)
+	wg.Wait()
+}
+
+func signal(g *sync.WaitGroup, f func()) {
+	defer g.Done()
+	f()
+}
+
+// waitAfterUnlock: the lock is released before the Wait.
+func waitAfterUnlock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	mu.Unlock()
+	wg.Wait()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// fieldWaitGroup: the same discipline through a receiver field path.
+func (p *pool) run(f func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f()
+	}()
+	p.wg.Wait()
+}

@@ -1,0 +1,481 @@
+// Package wgdiscipline enforces sync.WaitGroup pairing discipline on the
+// concurrent engine layers. A WaitGroup coordinates correctly only when
+// three local rules hold, and each failure mode is a classic production
+// race or deadlock:
+//
+//  1. Add precedes the spawn. The counter increment must happen-before the
+//     Wait can observe it; `wg.Add(1)` inside the spawned goroutine races
+//     with `wg.Wait()` — Wait may return before the goroutine has even
+//     incremented. The check is a forward must-analysis over the spawner's
+//     CFG: at every `go` statement whose goroutine signals a WaitGroup,
+//     a matching Add must have executed on every path.
+//
+//  2. Done on every path. If the goroutine body calls `wg.Done()` at all,
+//     every CFG path from entry to every exit must execute or defer it —
+//     an early return that skips Done leaves Wait blocked forever. This is
+//     the ctxlease lease-release pairing walk retargeted at Done (and, like
+//     there, `defer wg.Done()` discharges every path at once). A spawner
+//     that Adds and Waits on a goroutine that never signals at all —
+//     lexically or in any function the goroutine can reach — is the same
+//     deadlock and reported at the spawn.
+//
+//  3. No Wait while holding a lock. `wg.Wait()` under a held mutex
+//     serializes every worker against the critical section and deadlocks
+//     outright if a worker needs the same lock to reach its Done. Lock
+//     tracking is the lockset layer's may-analysis; waiting through a
+//     callee is caught via the dataflow.MayBlock summary's classification
+//     of (*sync.WaitGroup).Wait.
+//
+// WaitGroup receivers are rendered with the same path keys the lockset
+// layer uses ("wg", "e.wg", "#pkg.wg"), so a closure's Done and its
+// spawner's Add/Wait on the same lexical object always match up.
+package wgdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"divlab/internal/analysis"
+	"divlab/internal/analysis/callgraph"
+	"divlab/internal/analysis/cfg"
+	"divlab/internal/analysis/dataflow"
+	"divlab/internal/analysis/goroutine"
+	"divlab/internal/analysis/lockset"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wgdiscipline",
+	Doc:  "reports WaitGroup misuse: Add after spawn, Done missing on a path, Wait under a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	prog := pass.Program
+	g := prog.Callgraph()
+	topo := goroutine.Of(prog)
+	effects := lockset.Effects(prog)
+	sums := dataflow.MayBlock(prog)
+
+	for _, r := range topo.Roots {
+		if r.Wrapper != "" || r.Spawner.Pkg != pass.Pkg || r.Spawner.Body == nil {
+			continue
+		}
+		checkRoot(pass, g, topo, r)
+	}
+	for _, node := range g.Nodes {
+		if node.Pkg != pass.Pkg || node.Body == nil {
+			continue
+		}
+		checkWait(pass, node, g, effects, sums)
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-root checks: Add-before-spawn, Done-on-every-path, never-Done.
+
+func checkRoot(pass *analysis.Pass, g *callgraph.Graph, topo *goroutine.Topology, r *goroutine.Root) {
+	if r.Spawned == nil || r.Spawned.Body == nil {
+		return
+	}
+	spawned := r.Spawned
+
+	// Add inside the goroutine body (nested spawns excluded: they have
+	// their own roots).
+	forEachWgCall(spawned, "Add", func(call *ast.CallExpr, key string, deferred bool) {
+		pass.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with Wait: the counter must be raised before the `go` statement at %v",
+			display(key), pass.Fset.Position(r.Site))
+	})
+
+	doneKeys := map[string]token.Pos{}
+	forEachWgCall(spawned, "Done", func(call *ast.CallExpr, key string, deferred bool) {
+		if _, ok := doneKeys[key]; !ok {
+			doneKeys[key] = call.Pos()
+		}
+	})
+
+	// Add must precede the spawn on every path for each WaitGroup the
+	// goroutine signals. Only closure roots share the spawner's lexical
+	// scope; a named spawned function's Done keys render in its own
+	// parameter namespace and cannot be matched against the spawner's.
+	added := mustAddedAt(r.Spawner, r.Site)
+	if spawned.Lit != nil {
+		for _, key := range sortedKeys(doneKeys) {
+			if !added[key] {
+				pass.Reportf(r.Site, "goroutine calls %s.Done but %s.Add does not precede the spawn on every path",
+					display(key), display(key))
+			}
+		}
+	}
+
+	// Done on every path of the goroutine body, for each WaitGroup it
+	// signals lexically in its own frame.
+	checkDoneEveryPath(pass, r, spawned)
+
+	// Spawner Adds and Waits, goroutine never signals: report unless some
+	// function the goroutine can reach calls Done (helper discharge).
+	if len(doneKeys) == 0 {
+		checkNeverDone(pass, g, topo, r, added)
+	}
+}
+
+// checkDoneEveryPath reports WaitGroups that the goroutine signals on some
+// paths but not all: an exit reachable without an executed or deferred Done
+// leaves Wait blocked forever.
+func checkDoneEveryPath(pass *analysis.Pass, r *goroutine.Root, spawned *callgraph.Node) {
+	// Keys signaled directly in this frame (nested literals excluded: a
+	// nested closure's Done runs on its own schedule, not this frame's).
+	type doneOp struct {
+		key      string
+		deferred bool
+	}
+	ownDone := map[ast.Stmt][]doneOp{}
+	keys := map[string]token.Pos{}
+	graph := cfg.New(spawned.Body)
+	live := graph.Live()
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			stmt := s
+			scanWgCallsInStmt(spawned, stmt, "Done", func(call *ast.CallExpr, key string, deferred bool) {
+				ownDone[stmt] = append(ownDone[stmt], doneOp{key, deferred})
+				if _, ok := keys[key]; !ok {
+					keys[key] = call.Pos()
+				}
+			})
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	for _, key := range sortedKeysPos(keys) {
+		// Forward must-analysis: key discharged (executed or deferred) on
+		// every path into the block.
+		state := map[*cfg.Block]int8{} // 1 discharged on every seen path, -1 not
+		state[graph.Entry] = -1
+		work := []*cfg.Block{graph.Entry}
+		bad := token.NoPos
+		for len(work) > 0 && bad == token.NoPos {
+			blk := work[0]
+			work = work[1:]
+			cur := state[blk] == 1
+			for _, s := range blk.Stmts {
+				for _, op := range ownDone[s] {
+					if op.key == key {
+						cur = true
+					}
+				}
+			}
+			if len(blk.Succs) == 0 && !cur {
+				if len(blk.Stmts) > 0 {
+					bad = blk.Stmts[len(blk.Stmts)-1].Pos()
+				} else {
+					bad = spawned.Body.End()
+				}
+				break
+			}
+			for _, succ := range blk.Succs {
+				v := int8(-1)
+				if cur {
+					v = 1
+				}
+				// A successor reachable on any undischarged path counts as
+				// undischarged (must-analysis).
+				if old, seen := state[succ]; !seen || v < old {
+					state[succ] = v
+					work = append(work, succ)
+				}
+			}
+		}
+		if bad != token.NoPos {
+			pass.Reportf(r.Site, "%s.Done is skipped on some path of this goroutine (path escapes at %v): Wait will block forever",
+				display(key), pass.Fset.Position(bad))
+		}
+	}
+}
+
+// checkNeverDone reports an Add+Wait pair whose goroutine cannot discharge
+// the counter: no Done lexically in the goroutine, and none in any function
+// it can reach.
+func checkNeverDone(pass *analysis.Pass, g *callgraph.Graph, topo *goroutine.Topology, r *goroutine.Root, added map[string]bool) {
+	if len(added) == 0 {
+		return
+	}
+	waited := map[string]bool{}
+	forEachWgCallAfter(r.Spawner, r.Site, "Wait", func(call *ast.CallExpr, key string, deferred bool) {
+		waited[key] = true
+	})
+	var pending []string
+	for key := range added {
+		if waited[key] {
+			pending = append(pending, key)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	// Discharge search: a Done anywhere this goroutine — or any sibling
+	// goroutine of the same spawner — can reach counts (the counter may be
+	// split across several workers; receiver keys in helpers are not
+	// renderable, so any reachable Done is accepted).
+	siblings := map[*goroutine.Root]bool{}
+	for _, rr := range topo.Roots {
+		if rr.Spawner == r.Spawner {
+			siblings[rr] = true
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		for _, rr := range topo.RootsOf(n) {
+			if siblings[rr] {
+				found := false
+				forEachWgCall(n, "Done", func(*ast.CallExpr, string, bool) { found = true })
+				if found {
+					return
+				}
+			}
+		}
+	}
+	sort.Strings(pending)
+	for _, key := range pending {
+		pass.Reportf(r.Site, "spawner Adds and Waits on %s but the goroutine never calls Done (directly or via any reachable function): Wait will block forever",
+			display(key))
+	}
+}
+
+// mustAddedAt returns the WaitGroup keys whose Add has executed on every
+// path reaching the statement containing pos (the `go` statement).
+func mustAddedAt(spawner *callgraph.Node, pos token.Pos) map[string]bool {
+	graph := cfg.New(spawner.Body)
+	live := graph.Live()
+	adds := map[ast.Stmt][]string{}
+	var target ast.Stmt
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			stmt := s
+			if stmt.Pos() <= pos && pos <= stmt.End() && target == nil {
+				target = stmt
+			}
+			scanWgCallsInStmt(spawner, stmt, "Add", func(call *ast.CallExpr, key string, deferred bool) {
+				if !deferred {
+					adds[stmt] = append(adds[stmt], key)
+				}
+			})
+		}
+	}
+	if target == nil {
+		return nil
+	}
+	// Forward must-analysis with key-set intersection join.
+	in := map[*cfg.Block]map[string]bool{graph.Entry: {}}
+	work := []*cfg.Block{graph.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		cur := copyKeys(in[blk])
+		for _, s := range blk.Stmts {
+			for _, k := range adds[s] {
+				cur[k] = true
+			}
+		}
+		for _, succ := range blk.Succs {
+			old, seen := in[succ]
+			var merged map[string]bool
+			if seen {
+				merged = intersectKeys(old, cur)
+				if len(merged) == len(old) {
+					continue
+				}
+			} else {
+				merged = copyKeys(cur)
+			}
+			in[succ] = merged
+			work = append(work, succ)
+		}
+	}
+	// Replay the target's block against the converged entry state.
+	var result map[string]bool
+	for _, blk := range graph.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		cur := copyKeys(st)
+		for _, s := range blk.Stmts {
+			if s == target {
+				result = copyKeys(cur)
+			}
+			for _, k := range adds[s] {
+				cur[k] = true
+			}
+		}
+	}
+	return result
+}
+
+// ---------------------------------------------------------------------------
+// Wait-under-lock.
+
+func checkWait(pass *analysis.Pass, node *callgraph.Node, g *callgraph.Graph, effects map[*callgraph.Node]*lockset.Effect, sums map[*callgraph.Node]interface{}) {
+	graph := cfg.New(node.Body)
+	live := graph.Live()
+	var info *lockset.Info // lazy: most functions have no Wait
+	for _, blk := range graph.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			stmt := s
+			report := func(what string) {
+				if info == nil {
+					info = lockset.For(node, g, effects)
+				}
+				held := info.MayHeld(stmt)
+				if len(held) == 0 {
+					return
+				}
+				var names []string
+				for k := range held {
+					names = append(names, display(k))
+				}
+				sort.Strings(names)
+				pass.Reportf(stmt.Pos(), "%s while holding %s: workers that need the lock to reach Done deadlock against this Wait",
+					what, strings.Join(names, ", "))
+			}
+			direct := false
+			scanWgCallsInStmt(node, stmt, "Wait", func(call *ast.CallExpr, key string, deferred bool) {
+				if !deferred {
+					direct = true
+					report(display(key) + ".Wait")
+				}
+			})
+			if direct {
+				continue
+			}
+			if b := dataflow.InStmt(g, node.Info, stmt, sums); b != nil && strings.Contains(b.Desc, "(*sync.WaitGroup).Wait") {
+				report("call that reaches (*sync.WaitGroup).Wait (" + b.Desc + ")")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup call scanning.
+
+// forEachWgCall visits every (*sync.WaitGroup).<method> call lexically in
+// node's own frame: nested function literals and `go` statements are
+// skipped (they execute on their own schedule).
+func forEachWgCall(node *callgraph.Node, method string, fn func(call *ast.CallExpr, key string, deferred bool)) {
+	forEachWgCallAfter(node, token.NoPos, method, fn)
+}
+
+// forEachWgCallAfter is forEachWgCall restricted to calls at or after pos.
+func forEachWgCallAfter(node *callgraph.Node, pos token.Pos, method string, fn func(call *ast.CallExpr, key string, deferred bool)) {
+	if node.Body == nil {
+		return
+	}
+	var visit func(n ast.Node, deferred bool)
+	visit = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.DeferStmt:
+				if call, key, ok := wgCall(node.Info, x.Call, method); ok && x.Pos() >= pos {
+					fn(call, key, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if call, key, ok := wgCall(node.Info, x, method); ok && x.Pos() >= pos {
+					fn(call, key, deferred)
+				}
+			}
+			return true
+		})
+	}
+	visit(node.Body, false)
+}
+
+// scanWgCallsInStmt is the same scan limited to one CFG leaf statement,
+// with defer recognition.
+func scanWgCallsInStmt(node *callgraph.Node, s ast.Stmt, method string, fn func(call *ast.CallExpr, key string, deferred bool)) {
+	if d, ok := s.(*ast.DeferStmt); ok {
+		if call, key, ok := wgCall(node.Info, d.Call, method); ok {
+			fn(call, key, true)
+		}
+		return
+	}
+	ast.Inspect(s, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if call, key, ok := wgCall(node.Info, x, method); ok {
+				fn(call, key, false)
+			}
+		}
+		return true
+	})
+}
+
+func wgCall(info *types.Info, call *ast.CallExpr, method string) (*ast.CallExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "(*sync.WaitGroup)."+method {
+		return nil, "", false
+	}
+	key, ok := lockset.Path(info, sel.X)
+	if !ok {
+		return nil, "", false
+	}
+	return call, key, true
+}
+
+func display(key string) string {
+	for _, p := range []string{"chan:", "wg:", "once:"} {
+		key = strings.TrimPrefix(key, p)
+	}
+	return key
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysPos(m map[string]token.Pos) []string { return sortedKeys(m) }
+
+func copyKeys(m map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(m))
+	for k := range m {
+		cp[k] = true
+	}
+	return cp
+}
+
+func intersectKeys(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package wgdiscipline_test
+
+import (
+	"testing"
+
+	"divlab/internal/analysis/analysistest"
+	"divlab/internal/analysis/wgdiscipline"
+)
+
+func TestWgDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", wgdiscipline.Analyzer, "wg")
+}
