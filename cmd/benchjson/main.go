@@ -9,7 +9,12 @@
 // Usage:
 //
 //	benchjson [-quick] [-label NAME] [-append FILE] [-o FILE]
+//	benchjson [-cpuprofile FILE] [-memprofile FILE] ...
 //	benchjson -validate FILE
+//
+// -cpuprofile/-memprofile pass through to `go test`; when more than one
+// benchmark runs, the bench name is inserted before the file extension so
+// successive runs do not clobber each other's profiles.
 package main
 
 import (
@@ -80,7 +85,9 @@ func main() {
 		appendTo = flag.String("append", "", "existing trajectory file whose entries are preserved in front of this run's")
 		out      = flag.String("o", "", "output path (default stdout)")
 		count    = flag.Int("count", 1, "benchmark repetitions; entries hold per-field medians")
-		validate = flag.String("validate", "", "validate FILE against the schema and the zero-alloc pins, then exit")
+		validate = flag.String("validate", "", "validate FILE against the schema, the zero-alloc pins and the throughput gate, then exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile per benchmark (bench name inserted before the extension when several run)")
+		memProf  = flag.String("memprofile", "", "write a heap profile per benchmark (bench name inserted before the extension when several run)")
 	)
 	flag.Parse()
 
@@ -108,7 +115,7 @@ func main() {
 	}
 	host := hostString()
 	for _, s := range specs {
-		e, err := runBench(s, *count)
+		e, err := runBench(s, *count, profArgs(s.name, len(specs) > 1, *cpuProf, *memProf))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.name, err)
 			os.Exit(1)
@@ -134,11 +141,38 @@ func main() {
 	}
 }
 
+// profArgs builds the go-test profiling flags for one benchmark. With
+// several benchmarks in the run, each would overwrite the last one's
+// profile, so the bench name is spliced in before the extension.
+func profArgs(bench string, multi bool, cpuProf, memProf string) []string {
+	var args []string
+	for _, p := range []struct{ flag, path string }{
+		{"-cpuprofile", cpuProf},
+		{"-memprofile", memProf},
+	} {
+		if p.path == "" {
+			continue
+		}
+		path := p.path
+		if multi {
+			if dot := strings.LastIndex(path, "."); dot > 0 {
+				path = path[:dot] + "." + bench + path[dot:]
+			} else {
+				path = path + "." + bench
+			}
+		}
+		args = append(args, p.flag, path)
+	}
+	return args
+}
+
 // runBench executes one benchmark `count` times via `go test` and reduces
 // the parsed result lines to a per-field median entry.
-func runBench(s spec, count int) (Entry, error) {
+func runBench(s spec, count int, extra []string) (Entry, error) {
 	args := []string{"test", "-run", "^$", "-bench", "^" + s.name + "$",
-		"-benchtime", s.benchtime, "-benchmem", "-count", strconv.Itoa(count), "."}
+		"-benchtime", s.benchtime, "-benchmem", "-count", strconv.Itoa(count)}
+	args = append(args, extra...)
+	args = append(args, ".")
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -254,14 +288,26 @@ func readFile(path string) (File, error) {
 // proves the whole run stays at the floor.
 const maxSimulatorAllocs = 76
 
+// simThroughputSlack is the host-noise tolerance on the throughput gate:
+// the latest BenchmarkSimulator entry must reach at least this fraction of
+// the previous same-host entry's insts/sec. Committed entries are medians
+// over repetitions, but shared-host virtualization still drifts the
+// absolute numbers between measurement windows by double-digit percent —
+// the slack absorbs that drift while a real regression (a reverted
+// optimization, an alloc on the hot loop) still lands well below it.
+const simThroughputSlack = 0.85
+
 // validateFile checks the schema shape and the performance contracts the
 // repository pins: BenchmarkAccessPath (the steady-state demand path) must
-// report exactly zero allocations per operation in every entry, and the
-// latest BenchmarkSimulator entry must stay at or under the per-run
-// allocation floor. The simulator pin applies only to the latest entry
-// because the trajectory file deliberately preserves pre-optimization
-// history ("-before" labels) — the contract binds the present, the history
-// shows the curve.
+// report exactly zero allocations per operation in every entry, the latest
+// BenchmarkSimulator entry must stay at or under the per-run allocation
+// floor, and simulator throughput must not regress — the latest
+// BenchmarkSimulator insts/sec must reach simThroughputSlack of the
+// previous entry measured on the same host (entries from other hosts are
+// not comparable and are skipped). The simulator pins apply only to the
+// latest entry because the trajectory file deliberately preserves
+// pre-optimization history ("-before" labels) — the contract binds the
+// present, the history shows the curve.
 func validateFile(path string) error {
 	f, err := readFile(path)
 	if err != nil {
@@ -290,10 +336,39 @@ func validateFile(path string) error {
 		}
 	}
 	if lastSim >= 0 {
-		if e := f.Entries[lastSim]; e.AllocsPerOp > maxSimulatorAllocs {
+		e := f.Entries[lastSim]
+		if e.AllocsPerOp > maxSimulatorAllocs {
 			return fmt.Errorf("entry %d (%s %s): allocs_per_op = %v, the per-run budget is pinned at %d",
 				lastSim, e.Label, e.Bench, e.AllocsPerOp, maxSimulatorAllocs)
 		}
+		if err := checkThroughput(f.Entries, lastSim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkThroughput enforces the simulator throughput gate: the latest
+// BenchmarkSimulator entry against the previous one from the same host.
+// Entries without an insts/sec metric (older schema producers) and entries
+// from other hosts are skipped; with no comparable predecessor the gate
+// passes vacuously.
+func checkThroughput(entries []Entry, lastSim int) error {
+	latest := entries[lastSim]
+	if latest.InstsPerSec <= 0 {
+		return nil
+	}
+	for i := lastSim - 1; i >= 0; i-- {
+		prev := entries[i]
+		if prev.Bench != latest.Bench || prev.Host != latest.Host || prev.InstsPerSec <= 0 {
+			continue
+		}
+		if floor := prev.InstsPerSec * simThroughputSlack; latest.InstsPerSec < floor {
+			return fmt.Errorf("entry %d (%s %s): %.0f insts/sec regresses past entry %d (%s): %.0f insts/sec (floor %.0f at %v slack)",
+				lastSim, latest.Label, latest.Bench, latest.InstsPerSec,
+				i, prev.Label, prev.InstsPerSec, floor, simThroughputSlack)
+		}
+		return nil
 	}
 	return nil
 }

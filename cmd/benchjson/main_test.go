@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeTrajectory(t *testing.T, f File) string {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func simEntry(label, host string, instsPerSec, allocs float64) Entry {
+	return Entry{
+		Label: label, Bench: "BenchmarkSimulator", Host: host,
+		NsPerOp: 1e6, InstsPerSec: instsPerSec, AllocsPerOp: allocs,
+	}
+}
+
+// TestValidateThroughputGate pins the regression gate: the latest simulator
+// entry is held to simThroughputSlack of the previous same-host entry, and
+// entries from other hosts or without the metric are not comparable.
+func TestValidateThroughputGate(t *testing.T) {
+	const host = "test-host"
+	cases := []struct {
+		name    string
+		entries []Entry
+		wantErr string
+	}{
+		{"improvement passes", []Entry{
+			simEntry("before", host, 10e6, 70),
+			simEntry("after", host, 12e6, 70),
+		}, ""},
+		{"within slack passes", []Entry{
+			simEntry("before", host, 10e6, 70),
+			simEntry("after", host, 10e6*simThroughputSlack+1, 70),
+		}, ""},
+		{"regression fails", []Entry{
+			simEntry("before", host, 10e6, 70),
+			simEntry("after", host, 8e6, 70),
+		}, "regresses"},
+		{"other host skipped", []Entry{
+			simEntry("before", "elsewhere", 10e6, 70),
+			simEntry("after", host, 1e6, 70),
+		}, ""},
+		{"missing metric skipped", []Entry{
+			simEntry("before", host, 0, 70),
+			simEntry("after", host, 1e6, 70),
+		}, ""},
+		{"gate reads latest pair, not history", []Entry{
+			simEntry("old", host, 20e6, 70),
+			simEntry("before", host, 10e6, 70),
+			simEntry("after", host, 11e6, 70),
+		}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFile(writeTrajectory(t, File{Schema: Schema, Entries: c.entries}))
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateAllocPins covers the pre-existing pins alongside the gate: the
+// access path at zero allocs in every entry, the simulator budget on the
+// latest entry only.
+func TestValidateAllocPins(t *testing.T) {
+	const host = "test-host"
+	access := Entry{Label: "x", Bench: "BenchmarkAccessPath", Host: host, NsPerOp: 60, AllocsPerOp: 1}
+	err := validateFile(writeTrajectory(t, File{Schema: Schema, Entries: []Entry{access}}))
+	if err == nil || !strings.Contains(err.Error(), "pinned at 0") {
+		t.Fatalf("access-path pin: error = %v", err)
+	}
+	over := simEntry("now", host, 10e6, maxSimulatorAllocs+1)
+	err = validateFile(writeTrajectory(t, File{Schema: Schema, Entries: []Entry{over}}))
+	if err == nil || !strings.Contains(err.Error(), "budget is pinned") {
+		t.Fatalf("simulator alloc pin: error = %v", err)
+	}
+	historic := []Entry{
+		simEntry("before", host, 5e6, 100000), // pre-optimization history stays valid
+		simEntry("after", host, 10e6, 70),
+	}
+	if err := validateFile(writeTrajectory(t, File{Schema: Schema, Entries: historic})); err != nil {
+		t.Fatalf("historic entries must not trip the latest-entry pins: %v", err)
+	}
+}
+
+// TestProfArgs pins the per-benchmark profile naming: pass-through when one
+// benchmark runs, bench name spliced before the extension when several do.
+func TestProfArgs(t *testing.T) {
+	if got := profArgs("BenchmarkSimulator", false, "cpu.prof", ""); !reflect.DeepEqual(got, []string{"-cpuprofile", "cpu.prof"}) {
+		t.Errorf("single spec: %v", got)
+	}
+	got := profArgs("BenchmarkSimulator", true, "cpu.prof", "mem.out")
+	want := []string{"-cpuprofile", "cpu.BenchmarkSimulator.prof", "-memprofile", "mem.BenchmarkSimulator.out"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("multi spec: got %v, want %v", got, want)
+	}
+	if got := profArgs("BenchmarkAccessPath", true, "", "heap"); !reflect.DeepEqual(got, []string{"-memprofile", "heap.BenchmarkAccessPath"}) {
+		t.Errorf("no extension: %v", got)
+	}
+	if got := profArgs("BenchmarkSimulator", false, "", ""); got != nil {
+		t.Errorf("no flags: %v", got)
+	}
+}

@@ -8,10 +8,13 @@
 // benchmark exercises; this analyzer holds the same contract statically, for
 // every configuration, at lint time. The entry set is the hot-path surface:
 // (*sim.HotPath).Access and (*sim.HotPath).OnInst (the benchmarked paths),
-// every concrete OnAccess/OnInst hook the simulator dispatches through the
-// prefetch component interfaces, and the memory-system fast paths the access
-// loop drives — (*mem.Hierarchy).Access/AccessInto, (*cache.Cache)
-// Lookup/Touch/Fill, and the MSHR probe/allocate methods.
+// the batched dispatch spine ((*cpu.Core).Step/StepBatch, the runner's
+// window accumulator and sink drain, (*prefetch.Sink).Issue/Advance), every
+// concrete OnAccess/OnInst hook — and their OnAccessBatch/OnInstBatch batch
+// counterparts — the simulator dispatches through the prefetch component
+// interfaces, and the memory-system fast paths the access loop drives —
+// (*mem.Hierarchy).Access/AccessInto, (*cache.Cache) Lookup/Touch/Fill, and
+// the MSHR probe/allocate methods.
 //
 // From those entries the analyzer walks the program call graph (static
 // edges, interface dispatch, closure definition edges) and classifies
@@ -63,13 +66,21 @@ var Analyzer = &analysis.Analyzer{
 const prefetchPath = "divlab/internal/prefetch"
 
 // entryFuncs are the pinned hot-path entries by FullName: the HotPath
-// harness methods benchmarks drive, and the memory-system fast paths they
-// exercise. Listing the fast paths explicitly (rather than relying on their
-// reachability from HotPath) keeps them covered even if an intermediate
-// edge is missed.
+// harness methods benchmarks drive, the batched dispatch spine (the core's
+// batch step loop, the runner-side window accumulator and sink drain, the
+// Sink's per-request collection methods), and the memory-system fast paths
+// they exercise. Listing the fast paths explicitly (rather than relying on
+// their reachability from HotPath) keeps them covered even if an
+// intermediate edge is missed.
 var entryFuncs = []string{
 	"(*divlab/internal/sim.HotPath).Access",
 	"(*divlab/internal/sim.HotPath).OnInst",
+	"(*divlab/internal/sim.runner).OnInstWindow",
+	"(*divlab/internal/sim.runner).FlushSink",
+	"(*divlab/internal/cpu.Core).Step",
+	"(*divlab/internal/cpu.Core).StepBatch",
+	"(*divlab/internal/prefetch.Sink).Issue",
+	"(*divlab/internal/prefetch.Sink).Advance",
 	"(*divlab/internal/mem.Hierarchy).Access",
 	"(*divlab/internal/mem.Hierarchy).AccessInto",
 	"(*divlab/internal/cache.Cache).Lookup",
@@ -83,10 +94,14 @@ var entryFuncs = []string{
 
 // hookMethods maps hook method names to the prefetch interface whose
 // implementers the simulator dispatches them through (the same hook surface
-// isolation guards).
+// isolation guards). The batch hooks carry whole dispatch windows, so an
+// allocation there repeats per window rather than per event — still a
+// hot-path regression, just a slightly cheaper one.
 var hookMethods = map[string]string{
-	"OnAccess": "Component",
-	"OnInst":   "InstObserver",
+	"OnAccess":      "Component",
+	"OnInst":        "InstObserver",
+	"OnAccessBatch": "BatchComponent",
+	"OnInstBatch":   "BatchInstObserver",
 }
 
 type reachFact struct {
@@ -146,7 +161,7 @@ func entries(prog *analysis.Program, g *callgraph.Graph) []*callgraph.Node {
 			out = append(out, n)
 		}
 	}
-	for _, method := range []string{"OnAccess", "OnInst"} {
+	for _, method := range []string{"OnAccess", "OnInst", "OnAccessBatch", "OnInstBatch"} {
 		iface := prog.LookupInterface(prefetchPath, hookMethods[method])
 		if iface == nil {
 			continue

@@ -83,3 +83,33 @@ var kept *entry
 func cold() []uint64 {
 	return make([]uint64, 64) // ok: no hot path reaches here
 }
+
+// Burst implements prefetch.BatchComponent: its native OnAccessBatch hook is
+// a pinned entry in its own right — batch hooks bypass the scalar adapter,
+// so reachability through OnAccess alone would miss them.
+type Burst struct {
+	prefetch.Base
+	seen []uint64
+}
+
+func (*Burst) Name() string     { return "burst" }
+func (*Burst) Reset()           {}
+func (*Burst) StorageBits() int { return 0 }
+
+func (b *Burst) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
+	_ = ev.LineAddr.Addr() // ok: allocation-free scalar hook
+}
+
+func (b *Burst) OnAccessBatch(evs []mem.Event, sink *prefetch.Sink) {
+	for i := range evs {
+		sink.Advance(evs[i].Cycle)
+		b.seen = append(b.seen, evs[i].LineAddr.Addr()) // want "append may grow its backing array"
+		batchTail(&evs[i])
+	}
+}
+
+// batchTail is reachable only through the batch hook: its report proves the
+// walk starts at OnAccessBatch, not just at the scalar surface.
+func batchTail(ev *mem.Event) {
+	hold(&entry{addr: ev.LineAddr.Addr()}) // want "escapes to the heap on hot path ..hot.Burst..OnAccessBatch -> hot.batchTail"
+}

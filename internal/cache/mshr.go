@@ -330,14 +330,21 @@ func (m *MSHR) PendingOrNextFree(lineAddr Line, at, t2 uint64) (pendAt uint64, p
 		// Visit only occupied registers; the lowest index free at t2 is
 		// the trailing-zeros count of (free-after-expiry | still-pending-
 		// by-t2), exactly the first index the positional scan would take.
+		// Sweep state stays in locals: the struct fields would be re-read
+		// and re-written every iteration otherwise.
 		occ := m.occ
+		ready := m.ready
+		live := m.live
 		var le2 uint64
 		for o := occ; o != 0; o &= o - 1 {
 			i := bits.TrailingZeros64(o)
-			r := m.ready[i]
+			if i >= len(ready) {
+				break
+			}
+			r := ready[i]
 			if r <= at {
-				m.ready[i] = 0
-				m.live--
+				ready[i] = 0
+				live--
 				occ &^= 1 << uint(i)
 				continue
 			}
@@ -351,6 +358,7 @@ func (m *MSHR) PendingOrNextFree(lineAddr Line, at, t2 uint64) (pendAt uint64, p
 			}
 		}
 		m.occ = occ
+		m.live = live
 		if cand := ^occ&m.mask | le2; cand != 0 {
 			first = bits.TrailingZeros64(cand)
 		}
@@ -440,6 +448,22 @@ func (m *MSHR) Allocate(lineAddr Line, at, readyAt uint64, prefetch bool) (stall
 		if m.live == len(m.ready) {
 			m.FullStalls++
 			return m.scanMin(), false
+		}
+		if m.occOK {
+			// occ mirrors the nonzero ready words, so the lowest clear bit
+			// is exactly the first register the scan below would claim (a
+			// clear bit exists: live < len <= 64).
+			i := bits.TrailingZeros64(^m.occ & m.mask)
+			m.lines[i] = lineAddr
+			m.ready[i] = readyAt
+			m.live++
+			m.setHint(lineAddr, i)
+			w, b := sigBit(lineAddr)
+			m.sig[w] |= b
+			if readyAt < m.minReady {
+				m.minReady = readyAt
+			}
+			return 0, true
 		}
 		for i, r := range m.ready {
 			if r == 0 {

@@ -20,6 +20,21 @@ type MemPort interface {
 // cycle.
 type InstHook func(in *trace.Inst, cycle uint64)
 
+// WindowSink receives completed dispatch windows from the batched step path:
+// insts[i] was dispatched at cycles[i]. A window is flushed immediately
+// before every demand access (so prefetches issued from dispatch-time
+// training land before the access that scalar dispatch would have given
+// them), when it reaches the window cap, and at batch boundaries — all
+// points where the scalar hook path had an empty queue, which is what keeps
+// window placement invisible in the results.
+type WindowSink interface {
+	OnInstWindow(insts []trace.Inst, cycles []uint64)
+}
+
+// MaxWindow is the largest dispatch window StepBatch accumulates before
+// forcing a flush (and the capacity of the in-core cycle buffer).
+const MaxWindow = 32
+
 // BranchPredictor turns branch outcomes into mispredict events. Update
 // trains with the actual direction and reports whether the pre-update
 // prediction was wrong.
@@ -68,20 +83,34 @@ func (r Result) IPC() float64 {
 // Core is the analytical OoO model. The zero value is not usable; construct
 // with New.
 type Core struct {
-	p        Params
-	mem      MemPort
-	hook     InstHook
-	regReady [trace.NumRegs]uint64
-	// ring interleaves fetch and retire times of inst i (mod ROB) as
-	// [fetch, retire] pairs so each slot's state lands on one cache line:
-	// every Step reads both words of the trailing slot and rewrites both
-	// words of the current one.
-	ring []uint64 // 2*ROB words: ring[2i] = fetch, ring[2i+1] = retire
+	p   Params
+	mem MemPort
+	hook InstHook
+	// regReady is indexed by trace.Reg (uint8); sizing it to the full byte
+	// range makes every Src1/Src2/Dst index provably in bounds. Only the low
+	// trace.NumRegs slots are ever written by well-formed traces.
+	regReady [256]uint64
+	// ring holds fetch and retire times of inst i (mod ROB) as one slot so
+	// each instruction's state lands on one cache line: every Step reads both
+	// words of the trailing slot and rewrites both words of the current one.
+	ring []ringSlot
 	n        uint64   // instructions processed
 	slot     int      // n % ROB, maintained incrementally
 	minFetch uint64   // earliest fetch for the next instruction (mispredict redirect)
 	lastRet  uint64   // latest retire time assigned (in-order monotonicity)
 	res      Result
+	// Batched dispatch state: when wsink is set, StepBatch accumulates up to
+	// wcap instructions per window in wcycles and delivers them in one call
+	// instead of invoking hook per instruction.
+	wsink   WindowSink
+	wcap    int
+	wcycles [MaxWindow]uint64
+}
+
+// ringSlot pairs the fetch and retire time of one ROB slot.
+type ringSlot struct {
+	fetch  uint64
+	retire uint64
 }
 
 // New builds a core over the given memory port. hook may be nil.
@@ -89,9 +118,26 @@ func New(p Params, memPort MemPort, hook InstHook) *Core {
 	if p.Width <= 0 || p.ROB <= 0 {
 		panic("cpu: width and ROB must be positive")
 	}
-	c := &Core{p: p, mem: memPort, hook: hook}
-	c.ring = make([]uint64, 2*p.ROB)
+	c := &Core{p: p, mem: memPort, hook: hook, wcap: MaxWindow}
+	c.ring = make([]ringSlot, p.ROB)
 	return c
+}
+
+// SetWindowSink installs the batched dispatch sink. StepBatch then delivers
+// dispatch windows through it instead of calling the scalar hook; Step (the
+// scalar entry) keeps using the hook, and the two produce identical results.
+func (c *Core) SetWindowSink(s WindowSink) { c.wsink = s }
+
+// SetWindowCap overrides the dispatch-window cap (clamped to [1, MaxWindow]).
+// Window placement is report-invariant; this exists so tests can fuzz it.
+func (c *Core) SetWindowCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWindow {
+		n = MaxWindow
+	}
+	c.wcap = n
 }
 
 // Step processes one dynamic instruction.
@@ -114,10 +160,10 @@ func (c *Core) Step(in *trace.Inst) {
 	// front-end redirect.
 	var ft uint64
 	if i >= uint64(p.Width) {
-		ft = c.ring[2*slotW] + 1
+		ft = c.ring[slotW].fetch + 1
 	}
 	if i >= uint64(p.ROB) {
-		if r := c.ring[2*slot+1]; r > ft { // retire time of inst i-ROB (same slot)
+		if r := c.ring[slot].retire; r > ft { // retire time of inst i-ROB (same slot)
 			ft = r
 		}
 	}
@@ -183,19 +229,153 @@ func (c *Core) Step(in *trace.Inst) {
 		rt = c.lastRet
 	}
 	if i >= uint64(p.Width) {
-		if t := c.ring[2*slotW+1] + 1; t > rt {
+		if t := c.ring[slotW].retire + 1; t > rt {
 			rt = t
 		}
 	}
-	c.ring[2*slot] = ft
-	c.ring[2*slot+1] = rt
+	c.ring[slot] = ringSlot{fetch: ft, retire: rt}
 	c.lastRet = rt
 	c.n++
 }
 
+// StepBatch processes a contiguous run of instructions. With a window sink
+// installed, dispatch events are accumulated per window — the instruction
+// slice is handed to the sink zero-copy, with per-instruction dispatch
+// cycles — and flushed before every memory access, at the window cap, and
+// at the end of the batch (the slice may be recycled by the source after
+// return, so no window outlives the call). Without a sink it degrades to
+// the scalar Step loop.
+//
+// The pipeline math is Step's, duplicated so the batch loop stays call-free
+// per instruction; the differential tests in internal/sim pin the two paths
+// to byte-identical results.
+func (c *Core) StepBatch(b []trace.Inst) {
+	if c.wsink == nil {
+		for i := range b {
+			c.Step(&b[i])
+		}
+		return
+	}
+	p := c.p
+	// Core state lives in locals for the whole batch: the sink and memory
+	// calls below never reach back into the core, but the compiler cannot see
+	// that, so field accesses would be reloaded around every call.
+	ring := c.ring
+	n, slot := c.n, c.slot
+	minFetch, lastRet := c.minFetch, c.lastRet
+	mem, wsink, wcap := c.mem, c.wsink, c.wcap
+	width, rob := uint64(p.Width), uint64(p.ROB)
+	wstart, wn := 0, 0
+	for i := range b {
+		in := &b[i]
+		slotW := slot - p.Width
+		if slotW < 0 {
+			slotW += p.ROB
+		}
+		prev := slot
+		if slot++; slot == p.ROB {
+			slot = 0
+		}
+
+		var ft uint64
+		if n >= width {
+			ft = ring[slotW].fetch + 1
+		}
+		if n >= rob {
+			if r := ring[prev].retire; r > ft {
+				ft = r
+			}
+		}
+		if minFetch > ft {
+			ft = minFetch
+		}
+
+		dispatch := ft + p.FrontendDepth
+		// wn < MaxWindow whenever this store runs (the flush below fires the
+		// moment wn reaches wcap <= MaxWindow), so the mask is an identity
+		// that only removes the bounds check.
+		c.wcycles[wn&(MaxWindow-1)] = dispatch
+		wn++
+		isMem := in.Kind == trace.Load || in.Kind == trace.Store
+		if isMem || wn == wcap {
+			// A memory instruction's own dispatch event is delivered (and
+			// its prefetches applied) before its demand access, exactly as
+			// the scalar hook-before-Access order does.
+			wsink.OnInstWindow(b[wstart:i+1], c.wcycles[:wn])
+			wstart, wn = i+1, 0
+		}
+
+		ready := dispatch
+		if t := c.regReady[in.Src1]; t > ready {
+			ready = t
+		}
+		if t := c.regReady[in.Src2]; t > ready {
+			ready = t
+		}
+
+		var complete uint64
+		switch in.Kind {
+		case trace.Load:
+			c.res.Loads++
+			complete = ready + mem.Access(in.PC, in.Addr, ready, false)
+		case trace.Store:
+			c.res.Stores++
+			lat := mem.Access(in.PC, in.Addr, ready, true)
+			if p.StorePorts {
+				complete = ready + 1 // retire from the store queue off-path
+			} else {
+				complete = ready + lat
+			}
+		case trace.Branch:
+			c.res.Branches++
+			complete = ready + 1
+			mis := in.Mispredict
+			if p.Pred != nil {
+				mis = p.Pred.Update(in.PC, in.Taken) || in.Mispredict
+			}
+			if mis {
+				c.res.Mispredicts++
+				redirect := complete + p.MispredPenalty
+				if redirect > minFetch {
+					minFetch = redirect
+				}
+			}
+		default:
+			lat := uint64(in.Lat)
+			if lat == 0 {
+				lat = 1
+			}
+			complete = ready + lat
+		}
+
+		if in.Dst != 0 {
+			c.regReady[in.Dst] = complete
+		}
+
+		rt := complete
+		if rt < lastRet {
+			rt = lastRet
+		}
+		if n >= width {
+			if t := ring[slotW].retire + 1; t > rt {
+				rt = t
+			}
+		}
+		ring[prev] = ringSlot{fetch: ft, retire: rt}
+		lastRet = rt
+		n++
+	}
+	c.n, c.slot = n, slot
+	c.minFetch, c.lastRet = minFetch, lastRet
+	if wn > 0 {
+		wsink.OnInstWindow(b[wstart:], c.wcycles[:wn])
+	}
+}
+
 // Run drains src through the core and returns the result. Sources with a
-// batch path are consumed run-at-a-time, skipping the per-instruction
-// interface call and copy; the instruction sequence is identical.
+// batch path are consumed run-at-a-time through StepBatch, skipping the
+// per-instruction interface call and copy; the instruction sequence is
+// identical.
 func (c *Core) Run(src trace.Source) Result {
 	if bs, ok := src.(trace.BatchSource); ok {
 		for {
@@ -203,9 +383,7 @@ func (c *Core) Run(src trace.Source) Result {
 			if len(b) == 0 {
 				break
 			}
-			for i := range b {
-				c.Step(&b[i])
-			}
+			c.StepBatch(b)
 		}
 		return c.Result()
 	}

@@ -141,6 +141,10 @@ type Hierarchy struct {
 	// stamps up to a ROB window earlier than execution; clamping prefetches
 	// to this clock keeps MSHR occupancy and DRAM backlog checks coherent.
 	now uint64
+
+	// Hit latencies denormalized from the cache configs: Config() copies the
+	// whole config struct, which is measurable on the per-prefetch path.
+	l1lat, l2lat, l3lat uint64
 }
 
 // NewHierarchy builds one core's private caches over the shared system.
@@ -151,6 +155,9 @@ func NewHierarchy(cfg Config, sys *System) *Hierarchy {
 		sys:    sys,
 		amat:   uint64(cfg.L1D.LatCycles) << 6,
 		memLat: 200 << 6, // optimistic-high until the first real fetch
+		l1lat:  cfg.L1D.LatCycles,
+		l2lat:  cfg.L2.LatCycles,
+		l3lat:  sys.L3.Config().LatCycles,
 	}
 }
 
@@ -266,7 +273,7 @@ func (h *Hierarchy) AccessInto(pc, addr uint64, at uint64, store bool, ev *Event
 	ev.OwnerL2 = cache.NoOwner
 	ev.MemLat = h.memLat >> 6
 
-	l1lat := h.L1D.Config().LatCycles
+	l1lat := h.l1lat
 
 	if r := h.L1D.Lookup(lineAddr, at); r.Hit {
 		ev.HitL1 = true
@@ -319,7 +326,7 @@ func (h *Hierarchy) AccessInto(pc, addr uint64, at uint64, store bool, ev *Event
 // lookupL2 resolves a miss below L1 and returns the latency from L2 access
 // start to data return, filling L2 (and below) as needed.
 func (h *Hierarchy) lookupL2(lineAddr Line, at uint64, ev *Event) uint64 {
-	l2lat := h.L2.Config().LatCycles
+	l2lat := h.l2lat
 	if r := h.L2.Lookup(lineAddr, at); r.Hit {
 		if r.WasPrefetched {
 			ev.PrefetchHitL2 = true
@@ -352,7 +359,7 @@ func (h *Hierarchy) lookupL2(lineAddr Line, at uint64, ev *Event) uint64 {
 // of prefetches destined further up, which are not lifecycle occurrences).
 func (h *Hierarchy) lookupL3(lineAddr Line, at uint64, prefetch bool, owner, priority int) uint64 {
 	l3 := h.sys.L3
-	l3lat := l3.Config().LatCycles
+	l3lat := h.l3lat
 	if r := l3.Lookup(lineAddr, at); r.Hit {
 		if r.WasPrefetched {
 			// First use of an L3-destined prefetch (by a demand fetch or
@@ -499,7 +506,7 @@ func (h *Hierarchy) Prefetch(lineAddr Line, dest Level, owner, priority int, at 
 			h.traceDrop(below, owner, dest, lineAddr, at)
 			return false
 		}
-		readyAt := at + h.L1D.Config().LatCycles + below
+		readyAt := at + h.l1lat + below
 		h.updateMemLat(readyAt - at)
 		evict := h.L1D.Fill(lineAddr, readyAt, true, owner)
 		if h.Trace != nil {
@@ -531,7 +538,7 @@ func (h *Hierarchy) Prefetch(lineAddr Line, dest Level, owner, priority int, at 
 // prefetchIntoL2Path resolves the below-L1 portion of an L1-destined
 // prefetch, filling L2/L3 along the way, and returns the added latency.
 func (h *Hierarchy) prefetchIntoL2Path(lineAddr Line, at uint64, owner, priority int) uint64 {
-	l2lat := h.L2.Config().LatCycles
+	l2lat := h.l2lat
 	if h.L2.Contains(lineAddr) {
 		h.L2.Touch(lineAddr)
 		return l2lat
@@ -564,7 +571,7 @@ func (h *Hierarchy) prefetchIntoL2Path(lineAddr Line, at uint64, owner, priority
 
 // prefetchL2 resolves an L2-destined prefetch.
 func (h *Hierarchy) prefetchL2(lineAddr Line, at uint64, owner, priority int) uint64 {
-	l2lat := h.L2.Config().LatCycles
+	l2lat := h.l2lat
 	if h.L2.MSHR().Full(h.nowOrLater(at)) {
 		return dropMSHRSentinel
 	}

@@ -1,0 +1,187 @@
+// Batched event delivery. The scalar Component/InstObserver contract pays an
+// interface call (and an Issuer indirection) per simulated event; at tens of
+// millions of events per second that dispatch overhead is measurable. The
+// batch contract amortizes it: the simulator accumulates a window of events
+// and delivers the whole slice in one call, with a Sink carrying the
+// per-event issue timestamps and caps that the scalar path enforced
+// implicitly.
+//
+// Report invariance: a window is only ever flushed at points where the scalar
+// path would also have fully drained the request queue (before every demand
+// access, and at ring boundaries), and trainings never read live hierarchy
+// state — every input a component sees is snapshotted into the event. So any
+// placement of window boundaries yields the same training sequence, the same
+// request sequence with the same timestamps, and therefore byte-identical
+// results; the differential and fuzz tests in internal/sim pin this.
+package prefetch
+
+import (
+	"divlab/internal/mem"
+	"divlab/internal/trace"
+)
+
+// Per-event sink geometry. EventCap is the scalar contract's per-event
+// request cap carried over unchanged. The sink's fixed capacity holds a few
+// worst-case events; when Advance finds less than a full event of headroom
+// it drains through the flush callback first — a drain at an event boundary
+// is exactly where the scalar path drained, so forced flushes are invisible
+// in the results and Issue can never drop a request the scalar queue would
+// have taken.
+const (
+	EventCap = 256
+	sinkCap  = 4 * EventCap
+)
+
+// Sink collects prefetch requests across a batch of events. Advance marks
+// the start of a new event (its cycle stamps every request issued until the
+// next Advance, and the per-event cap resets); Issue appends one request.
+// Batch handlers call Advance themselves — once per event, before issuing
+// for it — which is what lets one delivery call carry many events without
+// losing the per-event timestamps the hierarchy needs.
+//
+// The backing storage is fixed-capacity by design (no append on the hot
+// path, no growth, no GC pressure); the zero value is ready to use after
+// Init.
+type Sink struct {
+	n    int    // requests collected
+	base int    // index of the current event's first request
+	at   uint64 // current event's cycle
+	// issuer is the bound Issue method, captured once: handing out a fresh
+	// method value per event would allocate on the hot path.
+	issuer Issuer
+	// flush drains and resets the sink mid-batch when headroom runs out. An
+	// interface rather than a bound method value: boxing the (pointer-shaped)
+	// owner costs nothing, while a method value would allocate a closure.
+	flush Flusher
+	reqs  [sinkCap]Request
+	ats   [sinkCap]uint64
+}
+
+// Flusher drains and resets a sink it owns; Advance calls it when headroom
+// for a full event is no longer guaranteed.
+type Flusher interface {
+	FlushSink()
+}
+
+// Init prepares the sink: binds the reusable Issuer and the owner's drain
+// hook. Call once.
+func (s *Sink) Init(flush Flusher) {
+	s.issuer = s.Issue
+	s.flush = flush
+}
+
+// Issuer returns the bound scalar Issuer feeding this sink, for handing to
+// scalar OnAccess/OnInst implementations.
+func (s *Sink) Issuer() Issuer { return s.issuer }
+
+// Advance begins a new event at cycle `at`, draining first when the sink
+// cannot guarantee the new event a full EventCap of headroom.
+func (s *Sink) Advance(at uint64) {
+	if sinkCap-s.n < EventCap {
+		s.flush.FlushSink()
+	}
+	s.at = at
+	s.base = s.n
+}
+
+// Issue queues one request for the current event, enforcing the per-event
+// cap. The sink's total capacity covers a full window of capped events, so
+// the only way a request is refused is the same way the scalar queue refused
+// it: the current event already issued EventCap requests.
+func (s *Sink) Issue(req Request) {
+	if s.n-s.base >= EventCap {
+		return
+	}
+	s.reqs[s.n] = req
+	s.ats[s.n] = s.at
+	s.n++
+}
+
+// Len reports the number of requests collected since the last Reset.
+func (s *Sink) Len() int { return s.n }
+
+// Requests returns the collected requests and their per-request issue
+// cycles. The slices alias the sink's storage; consume before Reset.
+func (s *Sink) Requests() ([]Request, []uint64) {
+	return s.reqs[:s.n], s.ats[:s.n]
+}
+
+// Reset empties the sink for the next window.
+func (s *Sink) Reset() {
+	s.n = 0
+	s.base = 0
+}
+
+// BatchComponent is implemented by components with a native access-batch
+// path. The contract mirrors OnAccess event by event: the implementation
+// must call sink.Advance(evs[i].Cycle) before issuing for event i, and must
+// process events in slice order. OnAccessBatch(evs) must leave the component
+// in exactly the state len(evs) scalar OnAccess calls would have.
+type BatchComponent interface {
+	Component
+	OnAccessBatch(evs []mem.Event, sink *Sink)
+}
+
+// BatchInstObserver is implemented by instruction observers with a native
+// instruction-batch path: insts[i] was dispatched at cycles[i]. The same
+// per-event Advance discipline as OnAccessBatch applies.
+type BatchInstObserver interface {
+	InstObserver
+	OnInstBatch(insts []trace.Inst, cycles []uint64, sink *Sink)
+}
+
+// AccessBatch delivers an access batch to c, using the native path when the
+// component has one and the scalar adapter otherwise. This is the only entry
+// the simulator needs: existing scalar prefetchers keep working unchanged.
+func AccessBatch(c Component, bc BatchComponent, evs []mem.Event, sink *Sink) {
+	if bc != nil {
+		bc.OnAccessBatch(evs, sink)
+		return
+	}
+	issue := sink.Issuer()
+	for i := range evs {
+		sink.Advance(evs[i].Cycle)
+		c.OnAccess(&evs[i], issue)
+	}
+}
+
+// InstBatch delivers an instruction batch to o, using the native path when
+// the observer has one and the scalar adapter otherwise.
+func InstBatch(o InstObserver, bo BatchInstObserver, insts []trace.Inst, cycles []uint64, sink *Sink) {
+	if bo != nil {
+		bo.OnInstBatch(insts, cycles, sink)
+		return
+	}
+	issue := sink.Issuer()
+	for i := range insts {
+		sink.Advance(cycles[i])
+		o.OnInst(&insts[i], cycles[i], issue)
+	}
+}
+
+// OnInstBatch gives Shunt a native batch path that preserves the scalar
+// per-event component order (every sub-observer sees event i before any
+// sub-observer sees event i+1).
+func (s *Shunt) OnInstBatch(insts []trace.Inst, cycles []uint64, sink *Sink) {
+	issue := sink.Issuer()
+	for i := range insts {
+		sink.Advance(cycles[i])
+		for _, c := range s.Comps {
+			if o, ok := c.(InstObserver); ok {
+				o.OnInst(&insts[i], cycles[i], issue)
+			}
+		}
+	}
+}
+
+// OnAccessBatch gives Shunt a native access-batch path with the same
+// event-major ordering as the scalar loop.
+func (s *Shunt) OnAccessBatch(evs []mem.Event, sink *Sink) {
+	issue := sink.Issuer()
+	for i := range evs {
+		sink.Advance(evs[i].Cycle)
+		for _, c := range s.Comps {
+			c.OnAccess(&evs[i], issue)
+		}
+	}
+}

@@ -17,14 +17,16 @@ type GHB struct {
 	degree  int
 	size    int
 	idxSize int
-	buf     []ghbEntry
-	count   int
-	index   []ghbIndex
-}
-
-type ghbEntry struct {
-	lineAddr uint64
-	prev     int // absolute position of previous entry with same PC; -1 none
+	// The history buffer is a slab pair (structure-of-arrays): lines holds
+	// the miss line addresses, back the per-entry link to the previous entry
+	// with the same PC as a backward distance (0 = none). Distances ≥ size
+	// point at an overwritten slot, which the walk's staleness check rejects
+	// on absolute positions — so distances are clamped to size on insert and
+	// an int32 always suffices, regardless of how long the run gets.
+	lines []uint64
+	back  []int32
+	count int
+	index []ghbIndex
 }
 
 type ghbIndex struct {
@@ -43,7 +45,7 @@ func NewGHB(dest mem.Level, size, degree int) *GHB {
 		degree = 4
 	}
 	return &GHB{dest: dest, degree: degree, size: size, idxSize: size,
-		buf: make([]ghbEntry, size), index: make([]ghbIndex, size)}
+		lines: make([]uint64, size), back: make([]int32, size), index: make([]ghbIndex, size)}
 }
 
 // Name implements prefetch.Component.
@@ -58,12 +60,16 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	line := ev.LineAddr.Index()
 
 	ie := &p.index[(ev.PC>>2)%uint64(p.idxSize)]
-	prev := -1
-	if ie.used && ie.pc == ev.PC {
-		prev = ie.pos
-	}
 	pos := p.count
-	p.buf[pos%p.size] = ghbEntry{lineAddr: line, prev: prev}
+	slot := pos % p.size
+	p.lines[slot] = line
+	b := 0
+	if ie.used && ie.pc == ev.PC {
+		if b = pos - ie.pos; b > p.size {
+			b = p.size // ≥ size is stale either way; keep the link in range
+		}
+	}
+	p.back[slot] = int32(b)
 	p.count++
 	*ie = ghbIndex{pc: ev.PC, pos: pos, used: true}
 
@@ -72,13 +78,14 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	var hist [maxWalk]uint64
 	n := 0
 	for at := pos; at >= 0 && n < maxWalk && at > p.count-1-p.size; {
-		e := p.buf[at%p.size]
-		hist[n] = e.lineAddr
+		s := at % p.size
+		hist[n] = p.lines[s]
 		n++
-		if e.prev < 0 || e.prev <= p.count-1-p.size {
+		back := int(p.back[s])
+		if back == 0 || at-back <= p.count-1-p.size {
 			break
 		}
-		at = e.prev
+		at -= back
 	}
 	if n < 3 {
 		return
@@ -135,9 +142,8 @@ func (p *GHB) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 
 // Reset implements prefetch.Component.
 func (p *GHB) Reset() {
-	for i := range p.buf {
-		p.buf[i] = ghbEntry{}
-	}
+	clear(p.lines)
+	clear(p.back)
 	for i := range p.index {
 		p.index[i] = ghbIndex{}
 	}

@@ -177,6 +177,15 @@ func (r *Result) MPKI() float64 {
 	return float64(r.L1Misses) * 1000 / float64(r.Core.Insts)
 }
 
+// debugScalarDispatch, when set (tests only), forces the scalar adapter path
+// for every component — native OnAccessBatch/OnInstBatch implementations are
+// ignored — so the differential tests can compare the two dispatch modes.
+var debugScalarDispatch bool
+
+// debugInstWindow, when nonzero (tests only), overrides the core's
+// instruction-window cap so the fuzz tests can vary batch boundaries.
+var debugInstWindow int
+
 // runner binds one core's pieces together.
 type runner struct {
 	cfg    Config
@@ -184,83 +193,127 @@ type runner struct {
 	hier   *mem.Hierarchy
 	pf     prefetch.Component
 	pfInst prefetch.InstObserver
-	res    *Result
-	queue  []prefetch.Request
-	// issuer is the bound issue method, captured once: passing r.issue at
-	// every dispatch would allocate a fresh method-value closure per
-	// instruction — the single largest garbage source of the old hot path.
-	issuer prefetch.Issuer
-	// ev is the reusable demand-event buffer handed to OnAccess; taking the
-	// address of a stack copy would force a heap escape per access.
-	ev mem.Event
+	// pfBatch / pfInstB are the native batch views of pf, nil when the
+	// component is scalar-only (delivery then goes through the adapter).
+	pfBatch prefetch.BatchComponent
+	pfInstB prefetch.BatchInstObserver
+	res     *Result
+	// evs is the reusable demand-event buffer handed to OnAccess (as a
+	// length-1 batch); taking the address of a stack copy would force a heap
+	// escape per access.
+	evs [1]mem.Event
+	// sink collects every component request with its per-event issue cycle;
+	// drainSink applies them. Fixed-capacity, embedded: the whole dispatch
+	// path allocates nothing after the runner itself.
+	sink prefetch.Sink
+	// catLine/catMemo memoize the last Classify verdict: classification is a
+	// pure function of the line, and successive accesses overwhelmingly land
+	// on the same one.
+	catLine cache.Line
+	catMemo workloads.Category
+	catOK   bool
 }
 
 func newRunner(cfg Config, inst workloads.Instance, hier *mem.Hierarchy, pf prefetch.Component, res *Result) *runner {
-	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: pf, res: res,
-		queue: make([]prefetch.Request, 0, 256)}
-	r.issuer = r.issue
+	r := &runner{cfg: cfg, inst: inst, hier: hier, pf: pf, res: res}
+	r.sink.Init(r)
 	if o, ok := pf.(prefetch.InstObserver); ok {
 		r.pfInst = o
+	}
+	if !debugScalarDispatch {
+		if b, ok := pf.(prefetch.BatchComponent); ok {
+			r.pfBatch = b
+		}
+		if b, ok := pf.(prefetch.BatchInstObserver); ok {
+			r.pfInstB = b
+		}
 	}
 	return r
 }
 
-// Access implements cpu.MemPort.
+// Access implements cpu.MemPort. The demand event is delivered as a
+// length-1 batch: issued prefetches mutate hierarchy state the very next
+// access observes, so an access window can never be extended past the next
+// demand access without changing results — the profitable window is the
+// instruction stream (OnInstWindow), where runs between memory operations
+// carry no hierarchy reads.
 func (r *runner) Access(pc, addr uint64, at uint64, store bool) uint64 {
-	lat := r.hier.AccessInto(pc, addr, at, store, &r.ev)
+	ev := &r.evs[0]
+	lat := r.hier.AccessInto(pc, addr, at, store, ev)
 	res := r.res
-	cat := r.inst.Classify(r.ev.LineAddr)
-	if r.ev.MissL1 {
+	cat := r.catMemo
+	if !r.catOK || ev.LineAddr != r.catLine {
+		cat = r.inst.Classify(ev.LineAddr)
+		r.catLine, r.catMemo, r.catOK = ev.LineAddr, cat, true
+	}
+	if ev.MissL1 {
 		res.L1Misses++
 		res.CatL1Misses[cat]++
 		if res.MissL1Lines != nil {
 			//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
-			res.MissL1Lines[r.ev.LineAddr]++
+			res.MissL1Lines[ev.LineAddr]++
 		}
 	}
-	if r.ev.Secondary {
+	if ev.Secondary {
 		res.L1Secondary++
 	}
-	if r.ev.MissL2 {
+	if ev.MissL2 {
 		res.L2Misses++
 		res.CatL2Misses[cat]++
 		if res.MissL2Lines != nil {
 			//lint:allow hotalloc -- optional line-level tracking; nil (never allocated) on the benchmarked path
-			res.MissL2Lines[r.ev.LineAddr]++
+			res.MissL2Lines[ev.LineAddr]++
 		}
 	}
 	if r.pf != nil {
-		r.pf.OnAccess(&r.ev, r.issuer)
-		if len(r.queue) != 0 {
-			r.drain(at)
+		prefetch.AccessBatch(r.pf, r.pfBatch, r.evs[:], &r.sink)
+		// Most events issue nothing; skip the call, not just the loop.
+		if r.sink.Len() != 0 {
+			r.drainSink()
 		}
 	}
 	return lat
 }
 
-// hook is the core's dispatch-time instruction hook.
+// hook is the core's scalar dispatch-time instruction hook (non-batch
+// sources and the scalar-dispatch test mode).
 func (r *runner) hook(in *trace.Inst, cycle uint64) {
 	if r.pfInst == nil {
 		return
 	}
-	r.pfInst.OnInst(in, cycle, r.issuer)
-	// Most instructions issue nothing; skip the call, not just the loop.
-	if len(r.queue) != 0 {
-		r.drain(cycle)
+	r.sink.Advance(cycle)
+	r.pfInst.OnInst(in, cycle, r.sink.Issuer())
+	if r.sink.Len() != 0 {
+		r.drainSink()
 	}
 }
 
-// issue queues a component's request; drain processes it after the handler
-// returns. A per-event cap bounds runaway components.
-func (r *runner) issue(req prefetch.Request) {
-	if len(r.queue) < 256 {
-		r.queue = append(r.queue, req)
+// OnInstWindow implements cpu.WindowSink: one delivery call per dispatch
+// window instead of one hook call per instruction.
+func (r *runner) OnInstWindow(insts []trace.Inst, cycles []uint64) {
+	if r.pfInst == nil {
+		return
+	}
+	prefetch.InstBatch(r.pfInst, r.pfInstB, insts, cycles, &r.sink)
+	if r.sink.Len() != 0 {
+		r.drainSink()
 	}
 }
 
-func (r *runner) drain(at uint64) {
+// FlushSink implements prefetch.Flusher: the sink drains through the runner
+// when an incoming event cannot be guaranteed headroom.
+func (r *runner) FlushSink() { r.drainSink() }
+
+// drainSink applies every collected request at its own event's cycle. The
+// apply order and timestamps are exactly the scalar path's: requests were
+// collected event by event, and the scalar queue drained after each event
+// with that event's cycle.
+func (r *runner) drainSink() {
 	res := r.res
-	for _, req := range r.queue {
+	reqs, ats := r.sink.Requests()
+	for i := range reqs {
+		req := reqs[i]
+		at := ats[i]
 		dest := req.Dest
 		if r.cfg.DestOverride != nil {
 			dest = r.cfg.DestOverride(req, r.inst.Classify(req.LineAddr))
@@ -289,7 +342,27 @@ func (r *runner) drain(at uint64) {
 			}
 		}
 	}
-	r.queue = r.queue[:0]
+	r.sink.Reset()
+}
+
+// newCore builds the core over one runner, wiring batched dispatch: the
+// window sink carries instruction batches when an instruction observer is
+// present, and the scalar hook stays installed for non-batch sources. With
+// no instruction observer neither is set, so the core pays nothing per
+// instruction for dispatch-time snooping.
+func newCore(params cpu.Params, r *runner) *cpu.Core {
+	var hook cpu.InstHook
+	if r.pfInst != nil {
+		hook = r.hook
+	}
+	core := cpu.New(params, r, hook)
+	if r.pfInst != nil && !debugScalarDispatch {
+		core.SetWindowSink(r)
+	}
+	if debugInstWindow > 0 {
+		core.SetWindowCap(debugInstWindow)
+	}
+	return core
 }
 
 // slot returns the Attempted-mask bit position for a component id.
@@ -387,7 +460,7 @@ func RunSingleOn(inst workloads.Instance, w workloads.Workload, factory Factory,
 	if cfg.UseBPred {
 		params.Pred = bpred.New()
 	}
-	core := cpu.New(params, r, r.hook)
+	core := newCore(params, r)
 	src := &trace.Limit{Src: inst, N: cfg.Insts}
 	res.Core = core.Run(src)
 	closeLifecycle(res)
@@ -458,7 +531,7 @@ func RunMultiOn(insts []workloads.Instance, mix workloads.Mix, factory Factory, 
 		}
 		states[i] = &coreState{
 			r:    r,
-			core: cpu.New(params, r, r.hook),
+			core: newCore(params, r),
 			src:  &trace.Limit{Src: inst, N: cfg.Insts},
 		}
 		results[i] = res
@@ -491,9 +564,7 @@ func RunMultiOn(insts []workloads.Instance, mix workloads.Mix, factory Factory, 
 				st.done = true
 				break
 			}
-			for i := range b {
-				st.core.Step(&b[i])
-			}
+			st.core.StepBatch(b)
 			k += len(b)
 		}
 	}
@@ -553,7 +624,7 @@ func RunTrace(ft *trace.FileTrace, factory Factory, cfg Config) *Result {
 	if cfg.UseBPred {
 		params.Pred = bpred.New()
 	}
-	core := cpu.New(params, r, r.hook)
+	core := newCore(params, r)
 	n := cfg.Insts
 	if n == 0 || n > uint64(len(ft.Insts)) {
 		n = uint64(len(ft.Insts))

@@ -45,12 +45,27 @@ type C1 struct {
 	denseLines int
 	rm         []rmEntry
 	im         []imEntry
-	// dense marks PCs decided as dense-region instructions; notDense marks
-	// PCs decided against, so the coordinator stops nominating them.
-	dense    map[uint64]bool
-	notDense map[uint64]bool
-	lastPref map[uint64]uint64 // PC -> last region prefetched (dedup)
-	tick     uint64
+	// rmHint/imHint are direct-mapped way-hints over the RM/IM scans
+	// (slot+1, verified against the tagged entry before use, so they never
+	// change which entry a lookup finds).
+	rmHint [32]uint8
+	imHint [32]uint8
+	// pcm carries the per-PC verdict (dense / not dense) and the last region
+	// prefetched for dedup; an absent entry means no decision yet.
+	pcm  pcTable[c1PC]
+	tick uint64
+}
+
+// c1PC decision values.
+const (
+	c1Undecided uint8 = iota
+	c1Dense
+	c1NotDense
+)
+
+type c1PC struct {
+	decision uint8
+	lastPref uint64 // last region prefetched (dedup)
 }
 
 // NewC1 returns a C1 component prefetching regions into dest (the paper
@@ -65,9 +80,6 @@ func NewC1WithDensity(dest mem.Level, denseLines int) *C1 {
 		denseLines: denseLines,
 		rm:         make([]rmEntry, c1RMEntries),
 		im:         make([]imEntry, c1IMEntries),
-		dense:      make(map[uint64]bool),
-		notDense:   make(map[uint64]bool),
-		lastPref:   make(map[uint64]uint64),
 	}
 }
 
@@ -75,10 +87,16 @@ func NewC1WithDensity(dest mem.Level, denseLines int) *C1 {
 func (c *C1) Name() string { return "c1" }
 
 // Handles reports whether C1 has marked pc as a dense-region instruction.
-func (c *C1) Handles(pc uint64) bool { return c.dense[pc] }
+func (c *C1) Handles(pc uint64) bool {
+	e := c.pcm.get(pc)
+	return e != nil && e.decision == c1Dense
+}
 
 // Decided reports whether C1 has finished judging pc either way.
-func (c *C1) Decided(pc uint64) bool { return c.dense[pc] || c.notDense[pc] }
+func (c *C1) Decided(pc uint64) bool {
+	e := c.pcm.get(pc)
+	return e != nil && e.decision != c1Undecided
+}
 
 // Consider nominates pc for monitoring. The coordinator calls this for
 // instructions T2 and P1 both rejected. It returns false when the IM is
@@ -102,8 +120,15 @@ func (c *C1) Consider(pc uint64) bool {
 }
 
 func (c *C1) imIndex(pc uint64) int {
+	h := pcHash(pc) & uint64(len(c.imHint)-1)
+	if s := c.imHint[h]; s != 0 {
+		if i := int(s - 1); c.im[i].valid && c.im[i].pc == pc {
+			return i
+		}
+	}
 	for i := range c.im {
 		if c.im[i].valid && c.im[i].pc == pc {
+			c.imHint[h] = uint8(i + 1)
 			return i
 		}
 	}
@@ -128,9 +153,10 @@ func (c *C1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		e.insts |= 1 << uint(k)
 	}
 
-	if c.dense[ev.PC] {
-		if c.lastPref[ev.PC] != region {
-			c.lastPref[ev.PC] = region
+	// Fetched after the RM train above: an RM eviction may insert a verdict.
+	if d := c.pcm.get(ev.PC); d != nil && d.decision == c1Dense {
+		if d.lastPref != region {
+			d.lastPref = region
 			base := region * c1RegionLines
 			for b := uint64(0); b < c1RegionLines; b++ {
 				if base+b == line {
@@ -143,8 +169,15 @@ func (c *C1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 }
 
 func (c *C1) findRM(region uint64) *rmEntry {
+	h := pcHash(region) & uint64(len(c.rmHint)-1)
+	if s := c.rmHint[h]; s != 0 {
+		if e := &c.rm[s-1]; e.valid && e.region == region {
+			return e
+		}
+	}
 	for i := range c.rm {
 		if c.rm[i].valid && c.rm[i].region == region {
+			c.rmHint[h] = uint8(i + 1)
 			return &c.rm[i]
 		}
 	}
@@ -166,6 +199,7 @@ func (c *C1) allocRM(region uint64) *rmEntry {
 		c.evictRM(v)
 	}
 	c.rm[victim] = rmEntry{valid: true, region: region}
+	c.rmHint[pcHash(region)&uint64(len(c.rmHint)-1)] = uint8(victim + 1)
 	return &c.rm[victim]
 }
 
@@ -184,9 +218,9 @@ func (c *C1) evictRM(e *rmEntry) {
 		}
 		if im.totalRegions >= c1DecideAt {
 			if im.denseRegions*4 > im.totalRegions*3 {
-				c.dense[im.pc] = true
+				c.pcm.put(im.pc).decision = c1Dense
 			} else {
-				c.notDense[im.pc] = true
+				c.pcm.put(im.pc).decision = c1NotDense
 			}
 			im.valid = false // vacate for another candidate
 		}
@@ -201,9 +235,9 @@ func (c *C1) Reset() {
 	for i := range c.im {
 		c.im[i] = imEntry{}
 	}
-	c.dense = make(map[uint64]bool)
-	c.notDense = make(map[uint64]bool)
-	c.lastPref = make(map[uint64]uint64)
+	c.rmHint = [32]uint8{}
+	c.imHint = [32]uint8{}
+	c.pcm.reset()
 	c.tick = 0
 }
 

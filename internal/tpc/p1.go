@@ -35,12 +35,22 @@ type P1 struct {
 	candMode uint8 // 0 idle, 1 array-of-pointers, 2 pointer-chain
 	candVal  uint64
 
-	sit    []p1SIT // small confirmation table (8 entries)
-	chains map[uint64]*chainState
-	failed map[uint64]uint8
+	sit []p1SIT // small confirmation table (8 entries)
+	// pcm carries the per-PC detection flags and the link into the chain
+	// arena; chainArena holds the live chain FSMs as one flat slab (slot+1
+	// links, free slots recycled through chainFree) so steady-state chain
+	// prefetching chases no per-node pointers.
+	pcm        pcTable[p1Flags]
+	chainArena []chainState
+	chainFree  []int32
+	nHandled   int
+	tick       uint64
+}
 
-	handled map[uint64]bool
-	tick    uint64
+type p1Flags struct {
+	failed  uint8
+	handled bool
+	chain   int32 // chainArena slot + 1; 0 = no chain FSM for this PC
 }
 
 type p1SIT struct {
@@ -76,12 +86,9 @@ func NewP1(t2 *T2, memory vmem.Memory) *P1 {
 		memory = vmem.Empty{}
 	}
 	return &P1{
-		t2:      t2,
-		mem:     memory,
-		sit:     make([]p1SIT, p1SITEntries),
-		chains:  make(map[uint64]*chainState),
-		failed:  make(map[uint64]uint8),
-		handled: make(map[uint64]bool),
+		t2:  t2,
+		mem: memory,
+		sit: make([]p1SIT, p1SITEntries),
 	}
 }
 
@@ -90,7 +97,34 @@ func (p *P1) Name() string { return "p1" }
 
 // Handles reports whether P1 has claimed pc (chain load or dependent load of
 // a confirmed array-of-pointers pattern).
-func (p *P1) Handles(pc uint64) bool { return p.handled[pc] }
+func (p *P1) Handles(pc uint64) bool {
+	f := p.pcm.get(pc)
+	return f != nil && f.handled
+}
+
+// allocChain places cs in the chain arena and returns its slot+1 link.
+func (p *P1) allocChain(cs chainState) int32 {
+	if n := len(p.chainFree); n > 0 {
+		s := p.chainFree[n-1]
+		p.chainFree = p.chainFree[:n-1]
+		p.chainArena[s-1] = cs
+		return s
+	}
+	p.chainArena = append(p.chainArena, cs)
+	return int32(len(p.chainArena))
+}
+
+// freeChain retires f's chain FSM (the chain-map + handled-set delete of the
+// old representation) and recycles its arena slot.
+func (p *P1) freeChain(f *p1Flags) {
+	p.chainArena[f.chain-1] = chainState{}
+	p.chainFree = append(p.chainFree, f.chain)
+	f.chain = 0
+	if f.handled {
+		f.handled = false
+		p.nHandled--
+	}
+}
 
 func (p *P1) findSIT(pc uint64) *p1SIT {
 	for i := range p.sit {
@@ -122,18 +156,33 @@ func (p *P1) OnAccess(ev *mem.Event, issue prefetch.Issuer) {}
 
 // OnInst implements prefetch.InstObserver.
 func (p *P1) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
+	if in.Kind != trace.Load {
+		p.stepOther(in)
+		return
+	}
+	p.onLoad(in, issue)
+}
+
+// stepOther is OnInst for non-load instructions: advance the pass tick and
+// propagate taint. Dependent-load observation and every load-side FSM need a
+// load; splitting the cheap path lets the batch coordinator dispatch on the
+// instruction kind once for all components.
+func (p *P1) stepOther(in *trace.Inst) {
+	p.tick++
+	if p.candMode != 0 && in.PC != p.candPC {
+		p.tpu.Step(in)
+	}
+}
+
+// onLoad is OnInst's load tail.
+func (p *P1) onLoad(in *trace.Inst, issue prefetch.Issuer) {
 	p.tick++
 
 	// Propagate taint and watch for dependent loads.
 	if p.candMode != 0 && in.PC != p.candPC {
-		consumed := p.tpu.Step(in)
-		if consumed && in.Kind == trace.Load && p.candMode == 1 {
+		if p.tpu.Step(in) && p.candMode == 1 {
 			p.observeDependent(in)
 		}
-	}
-
-	if in.Kind != trace.Load {
-		return
 	}
 
 	// Re-encountering the candidate ends the propagation pass.
@@ -141,9 +190,12 @@ func (p *P1) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 		p.endCandidatePass(in)
 	}
 
-	// Steady-state chain prefetching.
-	if cs, ok := p.chains[in.PC]; ok {
-		p.chainStep(in, cs, issue)
+	// Steady-state chain prefetching. The flags pointer is fetched after the
+	// candidate-pass calls above (which may insert) and stays valid through
+	// the rest of this instruction: nothing below inserts into the table.
+	f := p.pcm.get(in.PC)
+	if f != nil && f.chain != 0 {
+		p.chainStep(in, f, &p.chainArena[f.chain-1], issue)
 		return
 	}
 
@@ -164,7 +216,7 @@ func (p *P1) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 	}
 
 	// Nominate a new detection candidate when idle.
-	if p.candMode == 0 && p.failed[in.PC] < p1MaxFails {
+	if p.candMode == 0 && (f == nil || f.failed < p1MaxFails) {
 		switch {
 		case p.t2.StateOf(in.PC) == stStrided:
 			if e := p.t2.SITFor(in.PC); e != nil && !e.ptr {
@@ -176,7 +228,7 @@ func (p *P1) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 				}
 				p.tpu.Arm(in.Dst)
 			}
-		case p.t2.Rejected(in.PC) && !p.handled[in.PC]:
+		case p.t2.Rejected(in.PC) && (f == nil || !f.handled):
 			p.candPC, p.candMode = in.PC, 2
 			p.tpu.Arm(in.Dst)
 		}
@@ -208,7 +260,11 @@ func (p *P1) observeDependent(j *trace.Inst) {
 			if se := p.t2.SITFor(p.candPC); se != nil {
 				se.ptr = true
 				se.ptrDelta = delta
-				p.handled[j.PC] = true
+				fj := p.pcm.put(j.PC)
+				if !fj.handled {
+					fj.handled = true
+					p.nHandled++
+				}
 			}
 			p.resetCandidate(false)
 		}
@@ -262,8 +318,12 @@ func (p *P1) endCandidatePass(in *trace.Inst) {
 			}
 			e.srcPC = v // stash this iteration's value for the next check
 			if e.conf >= p1ConfirmAt {
-				p.chains[in.PC] = &chainState{delta: e.delta, aheadVal: v, haveLast: true, lastVal: v}
-				p.handled[in.PC] = true
+				fi := p.pcm.put(in.PC)
+				fi.chain = p.allocChain(chainState{delta: e.delta, aheadVal: v, haveLast: true, lastVal: v})
+				if !fi.handled {
+					fi.handled = true
+					p.nHandled++
+				}
 				p.resetCandidate(false)
 			}
 			p.tpu.Arm(in.Dst)
@@ -275,7 +335,7 @@ func (p *P1) endCandidatePass(in *trace.Inst) {
 
 func (p *P1) resetCandidate(fail bool) {
 	if fail && p.candPC != 0 {
-		p.failed[p.candPC]++
+		p.pcm.put(p.candPC).failed++
 	}
 	p.candPC, p.candMode, p.candVal = 0, 0, 0
 	p.tpu.Disarm()
@@ -284,7 +344,7 @@ func (p *P1) resetCandidate(fail bool) {
 // chainStep advances the pointer-chain FSM on an execution of the chain
 // load: verify the previous prediction, then walk one node further ahead
 // (two while catching up to the target distance).
-func (p *P1) chainStep(in *trace.Inst, cs *chainState, issue prefetch.Issuer) {
+func (p *P1) chainStep(in *trace.Inst, f *p1Flags, cs *chainState, issue prefetch.Issuer) {
 	// Correction: the previous value should predict this address. A
 	// mismatch means control flow diverged from the tracked chain; the FSM
 	// resynchronizes its walk to the demand front (and gives the pattern up
@@ -295,8 +355,7 @@ func (p *P1) chainStep(in *trace.Inst, cs *chainState, issue prefetch.Issuer) {
 			cs.mismatch++
 			diverged = true
 			if cs.mismatch >= p1TimeoutIter {
-				delete(p.chains, in.PC)
-				delete(p.handled, in.PC)
+				p.freeChain(f)
 				return
 			}
 		} else {
@@ -305,8 +364,7 @@ func (p *P1) chainStep(in *trace.Inst, cs *chainState, issue prefetch.Issuer) {
 	}
 	v, ok := p.mem.Value(in.Addr)
 	if !ok {
-		delete(p.chains, in.PC)
-		delete(p.handled, in.PC)
+		p.freeChain(f)
 		return
 	}
 	cs.lastVal, cs.haveLast = v, true
@@ -363,9 +421,10 @@ func (p *P1) Reset() {
 	for i := range p.sit {
 		p.sit[i] = p1SIT{}
 	}
-	p.chains = make(map[uint64]*chainState)
-	p.failed = make(map[uint64]uint8)
-	p.handled = make(map[uint64]bool)
+	p.pcm.reset()
+	p.chainArena = p.chainArena[:0]
+	p.chainFree = p.chainFree[:0]
+	p.nHandled = 0
 	p.tick = 0
 }
 
@@ -375,12 +434,24 @@ func (p *P1) StorageBits() int {
 	return 48 + p1SITEntries*(32+48+16+3) + 64 + 1024
 }
 
-// DebugString summarizes P1's internal state for diagnostics.
+// DebugString summarizes P1's internal state for diagnostics (table slot
+// order).
 func (p *P1) DebugString() string {
 	s := "chains:"
-	for pc, cs := range p.chains {
-		s += fmt.Sprintf(" pc=%x delta=%d depth=%d mismatch=%d", pc, cs.delta, cs.depth, cs.mismatch)
+	nFailed := 0
+	for i := range p.pcm.ents {
+		e := &p.pcm.ents[i]
+		if !e.used {
+			continue
+		}
+		if e.val.chain != 0 {
+			cs := &p.chainArena[e.val.chain-1]
+			s += fmt.Sprintf(" pc=%x delta=%d depth=%d mismatch=%d", e.pc, cs.delta, cs.depth, cs.mismatch)
+		}
+		if e.val.failed > 0 {
+			nFailed++
+		}
 	}
-	s += fmt.Sprintf(" handled=%d failed=%v candMode=%d", len(p.handled), p.failed, p.candMode)
+	s += fmt.Sprintf(" handled=%d failed=%d candMode=%d", p.nHandled, nFailed, p.candMode)
 	return s
 }

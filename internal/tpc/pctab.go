@@ -1,0 +1,90 @@
+package tpc
+
+// pcTable is an open-addressing hash table keyed by instruction PC, the slab
+// replacement for the per-PC Go maps the components used to carry (state
+// bits, decisions, per-instruction statistics). Entries live in one flat
+// slice — no per-node pointers, nothing for the GC to chase — and lookups
+// are a multiplicative hash plus a short linear probe.
+//
+// The components never delete individual keys (claims and decisions are
+// cleared by rewriting fields, whole tables by Reset), so the table needs no
+// tombstones. Pointers returned by get/put are stable until the next put
+// (which may grow the slab) or reset; callers that hold one across other
+// calls must know those calls cannot insert.
+type pcTable[V any] struct {
+	ents []pcEntry[V]
+	n    int
+}
+
+type pcEntry[V any] struct {
+	pc   uint64
+	used bool
+	val  V
+}
+
+const pcTableMinSize = 64 // power of two
+
+func pcHash(pc uint64) uint64 {
+	h := pc * 0x9E3779B97F4A7C15
+	return h >> 32
+}
+
+// get returns a pointer to pc's value, or nil when absent.
+func (t *pcTable[V]) get(pc uint64) *V {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.ents) - 1)
+	for i := pcHash(pc) & mask; ; i = (i + 1) & mask {
+		e := &t.ents[i]
+		if !e.used {
+			return nil
+		}
+		if e.pc == pc {
+			return &e.val
+		}
+	}
+}
+
+// put returns a pointer to pc's value, inserting a zero value when absent.
+func (t *pcTable[V]) put(pc uint64) *V {
+	if len(t.ents) == 0 {
+		t.ents = make([]pcEntry[V], pcTableMinSize)
+	} else if t.n*4 >= len(t.ents)*3 {
+		t.grow()
+	}
+	return t.insert(pc)
+}
+
+// insert probes for pc assuming capacity headroom exists.
+func (t *pcTable[V]) insert(pc uint64) *V {
+	mask := uint64(len(t.ents) - 1)
+	for i := pcHash(pc) & mask; ; i = (i + 1) & mask {
+		e := &t.ents[i]
+		if !e.used {
+			e.used, e.pc = true, pc
+			t.n++
+			return &e.val
+		}
+		if e.pc == pc {
+			return &e.val
+		}
+	}
+}
+
+func (t *pcTable[V]) grow() {
+	old := t.ents
+	t.ents = make([]pcEntry[V], 2*len(old))
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			*t.insert(old[i].pc) = old[i].val
+		}
+	}
+}
+
+// reset empties the table, keeping its capacity.
+func (t *pcTable[V]) reset() {
+	clear(t.ents)
+	t.n = 0
+}

@@ -56,15 +56,22 @@ type T2 struct {
 	loop *LoopHW
 	ras  *RAS
 	sit  []sitEntry
-	// state is the per-PC I-cache state bits.
-	state map[uint64]uint8
+	// sitHint is a direct-mapped way-hint over the SIT: hint[h(mpc)] holds
+	// slot+1 of the entry that last matched (0 = no hint). Hints are guesses
+	// verified against the tagged entry, so they never need invalidation and
+	// cannot change which entry a lookup finds — they only skip the scan.
+	sitHint [64]uint8
+	// state is the per-PC I-cache state bits (absent = stUnknown; stUnknown
+	// itself is never stored).
+	state pcTable[uint8]
 	tick  uint64
 
 	// amat is the EWMA of demand latency in 1/64ths of a cycle.
 	amat uint64
 
-	// Strided PCs currently being handled (for the coordinator).
-	handled map[uint64]bool
+	// nHandled counts PCs in stStrided state: a PC is claimed exactly while
+	// strided, so the old handled set is derivable from the state bits.
+	nHandled int
 }
 
 // T2Config exposes the ablation knobs for the design choices Sec. IV-A
@@ -83,13 +90,11 @@ func NewT2() *T2 { return NewT2WithConfig(T2Config{}) }
 // NewT2WithConfig returns a T2 component with ablation overrides applied.
 func NewT2WithConfig(cfg T2Config) *T2 {
 	return &T2{
-		cfg:     cfg,
-		loop:    NewLoopHW(),
-		ras:     NewRAS(32),
-		sit:     make([]sitEntry, t2SITEntries),
-		state:   make(map[uint64]uint8),
-		handled: make(map[uint64]bool),
-		amat:    20 << 6,
+		cfg:  cfg,
+		loop: NewLoopHW(),
+		ras:  NewRAS(32),
+		sit:  make([]sitEntry, t2SITEntries),
+		amat: 20 << 6,
 	}
 }
 
@@ -101,14 +106,26 @@ func (t *T2) RAS() *RAS { return t.ras }
 
 // Handles reports whether T2 has claimed pc (strided or still observing a
 // promising stable delta).
-func (t *T2) Handles(pc uint64) bool { return t.handled[pc] }
+func (t *T2) Handles(pc uint64) bool {
+	st := t.state.get(pc)
+	return st != nil && *st == stStrided
+}
 
 // StateOf returns the I-cache state for pc (stUnknown if never seen).
-func (t *T2) StateOf(pc uint64) uint8 { return t.state[pc] }
+func (t *T2) StateOf(pc uint64) uint8 {
+	st := t.state.get(pc)
+	if st == nil {
+		return stUnknown
+	}
+	return *st
+}
 
 // Rejected reports whether T2 has given up on pc (non-strided), the signal
 // the coordinator uses to present the instruction to the next component.
-func (t *T2) Rejected(pc uint64) bool { return t.state[pc] == stNonStrided }
+func (t *T2) Rejected(pc uint64) bool {
+	st := t.state.get(pc)
+	return st != nil && *st == stNonStrided
+}
 
 func (t *T2) mpc(pc uint64) uint64 {
 	if t.cfg.DisableMPC {
@@ -117,9 +134,18 @@ func (t *T2) mpc(pc uint64) uint64 {
 	return pc ^ t.ras.Top()
 }
 
+func (t *T2) sitSlot(mpc uint64) uint64 { return pcHash(mpc) & uint64(len(t.sitHint)-1) }
+
 func (t *T2) findSIT(mpc uint64) *sitEntry {
+	h := t.sitSlot(mpc)
+	if s := t.sitHint[h]; s != 0 {
+		if e := &t.sit[s-1]; e.valid && e.mpc == mpc {
+			return e
+		}
+	}
 	for i := range t.sit {
 		if t.sit[i].valid && t.sit[i].mpc == mpc {
+			t.sitHint[h] = uint8(i + 1)
 			return &t.sit[i]
 		}
 	}
@@ -138,6 +164,7 @@ func (t *T2) allocSIT(mpc uint64) *sitEntry {
 		}
 	}
 	t.sit[victim] = sitEntry{valid: true, mpc: mpc}
+	t.sitHint[t.sitSlot(mpc)] = uint8(victim + 1)
 	return &t.sit[victim]
 }
 
@@ -176,10 +203,10 @@ func (t *T2) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		t.amat = ev.MemLat << 6
 	}
 	if ev.MissL1 {
-		switch t.state[ev.PC] {
-		case stUnknown:
-			t.state[ev.PC] = stObserve
-		case stStrided:
+		switch st := t.state.get(ev.PC); {
+		case st == nil: // stUnknown
+			*t.state.put(ev.PC) = stObserve
+		case *st == stStrided:
 			// A miss on a handled stream means the prefetch front has a
 			// gap (e.g. requests shed under memory pressure): re-anchor so
 			// the next instance re-covers from the demand point.
@@ -202,10 +229,17 @@ func (t *T2) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 	if !in.IsMem() {
 		return
 	}
-	st := t.state[in.PC]
-	if st == stUnknown || st == stNonStrided {
+	t.onMemInst(in, issue)
+}
+
+// onMemInst is OnInst's memory-instruction tail, split out so the batch
+// coordinator can dispatch on the instruction kind once for all components.
+func (t *T2) onMemInst(in *trace.Inst, issue prefetch.Issuer) {
+	stp := t.state.get(in.PC)
+	if stp == nil || *stp == stNonStrided {
 		return
 	}
+	st := *stp
 	t.tick++
 	mpc := t.mpc(in.PC)
 	e := t.findSIT(mpc)
@@ -233,11 +267,10 @@ func (t *T2) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 	switch st {
 	case stObserve:
 		if e.sameCnt >= t2StridedAt {
-			t.state[in.PC] = stStrided
-			t.handled[in.PC] = true
+			*stp = stStrided
+			t.nHandled++
 		} else if e.diffCnt >= t2NonStridedAt {
-			t.state[in.PC] = stNonStrided
-			delete(t.handled, in.PC)
+			*stp = stNonStrided
 			return
 		}
 		if e.sameCnt >= t2IssueAt {
@@ -250,8 +283,8 @@ func (t *T2) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 	case stStrided:
 		if e.diffCnt >= t2NonStridedAt {
 			// The stream destabilized; fall back to observation.
-			t.state[in.PC] = stObserve
-			delete(t.handled, in.PC)
+			*stp = stObserve
+			t.nHandled--
 			return
 		}
 		if e.sameCnt >= 1 {
@@ -309,8 +342,9 @@ func (t *T2) Reset() {
 	for i := range t.sit {
 		t.sit[i] = sitEntry{}
 	}
-	t.state = make(map[uint64]uint8)
-	t.handled = make(map[uint64]bool)
+	t.sitHint = [64]uint8{}
+	t.state.reset()
+	t.nHandled = 0
 	t.tick = 0
 	t.amat = 20 << 6
 }
@@ -324,14 +358,17 @@ func (t *T2) StorageBits() int {
 
 // DebugString summarizes T2's adaptive state for diagnostics.
 func (t *T2) DebugString() string {
-	return fmt.Sprintf("amat=%d titer=%d dist=%d handled=%d", t.amat>>6, t.loop.TIter(), t.Distance(), len(t.handled))
+	return fmt.Sprintf("amat=%d titer=%d dist=%d handled=%d", t.amat>>6, t.loop.TIter(), t.Distance(), t.nHandled)
 }
 
-// DebugStates dumps the per-PC instruction states for diagnostics.
+// DebugStates dumps the per-PC instruction states for diagnostics (table
+// slot order).
 func (t *T2) DebugStates() string {
 	s := ""
-	for pc, st := range t.state {
-		s += fmt.Sprintf(" %x:%d", pc, st)
+	for i := range t.state.ents {
+		if e := &t.state.ents[i]; e.used {
+			s += fmt.Sprintf(" %x:%d", e.pc, e.val)
+		}
 	}
 	return s
 }

@@ -42,21 +42,27 @@ type TPC struct {
 	c1     *C1
 	extras []prefetch.Component
 
-	// pcExtra assigns unrecognized PCs to extra components round-robin.
-	pcExtra map[uint64]int
-	nextRR  int
-	// pcStat measures each assigned extra's usefulness per instruction
-	// (Sec. IV-D: "expertise can be measured"); persistently useless
-	// assignments are revoked so a mismatched component cannot keep
-	// polluting on an instruction outside its expertise.
-	pcStat map[uint64]*extraStat
-	name   string
+	// stats carries, per unrecognized PC, the extra-component assignment
+	// (round-robin, then overridden by ownership learning) and the measured
+	// usefulness of that assignment (Sec. IV-D: "expertise can be
+	// measured"); persistently useless assignments are revoked so a
+	// mismatched component cannot keep polluting on an instruction outside
+	// its expertise.
+	stats  pcTable[extraStat]
+	nextRR int
+	// countIssuer wraps curIssue to count issues against curStat; bound once
+	// at construction so the per-access extra delivery allocates no closure.
+	countIssuer prefetch.Issuer
+	curStat     *extraStat
+	curIssue    prefetch.Issuer
+	name        string
 }
 
 type extraStat struct {
-	issued uint64
-	hits   uint64
-	banned bool
+	assigned int32 // extras slot + 1; 0 = unassigned
+	issued   uint64
+	hits     uint64
+	banned   bool
 }
 
 const (
@@ -66,7 +72,8 @@ const (
 
 // New builds a TPC composite from opts.
 func New(opts Options) *TPC {
-	t := &TPC{pcExtra: make(map[uint64]int), pcStat: make(map[uint64]*extraStat), extras: opts.Extras}
+	t := &TPC{extras: opts.Extras}
+	t.countIssuer = t.countIssue
 	name := ""
 	if opts.EnableT2 {
 		t.t2 = NewT2WithConfig(opts.T2Config)
@@ -156,6 +163,60 @@ func (t *TPC) OnInst(in *trace.Inst, cycle uint64, issue prefetch.Issuer) {
 	}
 }
 
+// OnInstBatch implements prefetch.BatchInstObserver natively: one call
+// carries a whole dispatch window, with the T2-then-P1 delivery interleaved
+// per instruction — P1 reads T2's per-PC state (SITFor, StateOf, Rejected,
+// Distance), so instruction i must finish both components before i+1 starts,
+// exactly as the scalar path orders it. The win is skipping two interface
+// dispatches and an Issuer indirection per instruction.
+func (t *TPC) OnInstBatch(insts []trace.Inst, cycles []uint64, sink *prefetch.Sink) {
+	issue := sink.Issuer()
+	t2, p1 := t.t2, t.p1
+	if t2 == nil || p1 == nil {
+		for i := range insts {
+			sink.Advance(cycles[i])
+			if t2 != nil {
+				t2.OnInst(&insts[i], cycles[i], issue)
+			}
+			if p1 != nil {
+				p1.OnInst(&insts[i], cycles[i], issue)
+			}
+		}
+		return
+	}
+	// Full t2+p1 composite: one kind dispatch feeds both components' split
+	// entry points, skipping the per-component kind checks and call prologs
+	// the scalar pair pays on every instruction.
+	for i := range insts {
+		in := &insts[i]
+		sink.Advance(cycles[i])
+		switch in.Kind {
+		case trace.ALU:
+			p1.stepOther(in)
+		case trace.Branch:
+			t2.ras.OnBranch(in)
+			t2.loop.OnBranch(in, cycles[i])
+			p1.stepOther(in)
+		case trace.Load:
+			t2.onMemInst(in, issue)
+			p1.onLoad(in, issue)
+		default: // Store
+			t2.onMemInst(in, issue)
+			p1.stepOther(in)
+		}
+	}
+}
+
+// OnAccessBatch implements prefetch.BatchComponent natively (event-major,
+// the scalar coordinator body per event).
+func (t *TPC) OnAccessBatch(evs []mem.Event, sink *prefetch.Sink) {
+	issue := sink.Issuer()
+	for i := range evs {
+		sink.Advance(evs[i].Cycle)
+		t.OnAccess(&evs[i], issue)
+	}
+}
+
 // OnAccess implements prefetch.Component: the coordinator stratifies the
 // access stream. T2 sees everything (it owns activation and AMAT); C1 sees
 // accesses from instructions T2/P1 declined; extras see only what all three
@@ -188,12 +249,9 @@ func (t *TPC) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	}
 	// Ownership learning: a demand hit on a line an extra prefetched hands
 	// the instruction to that extra and counts toward its measured
-	// usefulness.
-	st := t.pcStat[ev.PC]
-	if st == nil {
-		st = &extraStat{}
-		t.pcStat[ev.PC] = st
-	}
+	// usefulness. The stats pointer stays valid below: extras cannot insert
+	// into the table.
+	st := t.stats.put(ev.PC)
 	if ev.PrefetchHitL1 || ev.PrefetchHitL2 {
 		owner := ev.OwnerL1
 		if !ev.PrefetchHitL1 {
@@ -201,7 +259,7 @@ func (t *TPC) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 		}
 		for k, e := range t.extras {
 			if b, ok := e.(interface{ ID() int }); ok && b.ID() == owner {
-				t.pcExtra[ev.PC] = k
+				st.assigned = int32(k + 1)
 				st.hits++
 				break
 			}
@@ -210,21 +268,25 @@ func (t *TPC) OnAccess(ev *mem.Event, issue prefetch.Issuer) {
 	if st.banned {
 		return // measured expertise says no component handles this well
 	}
-	k, ok := t.pcExtra[ev.PC]
-	if !ok {
-		k = t.nextRR % len(t.extras)
+	if st.assigned == 0 {
+		st.assigned = int32(t.nextRR%len(t.extras)) + 1
 		t.nextRR++
-		t.pcExtra[ev.PC] = k
 	}
-	t.extras[k].OnAccess(ev, func(r prefetch.Request) {
-		st.issued++
-		issue(r)
-	})
+	t.curStat, t.curIssue = st, issue
+	t.extras[st.assigned-1].OnAccess(ev, t.countIssuer)
+	t.curStat, t.curIssue = nil, nil
 	if st.issued >= extraBanMinIssued && st.hits*extraBanHitRatio < st.issued {
 		st.banned = true
 	}
 	// Extras that snoop instructions would also be fed here, but none of
 	// the monolithic baselines do.
+}
+
+// countIssue forwards a request from the active extra to the live issuer,
+// charging it to the extra's measured-usefulness counter.
+func (t *TPC) countIssue(r prefetch.Request) {
+	t.curStat.issued++
+	t.curIssue(r)
 }
 
 // Reset implements prefetch.Component.
@@ -241,8 +303,7 @@ func (t *TPC) Reset() {
 	for _, e := range t.extras {
 		e.Reset()
 	}
-	t.pcExtra = make(map[uint64]int)
-	t.pcStat = make(map[uint64]*extraStat)
+	t.stats.reset()
 	t.nextRR = 0
 }
 
